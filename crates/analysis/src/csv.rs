@@ -1,0 +1,91 @@
+//! CSV export for recorded series.
+
+use crate::series::TimeSeries;
+use crate::AnalysisError;
+use std::io::Write;
+
+/// Writes aligned series as CSV: a `time` column followed by one
+/// column per series, resampled onto the first series' time base.
+///
+/// A mutable reference to any `Write` implementor may be passed (e.g.
+/// `&mut Vec<u8>` or `&mut File`).
+///
+/// # Errors
+///
+/// * [`AnalysisError::InvalidParameter`] when no series are given,
+/// * [`AnalysisError::NotEnoughSamples`] when the first series is
+///   empty,
+/// * [`AnalysisError::Io`] on write failures.
+///
+/// # Examples
+///
+/// ```
+/// use pn_analysis::csv::write_csv;
+/// use pn_analysis::series::TimeSeries;
+///
+/// # fn main() -> Result<(), pn_analysis::AnalysisError> {
+/// let vc = TimeSeries::from_samples("vc", vec![0.0, 1.0], vec![5.3, 5.2])?;
+/// let mut out = Vec::new();
+/// write_csv(&mut out, &[&vc])?;
+/// let text = String::from_utf8(out).expect("utf8");
+/// assert!(text.starts_with("time,vc\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_csv<W: Write>(writer: &mut W, series: &[&TimeSeries]) -> Result<(), AnalysisError> {
+    let Some(first) = series.first() else {
+        return Err(AnalysisError::InvalidParameter("no series to write"));
+    };
+    if first.is_empty() {
+        return Err(AnalysisError::NotEnoughSamples { needed: 1, available: 0 });
+    }
+    // Header.
+    let mut header = String::from("time");
+    for s in series {
+        header.push(',');
+        header.push_str(s.name());
+    }
+    header.push('\n');
+    writer.write_all(header.as_bytes())?;
+    // Rows on the first series' time base.
+    for (t, v0) in first.iter() {
+        let mut row = format!("{t}");
+        row.push(',');
+        row.push_str(&format!("{v0}"));
+        for s in &series[1..] {
+            let v = s.sample(t)?;
+            row.push(',');
+            row.push_str(&format!("{v}"));
+        }
+        row.push('\n');
+        writer.write_all(row.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_columns() {
+        let a = TimeSeries::from_samples("a", vec![0.0, 1.0, 2.0], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = TimeSeries::from_samples("b", vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        let mut out = Vec::new();
+        write_csv(&mut out, &[&a, &b]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time,a,b");
+        assert_eq!(lines.len(), 4);
+        // b interpolates to 2.0 at t=1.
+        assert_eq!(lines[2], "1,2,2");
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let mut out = Vec::new();
+        assert!(write_csv(&mut out, &[]).is_err());
+        let empty = TimeSeries::new("e");
+        assert!(write_csv(&mut out, &[&empty]).is_err());
+    }
+}

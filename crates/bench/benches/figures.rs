@@ -1,0 +1,18 @@
+//! Criterion bench: regeneration cost of the model-driven figures and
+//! tables (the sim-driven ones are exercised via `sim_engine`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pn_sim::experiments::{fig04, fig07, fig10, table1};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig04_power_curves", |b| b.iter(|| black_box(fig04::run().unwrap())));
+    group.bench_function("fig07_perf_points", |b| b.iter(|| black_box(fig07::run().unwrap())));
+    group.bench_function("fig10_latencies", |b| b.iter(|| black_box(fig10::run().unwrap())));
+    group.bench_function("table1_sizing", |b| b.iter(|| black_box(table1::run().unwrap())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: power-neutral governor decision latency — the
+//! interrupt-handler cost the paper measures at ≈0.104 % CPU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pn_core::events::{Governor, GovernorEvent, ThresholdEdge};
+use pn_core::governor::PowerNeutralGovernor;
+use pn_core::params::ControlParams;
+use pn_soc::cores::CoreConfig;
+use pn_soc::opp::Opp;
+use pn_soc::platform::Platform;
+use pn_units::{Seconds, Volts};
+use std::hint::black_box;
+
+fn bench_governor(c: &mut Criterion) {
+    let platform = Platform::odroid_xu4();
+    let mut group = c.benchmark_group("governor");
+    group.bench_function("threshold_crossing_decision", |b| {
+        let mut gov =
+            PowerNeutralGovernor::new(ControlParams::paper_optimal().unwrap(), &platform)
+                .unwrap();
+        let opp = Opp::new(CoreConfig::new(4, 2).unwrap(), 5);
+        gov.start(Seconds::ZERO, Volts::new(5.3), opp);
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 0.25;
+            let edge = if (t / 0.25) as u64 % 2 == 0 {
+                ThresholdEdge::Low
+            } else {
+                ThresholdEdge::High
+            };
+            let event = GovernorEvent::ThresholdCrossed {
+                edge,
+                vc: Volts::new(5.3),
+                t: Seconds::new(t),
+            };
+            black_box(gov.on_event(&event, opp))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_governor);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: threshold reprogramming — the divider/pot/
+//! comparator inversion performed on every crossing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pn_monitor::monitor::VoltageMonitor;
+use pn_monitor::threshold::ThresholdChannel;
+use pn_units::Volts;
+use std::hint::black_box;
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+    group.bench_function("channel_set_threshold", |b| {
+        let mut ch = ThresholdChannel::paper_channel().unwrap();
+        let mut v = 4.3f64;
+        b.iter(|| {
+            v = if v > 5.6 { 4.3 } else { v + 0.01 };
+            black_box(ch.set_threshold(Volts::new(v)).unwrap())
+        })
+    });
+    group.bench_function("dual_threshold_reprogram", |b| {
+        let mut mon = VoltageMonitor::paper_board().unwrap();
+        let mut v = 4.5f64;
+        b.iter(|| {
+            v = if v > 5.5 { 4.5 } else { v + 0.01 };
+            black_box(mon.set_thresholds(Volts::new(v + 0.1), Volts::new(v - 0.1)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

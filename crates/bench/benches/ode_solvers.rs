@@ -1,0 +1,30 @@
+//! Criterion bench: ODE solver step throughput (Euler vs RK4 vs the
+//! adaptive RK23 the co-simulation uses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pn_circuit::ode::{AdaptiveOptions, Euler, FixedStepMethod, Rk23, Rk4};
+use std::hint::black_box;
+
+fn decay(_t: f64, y: &[f64; 1]) -> [f64; 1] {
+    [-0.8 * y[0]]
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ode_integrate_1s");
+    group.bench_function("euler_h1ms", |b| {
+        b.iter(|| Euler.integrate(&mut decay, 0.0, [black_box(1.0)], 1.0, 1e-3).unwrap())
+    });
+    group.bench_function("rk4_h1ms", |b| {
+        b.iter(|| Rk4.integrate(&mut decay, 0.0, [black_box(1.0)], 1.0, 1e-3).unwrap())
+    });
+    group.bench_function("rk23_adaptive", |b| {
+        b.iter(|| {
+            let mut solver = Rk23::new(AdaptiveOptions::new().with_max_step(0.05));
+            solver.integrate(&mut decay, 0.0, [black_box(1.0)], 1.0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

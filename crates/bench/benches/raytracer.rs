@@ -1,0 +1,28 @@
+//! Criterion bench: the smallpt workload itself (thumbnail frame at
+//! the paper's 5 samples-per-pixel quality).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pn_workload::render::{render, RenderSettings};
+use pn_workload::scene::Scene;
+use std::hint::black_box;
+
+fn bench_raytracer(c: &mut Criterion) {
+    let scene = Scene::cornell_box();
+    let mut group = c.benchmark_group("raytracer");
+    group.sample_size(10);
+    group.bench_function("thumbnail_5spp", |b| {
+        b.iter(|| black_box(render(&scene, RenderSettings::benchmark_thumbnail())))
+    });
+    group.bench_function("tiny_1spp", |b| {
+        b.iter(|| {
+            black_box(render(
+                &scene,
+                RenderSettings { width: 32, height: 24, samples_per_pixel: 1, seed: 1 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raytracer);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: end-to-end co-simulation throughput (simulated
+//! seconds per wall-clock second) under the power-neutral governor and
+//! under the powersave baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pn_sim::scenario;
+use pn_units::{Seconds, WattsPerSquareMeter};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    group.bench_function("power_neutral_10s_constant_sun", |b| {
+        b.iter(|| {
+            let report =
+                scenario::constant_sun(WattsPerSquareMeter::new(560.0), Seconds::new(10.0))
+                    .run_power_neutral()
+                    .unwrap();
+            black_box(report.transitions())
+        })
+    });
+    group.bench_function("powersave_10s_constant_sun", |b| {
+        b.iter(|| {
+            let report =
+                scenario::constant_sun(WattsPerSquareMeter::new(560.0), Seconds::new(10.0))
+                    .run_powersave()
+                    .unwrap();
+            black_box(report.survived())
+        })
+    });
+    group.bench_function("shadowing_8s", |b| {
+        b.iter(|| {
+            let report = scenario::shadowing(Seconds::new(2.0), Seconds::new(8.0))
+                .run_power_neutral()
+                .unwrap();
+            black_box(report.survived())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: the implicit single-diode operating-point solve —
+//! the co-simulation's innermost hot path (several calls per ODE step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pn_circuit::solar::SolarCell;
+use pn_units::{Volts, WattsPerSquareMeter};
+use std::hint::black_box;
+
+fn bench_solar(c: &mut Criterion) {
+    let cell = SolarCell::odroid_array();
+    let g = WattsPerSquareMeter::new(560.0);
+    let mut group = c.benchmark_group("solar_cell");
+    group.bench_function("current_at_mpp", |b| {
+        b.iter(|| cell.current(black_box(Volts::new(5.3)), g).unwrap())
+    });
+    group.bench_function("open_circuit_voltage", |b| {
+        b.iter(|| cell.open_circuit_voltage(black_box(g)).unwrap())
+    });
+    group.bench_function("max_power_point", |b| {
+        b.iter(|| cell.max_power_point(black_box(g)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solar);
+criterion_main!(benches);

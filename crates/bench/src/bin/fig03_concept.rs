@@ -1,0 +1,30 @@
+//! Regenerates Fig. 3: behaviour of an EH system under a transient
+//! input, with and without power-neutral performance scaling.
+
+use pn_analysis::ascii::{chart, ChartOptions};
+use pn_bench::{banner, compare};
+use pn_sim::experiments::fig03;
+use pn_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 3", "transient input with/without power-neutral scaling");
+    let fig = fig03::run(Seconds::new(4.0), Seconds::new(16.0))?;
+    println!(
+        "{}",
+        chart(
+            &[&fig.vc_scaled, &fig.vc_static],
+            &ChartOptions::new("VC under a sinusoidal harvest (V)").with_labels("V", "s")
+        )
+    );
+    compare(
+        "lifetime, small capacitor only (s)",
+        "short",
+        fig.static_lifetime.map_or("survived".into(), |s| format!("{s:.2}")),
+    );
+    compare(
+        "lifetime, power-neutral scaling (s)",
+        "perpetual",
+        fig.scaled_lifetime.map_or("survived".into(), |s| format!("{s:.2}")),
+    );
+    Ok(())
+}

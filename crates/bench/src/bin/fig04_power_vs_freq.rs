@@ -1,0 +1,29 @@
+//! Regenerates Fig. 4: board power vs operating frequency for the
+//! eight core configurations.
+
+use pn_bench::{banner, compare, print_table};
+use pn_sim::experiments::fig04;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 4", "board power (W) vs operating frequency per core configuration");
+    let fig = fig04::run()?;
+    let headers: Vec<String> = std::iter::once("config".to_string())
+        .chain(fig.curves[0].points.iter().map(|(g, _)| format!("{g:.2} GHz")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = fig
+        .curves
+        .iter()
+        .map(|c| {
+            std::iter::once(c.config.to_string())
+                .chain(c.points.iter().map(|(_, p)| format!("{p:.2}")))
+                .collect()
+        })
+        .collect();
+    print_table(&header_refs, &rows);
+    println!();
+    let min = fig.curves[0].points[0].1;
+    let max = fig.curves[7].points.last().map(|(_, p)| *p).unwrap_or(0.0);
+    compare("power envelope (W)", "≈1.8 … ≈7", format!("{min:.2} … {max:.2}"));
+    Ok(())
+}

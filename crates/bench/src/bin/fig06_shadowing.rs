@@ -1,0 +1,47 @@
+//! Regenerates Fig. 6: the simulated control response to sudden
+//! shadowing (Vwidth = 0.2 V, Vq = 80 mV, α = 0.1 V/s, β = 0.12 V/s).
+
+use pn_analysis::ascii::{chart, ChartOptions};
+use pn_bench::{banner, compare};
+use pn_sim::experiments::fig06;
+use pn_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 6", "control-algorithm simulation through sudden shadowing");
+    let fig = fig06::run(Seconds::new(2.0), Seconds::new(8.0))?;
+    println!(
+        "{}",
+        chart(
+            &[&fig.vc_controlled, &fig.vc_uncontrolled],
+            &ChartOptions::new("VC with (*) and without (+) the control scheme (V)")
+                .with_labels("V", "s")
+        )
+    );
+    println!(
+        "{}",
+        chart(
+            &[&fig.little_cores, &fig.big_cores],
+            &ChartOptions::new("active cores under control").with_labels("cores", "s")
+        )
+    );
+    println!(
+        "{}",
+        chart(
+            &[&fig.frequency_ghz],
+            &ChartOptions::new("operating frequency under control (GHz)")
+                .with_labels("GHz", "s")
+        )
+    );
+    compare("controlled system", "stays above Vmin", if fig.controlled_survived {
+        "survived"
+    } else {
+        "browned out"
+    });
+    compare(
+        "uncontrolled system",
+        "falls below Vmin",
+        fig.uncontrolled_lifetime
+            .map_or("survived".into(), |s| format!("browned out at {s:.2} s")),
+    );
+    Ok(())
+}

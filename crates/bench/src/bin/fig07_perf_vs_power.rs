@@ -1,0 +1,37 @@
+//! Regenerates Fig. 7: raytrace performance (FPS) vs board power
+//! across OPPs, LITTLE-only and big+LITTLE panels.
+
+use pn_bench::{banner, compare, print_table};
+use pn_sim::experiments::fig07;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 7", "raytrace FPS vs board power per OPP");
+    let fig = fig07::run()?;
+    for (title, points) in
+        [("LITTLE (A7) cores only", &fig.little_only), ("big+LITTLE cores", &fig.with_big)]
+    {
+        println!("\n  {title}:");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| {
+                // Print the paper's visible sample: every other level.
+                (p.frequency_ghz * 100.0).round() as i64 % 2 == 0 || p.frequency_ghz >= 1.39
+            })
+            .map(|p| {
+                vec![
+                    p.config.to_string(),
+                    format!("{:.2}", p.frequency_ghz),
+                    format!("{:.2}", p.power_w),
+                    format!("{:.4}", p.fps),
+                ]
+            })
+            .collect();
+        print_table(&["config", "GHz", "power (W)", "FPS"], &rows);
+    }
+    println!();
+    let max_l = fig.little_only.iter().map(|p| p.fps).fold(0.0, f64::max);
+    let max_b = fig.with_big.iter().map(|p| p.fps).fold(0.0, f64::max);
+    compare("max FPS, LITTLE-only panel", "≈0.065", format!("{max_l:.4}"));
+    compare("max FPS, big+LITTLE panel", "≈0.25", format!("{max_b:.4}"));
+    Ok(())
+}

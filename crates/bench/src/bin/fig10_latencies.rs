@@ -1,0 +1,47 @@
+//! Regenerates Fig. 10: hot-plug latency per core-count transition at
+//! three frequencies, and DVFS latency per configuration/direction.
+
+use pn_bench::{banner, compare, print_table};
+use pn_sim::experiments::fig10;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 10", "core hot-plug and DVFS latencies");
+    let fig = fig10::run()?;
+
+    println!("\n  hot-plug latency (ms) per transition:");
+    let mut rows = Vec::new();
+    for from in 1..=7u8 {
+        let mut row = vec![format!("{} -> {} cores", from, from + 1)];
+        for ghz in [0.2, 0.8, 1.4] {
+            let bar = fig
+                .hotplug
+                .iter()
+                .find(|b| b.from == from && (b.frequency_ghz - ghz).abs() < 1e-9)
+                .expect("bar exists");
+            row.push(format!("{:.1}", bar.latency_ms));
+        }
+        rows.push(row);
+    }
+    print_table(&["transition", "200 MHz", "800 MHz", "1.4 GHz"], &rows);
+
+    println!("\n  DVFS latency (ms) per configuration:");
+    let rows: Vec<Vec<String>> = fig
+        .dvfs
+        .iter()
+        .map(|b| {
+            vec![
+                b.config.to_string(),
+                if b.down { "down".into() } else { "up".into() },
+                format!("{:.2}", b.latency_ms),
+            ]
+        })
+        .collect();
+    print_table(&["config", "direction", "latency (ms)"], &rows);
+
+    println!();
+    let max_hp = fig.hotplug.iter().map(|b| b.latency_ms).fold(0.0, f64::max);
+    let max_dvfs = fig.dvfs.iter().map(|b| b.latency_ms).fold(0.0, f64::max);
+    compare("max hot-plug latency (ms)", "≈40 @200 MHz", format!("{max_hp:.1}"));
+    compare("max DVFS latency (ms)", "≈3", format!("{max_dvfs:.2}"));
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 11: system response to a controlled variable
+//! supply (Vwidth = 335 mV, Vq = 190 mV, α = 0.238 V/s, β = 0.633 V/s).
+
+use pn_analysis::ascii::{chart, ChartOptions};
+use pn_bench::{banner, compare};
+use pn_sim::experiments::fig11;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 11", "response to a controlled variable supply");
+    let fig = fig11::run()?;
+    println!(
+        "{}",
+        chart(&[&fig.v_supply], &ChartOptions::new("Vsupply (V)").with_labels("V", "s"))
+    );
+    println!(
+        "{}",
+        chart(
+            &[&fig.frequency_mhz],
+            &ChartOptions::new("operating frequency (MHz)").with_labels("MHz", "s")
+        )
+    );
+    println!(
+        "{}",
+        chart(
+            &[&fig.total_cores, &fig.little_cores],
+            &ChartOptions::new("active cores (total *, LITTLE +)").with_labels("cores", "s")
+        )
+    );
+    compare("behaviour at feature A (minor dips)", "DVFS only", "see frequency trace");
+    compare("behaviour at feature B (sudden drop)", "cores shed + DVFS", "see core trace");
+    compare("governor transitions", "frequent", fig.transitions);
+    Ok(())
+}

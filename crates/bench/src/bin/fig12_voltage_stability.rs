@@ -1,0 +1,29 @@
+//! Regenerates Fig. 12: VC over the six-hour full-sun PV test and the
+//! ±5 % residency headline (paper: 93.3 %).
+
+use pn_analysis::ascii::{chart, ChartOptions};
+use pn_bench::{banner, compare};
+use pn_sim::experiments::fig12;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 12", "VC stability over the six-hour full-sun test");
+    let fig = fig12::run(7)?;
+    println!(
+        "{}",
+        chart(
+            &[&fig.vc],
+            &ChartOptions::new(format!(
+                "VC over the test window (target {:.1} V ± 5 %)",
+                fig.target_v
+            ))
+            .with_labels("V", "s since midnight")
+        )
+    );
+    compare("survived the full window", "yes", fig.survived);
+    compare(
+        "time within ±5 % of target",
+        "93.3 %",
+        format!("{:.1} %", fig.within_5pct * 100.0),
+    );
+    Ok(())
+}

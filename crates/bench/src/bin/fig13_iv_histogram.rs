@@ -1,0 +1,37 @@
+//! Regenerates Fig. 13: the PV array's IV characteristics and the
+//! proportion of time spent at each operating voltage.
+
+use pn_analysis::ascii::bar_chart;
+use pn_bench::{banner, compare, print_table};
+use pn_sim::experiments::fig13;
+use pn_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 13", "PV IV characteristics and operating-voltage residency");
+    let fig = fig13::run(11, Seconds::from_hours(6.0))?;
+
+    println!("\n  IV / PV characteristics at full sun:");
+    let rows: Vec<Vec<String>> = fig
+        .iv_curve
+        .iter()
+        .zip(fig.pv_curve.iter())
+        .step_by(7)
+        .map(|((v, i), (_, p))| {
+            vec![format!("{v:.2}"), format!("{i:.3}"), format!("{p:.2}")]
+        })
+        .collect();
+    print_table(&["V (V)", "I (A)", "P (W)"], &rows);
+
+    println!();
+    let bars: Vec<(String, f64)> = fig
+        .residency
+        .iter()
+        .filter(|(_, frac)| *frac > 1e-6)
+        .map(|(v, frac)| (format!("{v:.2} V"), *frac))
+        .collect();
+    println!("{}", bar_chart(&bars, 50, "fraction of time at each operating voltage"));
+
+    compare("MPP voltage (V)", "5.3", format!("{:.2}", fig.mpp_voltage));
+    compare("modal operating voltage (V)", "≈5.3 (at MPP)", format!("{:.2}", fig.modal_voltage));
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 15: CPU usage of the power-budgeting software.
+
+use pn_bench::{banner, compare};
+use pn_sim::experiments::fig15;
+use pn_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 15", "CPU overhead of the proposed approach");
+    let fig = fig15::run(9, Seconds::from_hours(2.0))?;
+    compare(
+        "control software CPU usage",
+        "0.104 %",
+        format!("{:.3} %", fig.control_cpu_fraction * 100.0),
+    );
+    compare(
+        "monitor power vs minimum system power",
+        "1.61 mW < 0.82 %",
+        format!("{:.2} %", fig.monitor_power_fraction_of_min * 100.0),
+    );
+    compare("OPP transitions performed", "frequent small", fig.transitions);
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Regenerates the §III parameter-selection study: sweeping Vwidth,
+//! Vq, α, β for VC stability (paper's optimum: 144 mV, 47.9 mV,
+//! 0.120 V/s, 0.479 V/s).
+
+use pn_bench::{banner, compare, print_table};
+use pn_sim::experiments::params;
+use pn_sim::sweep::SweepGrid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("§III sweep", "control-parameter selection by VC stability");
+    let sweep = params::run(&SweepGrid::coarse())?;
+    let rows: Vec<Vec<String>> = sweep
+        .results
+        .iter()
+        .take(12)
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.params.v_width().to_millivolts()),
+                format!("{:.1}", r.params.v_q().to_millivolts()),
+                format!("{:.3}", r.params.alpha()),
+                format!("{:.3}", r.params.beta()),
+                format!("{:.3}", r.stability),
+                if r.survived { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        &["Vwidth (mV)", "Vq (mV)", "α (V/s)", "β (V/s)", "±5% residency", "survived"],
+        &rows,
+    );
+    println!();
+    let best = sweep.best();
+    compare(
+        "best parameters (Vwidth, Vq, α, β)",
+        "144 mV, 47.9 mV, 0.120, 0.479",
+        format!(
+            "{:.0} mV, {:.1} mV, {:.3}, {:.3}",
+            best.params.v_width().to_millivolts(),
+            best.params.v_q().to_millivolts(),
+            best.params.alpha(),
+            best.params.beta()
+        ),
+    );
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Runs every experiment of the paper and prints a combined
+//! paper-vs-measured report (the source for `EXPERIMENTS.md`).
+//!
+//! Day-scale experiments run shortened windows here so the whole
+//! report finishes in minutes; the individual `figNN_*` binaries run
+//! the full windows.
+
+use pn_bench::{banner, compare};
+use pn_sim::experiments::{
+    fig01, fig03, fig04, fig06, fig07, fig10, fig11, fig12, fig13, fig14, fig15, params, table1,
+    table2,
+};
+use pn_sim::sweep::SweepGrid;
+use pn_units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("repro_all", "every figure and table, paper vs measured");
+
+    let f1 = fig01::run(42, Seconds::new(30.0))?;
+    compare("Fig. 1  peak cell power (W)", "~1.0", format!("{:.2}", f1.peak_watts));
+
+    let f3 = fig03::run(Seconds::new(4.0), Seconds::new(16.0))?;
+    compare(
+        "Fig. 3  static lifetime (s) / scaled",
+        "short / perpetual",
+        format!(
+            "{:.1} / {}",
+            f3.static_lifetime.unwrap_or(f64::NAN),
+            if f3.scaled_lifetime.is_none() { "survived" } else { "died" }
+        ),
+    );
+
+    let f4 = fig04::run()?;
+    compare(
+        "Fig. 4  power envelope (W)",
+        "1.8 … 7",
+        format!(
+            "{:.2} … {:.2}",
+            f4.curves[0].points[0].1,
+            f4.curves[7].points.last().map(|(_, p)| *p).unwrap_or(0.0)
+        ),
+    );
+
+    let f6 = fig06::run(Seconds::new(2.0), Seconds::new(8.0))?;
+    compare(
+        "Fig. 6  controlled survives / static dies",
+        "yes / yes",
+        format!("{} / {}", f6.controlled_survived, f6.uncontrolled_lifetime.is_some()),
+    );
+
+    let f7 = fig07::run()?;
+    compare(
+        "Fig. 7  max FPS LITTLE / all cores",
+        "0.065 / 0.25",
+        format!(
+            "{:.3} / {:.3}",
+            f7.little_only.iter().map(|p| p.fps).fold(0.0, f64::max),
+            f7.with_big.iter().map(|p| p.fps).fold(0.0, f64::max)
+        ),
+    );
+
+    let f10 = fig10::run()?;
+    compare(
+        "Fig. 10 max hotplug / max DVFS (ms)",
+        "≈40 / ≈3",
+        format!(
+            "{:.1} / {:.1}",
+            f10.hotplug.iter().map(|b| b.latency_ms).fold(0.0, f64::max),
+            f10.dvfs.iter().map(|b| b.latency_ms).fold(0.0, f64::max)
+        ),
+    );
+
+    let t1 = table1::run()?;
+    compare(
+        "Table I δ (ms): freq-first / core-first",
+        "345.42 / 63.21",
+        format!("{:.1} / {:.1}", t1.frequency_first.transition_ms, t1.core_first.transition_ms),
+    );
+    compare(
+        "Table I Q (C): freq-first / core-first",
+        "0.1299 / 0.0461",
+        format!("{:.4} / {:.4}", t1.frequency_first.charge_c, t1.core_first.charge_c),
+    );
+
+    let f11 = fig11::run()?;
+    compare("Fig. 11 governor transitions", "frequent", f11.transitions);
+
+    let f12 = fig12::run_with_duration(7, Seconds::from_minutes(30.0))?;
+    compare(
+        "Fig. 12 time within ±5 % of 5.3 V",
+        "93.3 %",
+        format!("{:.1} % (30-min window)", f12.within_5pct * 100.0),
+    );
+
+    let f13 = fig13::run(11, Seconds::from_minutes(30.0))?;
+    compare(
+        "Fig. 13 modal voltage vs MPP (V)",
+        "≈5.3 vs 5.3",
+        format!("{:.2} vs {:.2}", f13.modal_voltage, f13.mpp_voltage),
+    );
+
+    let f14 = fig14::run(5, Seconds::from_minutes(30.0))?;
+    compare(
+        "Fig. 14 utilisation / overdraw",
+        "≈1 / ≈0",
+        format!("{:.2} / {:.3}", f14.utilisation, f14.overdraw_fraction),
+    );
+
+    let t2 = table2::run_with_duration(3, Seconds::from_minutes(10.0))?;
+    compare(
+        "Table II proposed vs powersave instructions",
+        "×1.69",
+        format!("×{:.2} (10-min window)", t2.proposed_over_powersave().unwrap_or(f64::NAN)),
+    );
+
+    let f15 = fig15::run(9, Seconds::from_minutes(30.0))?;
+    compare(
+        "Fig. 15 control CPU usage",
+        "0.104 %",
+        format!("{:.3} %", f15.control_cpu_fraction * 100.0),
+    );
+
+    let sweep = params::run(&SweepGrid {
+        v_width_mv: vec![144.0, 300.0],
+        v_q_fraction: vec![0.333],
+        alpha: vec![0.12],
+        beta_multiple: vec![4.0],
+    })?;
+    let best = sweep.best();
+    compare(
+        "§III best Vwidth (mV)",
+        "144",
+        format!("{:.0}", best.params.v_width().to_millivolts()),
+    );
+
+    println!("\n  all experiments completed.");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table I: time and charge expended transitioning from
+//! the highest to the lowest OPP, and the buffer capacitance each
+//! response ordering requires.
+
+use pn_bench::{banner, compare, print_table};
+use pn_sim::experiments::table1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Table I", "worst-case transition cost and buffer-capacitor sizing");
+    let t = table1::run()?;
+    let rows = vec![
+        vec![
+            "(a) Frequency, Core".to_string(),
+            format!("{:.2}", t.frequency_first.transition_ms),
+            format!("{:.4}", t.frequency_first.charge_c),
+            format!("{:.1}", t.frequency_first.required_mf),
+        ],
+        vec![
+            "(b) Core, Frequency".to_string(),
+            format!("{:.2}", t.core_first.transition_ms),
+            format!("{:.4}", t.core_first.charge_c),
+            format!("{:.1}", t.core_first.required_mf),
+        ],
+    ];
+    print_table(
+        &["scenario", "transition time δ (ms)", "charge Q (C)", "required C (mF)"],
+        &rows,
+    );
+    println!();
+    compare("δ ratio (a)/(b)", "5.5", format!("{:.2}", t.frequency_first.transition_ms / t.core_first.transition_ms));
+    compare("Q ratio (a)/(b)", "2.8", format!("{:.2}", t.frequency_first.charge_c / t.core_first.charge_c));
+    compare("paper's fitted part", "47 mF", format!("covers (b): {}", t.core_first.required_mf < 47.0));
+    Ok(())
+}

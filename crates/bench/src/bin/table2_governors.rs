@@ -1,0 +1,54 @@
+//! Regenerates Table II: performance of power-management schemes over
+//! a 60-minute PV-powered test.
+
+use pn_bench::{banner, compare, print_table};
+use pn_sim::experiments::table2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Table II", "power-management schemes over a 60-minute PV test");
+    let t = table2::run(3)?;
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.4}", r.renders_per_minute),
+                r.lifetime.clone(),
+                format!("{:.1}", r.instructions_billions),
+            ]
+        })
+        .collect();
+    print_table(
+        &["scheme", "avg renders/min", "lifetime (MM:SS)", "instructions (B)"],
+        &rows,
+    );
+    println!();
+    compare("conservative lifetime", "00:05", &t.row("conservative").expect("row").lifetime);
+    compare(
+        "powersave",
+        "0.1456 r/min, 2485.6 B over 60:00",
+        format!(
+            "{:.4} r/min, {:.1} B over {}",
+            t.row("powersave").expect("row").renders_per_minute,
+            t.row("powersave").expect("row").instructions_billions,
+            t.row("powersave").expect("row").lifetime,
+        ),
+    );
+    compare(
+        "proposed approach",
+        "0.2460 r/min, 4200.4 B over 60:00",
+        format!(
+            "{:.4} r/min, {:.1} B over {}",
+            t.row("power-neutral").expect("row").renders_per_minute,
+            t.row("power-neutral").expect("row").instructions_billions,
+            t.row("power-neutral").expect("row").lifetime,
+        ),
+    );
+    compare(
+        "instruction advantage over powersave",
+        "+69.0 %",
+        format!("+{:.1} %", (t.proposed_over_powersave().expect("rows") - 1.0) * 100.0),
+    );
+    Ok(())
+}

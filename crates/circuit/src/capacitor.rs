@@ -1,0 +1,245 @@
+//! Buffer-capacitor models.
+//!
+//! The power-neutral system deliberately shrinks the energy buffer to a
+//! few tens of millifarads (47 mF in the paper's rig — *three orders of
+//! magnitude* below typical energy-neutral supercapacitor banks). Two
+//! models are provided:
+//!
+//! * [`Capacitor`] — ideal `C`,
+//! * [`Supercapacitor`] — `C` plus equivalent series resistance and a
+//!   parallel leakage path, the two dominant non-idealities called out
+//!   in the paper's discussion of buffer losses.
+
+use crate::CircuitError;
+use pn_units::{Amps, Farads, Joules, Ohms, Seconds, Volts, Watts};
+
+/// An ideal capacitor.
+///
+/// # Examples
+///
+/// ```
+/// use pn_circuit::capacitor::Capacitor;
+/// use pn_units::{Amps, Farads, Volts};
+///
+/// # fn main() -> Result<(), pn_circuit::CircuitError> {
+/// let c = Capacitor::new(Farads::from_millifarads(47.0))?;
+/// // 1 A of net charge current raises 47 mF at ~21 V/s.
+/// let slope = c.dv_dt(Volts::new(5.0), Amps::new(1.0));
+/// assert!((slope - 1.0 / 0.047).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    capacitance: Farads,
+}
+
+impl Capacitor {
+    /// Creates an ideal capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidArgument`] for a non-positive or
+    /// non-finite capacitance.
+    pub fn new(capacitance: Farads) -> Result<Self, CircuitError> {
+        if !(capacitance.value() > 0.0) || !capacitance.is_finite() {
+            return Err(CircuitError::InvalidArgument("capacitance must be positive and finite"));
+        }
+        Ok(Self { capacitance })
+    }
+
+    /// The capacitance.
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// Stored energy at voltage `v`: `E = ½CV²`.
+    pub fn energy(&self, v: Volts) -> Joules {
+        Joules::new(0.5 * self.capacitance.value() * v.value() * v.value())
+    }
+
+    /// Voltage slope for a net charging current (`dV/dt = I/C`), in
+    /// volts per second.
+    pub fn dv_dt(&self, _v: Volts, net_current: Amps) -> f64 {
+        net_current.value() / self.capacitance.value()
+    }
+
+    /// Voltage change after extracting charge `ΔQ = I·t` at roughly
+    /// constant current.
+    pub fn voltage_drop_for_charge(&self, charge: pn_units::Coulombs) -> Volts {
+        charge / self.capacitance
+    }
+}
+
+/// A supercapacitor: ideal `C` with series resistance (ESR) and a
+/// parallel leakage resistance.
+///
+/// # Examples
+///
+/// ```
+/// use pn_circuit::capacitor::Supercapacitor;
+/// use pn_units::{Amps, Farads, Ohms, Volts};
+///
+/// # fn main() -> Result<(), pn_circuit::CircuitError> {
+/// let sc = Supercapacitor::new(
+///     Farads::from_millifarads(47.0),
+///     Ohms::new(0.025),
+///     Ohms::new(40_000.0),
+/// )?;
+/// let leak = sc.leakage_current(Volts::new(5.3));
+/// assert!(leak.value() < 2e-4); // sub-milliamp leakage
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Supercapacitor {
+    cell: Capacitor,
+    esr: Ohms,
+    leakage_resistance: Ohms,
+}
+
+impl Supercapacitor {
+    /// Creates a supercapacitor model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidArgument`] when the capacitance,
+    /// ESR or leakage resistance is non-positive or non-finite.
+    pub fn new(
+        capacitance: Farads,
+        esr: Ohms,
+        leakage_resistance: Ohms,
+    ) -> Result<Self, CircuitError> {
+        let cell = Capacitor::new(capacitance)?;
+        if !(esr.value() >= 0.0) || !esr.is_finite() {
+            return Err(CircuitError::InvalidArgument("esr must be non-negative and finite"));
+        }
+        if !(leakage_resistance.value() > 0.0) || !leakage_resistance.is_finite() {
+            return Err(CircuitError::InvalidArgument(
+                "leakage resistance must be positive and finite",
+            ));
+        }
+        Ok(Self { cell, esr, leakage_resistance })
+    }
+
+    /// The 47 mF buffer used for the paper's experiments (§IV-A), with
+    /// datasheet-typical ESR and leakage for a small supercap.
+    pub fn paper_buffer() -> Self {
+        Self::new(Farads::from_millifarads(47.0), Ohms::new(0.025), Ohms::new(40_000.0))
+            .expect("preset parameters are valid")
+    }
+
+    /// The capacitance.
+    pub fn capacitance(&self) -> Farads {
+        self.cell.capacitance()
+    }
+
+    /// The equivalent series resistance.
+    pub fn esr(&self) -> Ohms {
+        self.esr
+    }
+
+    /// The parallel leakage resistance.
+    pub fn leakage_resistance(&self) -> Ohms {
+        self.leakage_resistance
+    }
+
+    /// Stored energy at internal voltage `v`.
+    pub fn energy(&self, v: Volts) -> Joules {
+        self.cell.energy(v)
+    }
+
+    /// Parasitic leakage current at internal voltage `v`.
+    pub fn leakage_current(&self, v: Volts) -> Amps {
+        v / self.leakage_resistance
+    }
+
+    /// Continuous self-discharge power at voltage `v`.
+    pub fn leakage_power(&self, v: Volts) -> Watts {
+        v * self.leakage_current(v)
+    }
+
+    /// Voltage slope of the internal node given the externally supplied
+    /// and drawn currents: `dV/dt = (I_in − I_out − V/R_leak)/C`.
+    pub fn dv_dt(&self, v: Volts, i_in: Amps, i_out: Amps) -> f64 {
+        let net = i_in - i_out - self.leakage_current(v);
+        self.cell.dv_dt(v, net)
+    }
+
+    /// Terminal voltage seen by the load: the internal voltage minus the
+    /// ESR drop of the *net* outgoing current.
+    pub fn terminal_voltage(&self, v: Volts, i_in: Amps, i_out: Amps) -> Volts {
+        let net_out = i_out - i_in;
+        v - net_out * self.esr
+    }
+
+    /// Time constant of pure self-discharge (`τ = R_leak · C`).
+    pub fn self_discharge_time_constant(&self) -> Seconds {
+        Seconds::new(self.leakage_resistance.value() * self.cell.capacitance().value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Capacitor::new(Farads::new(0.0)).is_err());
+        assert!(Capacitor::new(Farads::new(-1.0)).is_err());
+        assert!(Supercapacitor::new(Farads::new(0.047), Ohms::new(-0.1), Ohms::new(1e4)).is_err());
+        assert!(Supercapacitor::new(Farads::new(0.047), Ohms::new(0.1), Ohms::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn energy_is_half_c_v_squared() {
+        let c = Capacitor::new(Farads::new(0.047)).unwrap();
+        let e = c.energy(Volts::new(5.3));
+        assert!((e.value() - 0.5 * 0.047 * 5.3 * 5.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_buffer_self_discharge_is_slow() {
+        let sc = Supercapacitor::paper_buffer();
+        // τ = R·C ≈ 1880 s: leakage must be negligible on transition
+        // timescales (tens of milliseconds).
+        assert!(sc.self_discharge_time_constant().value() > 600.0);
+    }
+
+    #[test]
+    fn discharging_lowers_voltage() {
+        let sc = Supercapacitor::paper_buffer();
+        let slope = sc.dv_dt(Volts::new(5.0), Amps::ZERO, Amps::new(0.5));
+        assert!(slope < 0.0);
+        // Discharging 47 mF with 0.5 A: ~10.6 V/s plus leakage.
+        assert!((slope + 0.5 / 0.047).abs() < 0.1);
+    }
+
+    #[test]
+    fn terminal_voltage_sags_under_load() {
+        let sc = Supercapacitor::new(Farads::new(0.047), Ohms::new(0.1), Ohms::new(1e5)).unwrap();
+        let vt = sc.terminal_voltage(Volts::new(5.0), Amps::ZERO, Amps::new(1.0));
+        assert!((vt.value() - 4.9).abs() < 1e-12);
+        // And rises while charging.
+        let vt = sc.terminal_voltage(Volts::new(5.0), Amps::new(1.0), Amps::ZERO);
+        assert!((vt.value() - 5.1).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn energy_monotone_in_voltage(c in 1e-3f64..1.0, v in 0.0f64..10.0, dv in 0.01f64..1.0) {
+            let cap = Capacitor::new(Farads::new(c)).unwrap();
+            prop_assert!(cap.energy(Volts::new(v + dv)) > cap.energy(Volts::new(v)));
+        }
+
+        #[test]
+        fn charge_balance_slope(c in 1e-3f64..1.0, i_in in 0.0f64..2.0, i_out in 0.0f64..2.0) {
+            let sc = Supercapacitor::new(Farads::new(c), Ohms::new(0.02), Ohms::new(1e15)).unwrap();
+            let slope = sc.dv_dt(Volts::new(5.0), Amps::new(i_in), Amps::new(i_out));
+            // With astronomically large leakage resistance the slope is
+            // just (i_in − i_out)/C.
+            prop_assert!((slope - (i_in - i_out) / c).abs() < 1e-6);
+        }
+    }
+}

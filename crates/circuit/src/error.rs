@@ -1,0 +1,78 @@
+//! Error type shared by the numerical routines in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical routines of [`pn-circuit`](crate).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// The Newton iteration failed to converge within the iteration
+    /// budget. Carries the last iterate and residual for diagnostics.
+    SolveDiverged {
+        /// Last iterate value.
+        last: f64,
+        /// Residual `|f(last)|` at the last iterate.
+        residual: f64,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// A root was requested on an interval whose endpoints do not
+    /// bracket a sign change.
+    BracketInvalid {
+        /// Left endpoint.
+        a: f64,
+        /// Right endpoint.
+        b: f64,
+    },
+    /// An argument was outside its physical domain (e.g. a negative
+    /// capacitance or a non-finite voltage).
+    InvalidArgument(&'static str),
+    /// The adaptive step-size controller shrank the step below its
+    /// minimum without meeting the error tolerance.
+    StepSizeUnderflow {
+        /// Time at which integration stalled.
+        t: f64,
+        /// The step size at failure.
+        step: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::SolveDiverged { last, residual, iterations } => write!(
+                f,
+                "newton iteration diverged after {iterations} iterations (last iterate {last}, residual {residual})"
+            ),
+            CircuitError::BracketInvalid { a, b } => {
+                write!(f, "interval [{a}, {b}] does not bracket a sign change")
+            }
+            CircuitError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            CircuitError::StepSizeUnderflow { t, step } => {
+                write!(f, "adaptive step underflow at t = {t} (step {step})")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = CircuitError::InvalidArgument("capacitance must be positive");
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        assert!(msg.starts_with("invalid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

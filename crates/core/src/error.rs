@@ -1,0 +1,43 @@
+//! Error type for governor construction and configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the power-neutral governor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A control parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// A platform description was unusable (e.g. empty frequency table).
+    InvalidPlatform(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter(why) => write!(f, "invalid control parameter: {why}"),
+            CoreError::InvalidPlatform(why) => write!(f, "invalid platform: {why}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CoreError::InvalidParameter("v_q must be positive")
+            .to_string()
+            .contains("v_q"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,79 @@
+//! The power-neutral performance scaling governor — the primary
+//! contribution of *Power Neutral Performance Scaling for Energy
+//! Harvesting MP-SoCs* (Fletcher, Balsamo, Merrett — DATE 2017).
+//!
+//! # The idea
+//!
+//! A directly-coupled energy-harvesting system has no battery to hide
+//! behind: the instantaneous power drawn by the MP-SoC must track the
+//! instantaneous power harvested. The governor watches the voltage
+//! `VC` across a tiny buffer capacitor through two *dynamic* hardware
+//! thresholds `Vhigh`/`Vlow` separated by `Vwidth`:
+//!
+//! * every crossing triggers a **DVFS response** — one step through the
+//!   8-level frequency ladder (linear control, absorbs "micro"
+//!   variability), and
+//! * a **core hot-plug response** driven by the slope estimate
+//!   `dVC/dt ≈ ±Vq/τ` (τ = time since the previous crossing): a `big`
+//!   core is added/removed when the magnitude exceeds `β`, a `LITTLE`
+//!   core when it exceeds `α` (derivative control, absorbs "macro"
+//!   variability);
+//! * afterwards both thresholds shift by `Vq` in the crossing
+//!   direction, so the threshold pair *tracks* the harvest.
+//!
+//! Because consumption continuously matches harvest, `VC` settles at
+//! the harvester's maximum-power-point voltage — the scheme performs
+//! implicit MPPT with no extra hardware.
+//!
+//! # Modules
+//!
+//! * [`params`] — `Vwidth`, `Vq`, `α`, `β` parameter sets (paper
+//!   presets included),
+//! * [`thresholds`] — the dynamic threshold pair (Eq. 1 + tracking),
+//! * [`scaling`] — slope estimation and core-scaling factors
+//!   (Eqs. 2–3),
+//! * [`governor`] — the [`governor::PowerNeutralGovernor`] state
+//!   machine (Fig. 5),
+//! * [`events`] — the [`events::Governor`] trait that the baseline
+//!   Linux governors also implement,
+//! * [`capacitance`] — buffer-capacitor sizing (§IV-A / Table I).
+//!
+//! # Examples
+//!
+//! ```
+//! use pn_core::events::{Governor, GovernorEvent, ThresholdEdge};
+//! use pn_core::governor::PowerNeutralGovernor;
+//! use pn_core::params::ControlParams;
+//! use pn_soc::opp::Opp;
+//! use pn_soc::platform::Platform;
+//! use pn_units::{Seconds, Volts};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::odroid_xu4();
+//! let mut gov = PowerNeutralGovernor::new(ControlParams::paper_optimal()?, &platform)?;
+//! let start = gov.start(Seconds::ZERO, Volts::new(5.3), Opp::lowest());
+//! assert!(start.thresholds.is_some()); // Eq. (1): thresholds straddle VC
+//!
+//! // Harvest drops: VC crosses Vlow 0.5 s later → frequency steps down.
+//! let event = GovernorEvent::ThresholdCrossed {
+//!     edge: ThresholdEdge::Low,
+//!     vc: Volts::new(5.2),
+//!     t: Seconds::new(0.5),
+//! };
+//! let action = gov.on_event(&event, Opp::new(pn_soc::cores::CoreConfig::new(4, 0)?, 3));
+//! let target = action.target_opp.expect("a response is requested");
+//! assert_eq!(target.level(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod capacitance;
+pub mod events;
+pub mod governor;
+pub mod params;
+pub mod scaling;
+pub mod thresholds;
+
+mod error;
+
+pub use error::CoreError;

@@ -1,0 +1,81 @@
+//! The `performance` governor: always the maximum frequency.
+
+use pn_core::events::{Governor, GovernorAction, GovernorEvent};
+use pn_soc::opp::Opp;
+use pn_units::{Seconds, Volts};
+
+/// Pins the highest frequency level unconditionally.
+///
+/// On the paper's PV-powered rig this governor "could not support any
+/// operation" — the board draws ≈7 W against a ≤3.3 W harvest and
+/// browns out within moments.
+///
+/// # Examples
+///
+/// ```
+/// use pn_core::events::Governor;
+/// use pn_governors::Performance;
+/// use pn_soc::opp::Opp;
+/// use pn_units::{Seconds, Volts};
+///
+/// let mut gov = Performance::new();
+/// let action = gov.start(Seconds::ZERO, Volts::new(5.3), Opp::lowest());
+/// assert_eq!(action.target_opp.unwrap().level(), usize::MAX); // resolved by the runtime
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Performance {
+    _private: (),
+}
+
+impl Performance {
+    /// Creates the governor.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Governor for Performance {
+    fn name(&self) -> &str {
+        "performance"
+    }
+
+    fn start(&mut self, _t: Seconds, _vc: Volts, current: Opp) -> GovernorAction {
+        // `usize::MAX` is the conventional "top level" request; the
+        // runtime clamps it to the platform table.
+        GovernorAction { target_opp: Some(current.with_level(usize::MAX)), ..Default::default() }
+    }
+
+    fn on_event(&mut self, _event: &GovernorEvent, current: Opp) -> GovernorAction {
+        GovernorAction { target_opp: Some(current.with_level(usize::MAX)), ..Default::default() }
+    }
+
+    fn tick_period(&self) -> Option<Seconds> {
+        Some(Seconds::new(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_requests_top_level() {
+        let mut g = Performance::new();
+        let action = g.start(Seconds::ZERO, Volts::new(5.0), Opp::lowest());
+        assert_eq!(action.target_opp.unwrap().level(), usize::MAX);
+        let action = g.on_event(
+            &GovernorEvent::Tick { t: Seconds::new(1.0), vc: Volts::new(5.0), load: 0.1 },
+            Opp::lowest(),
+        );
+        assert_eq!(action.target_opp.unwrap().level(), usize::MAX);
+    }
+
+    #[test]
+    fn keeps_core_config_untouched() {
+        use pn_soc::cores::CoreConfig;
+        let mut g = Performance::new();
+        let opp = Opp::new(CoreConfig::new(4, 4).unwrap(), 0);
+        let action = g.start(Seconds::ZERO, Volts::new(5.0), opp);
+        assert_eq!(action.target_opp.unwrap().config(), opp.config());
+    }
+}

@@ -1,0 +1,105 @@
+//! The `userspace` governor: a fixed, user-chosen frequency.
+
+use pn_core::events::{Governor, GovernorAction, GovernorEvent};
+use pn_soc::freq::FrequencyTable;
+use pn_soc::opp::Opp;
+use pn_units::{Hertz, Seconds, Volts};
+
+/// Pins a fixed frequency chosen by the user, resolved against the
+/// platform table with cpufreq `RELATION_L` semantics (lowest level at
+/// or above the request).
+///
+/// # Examples
+///
+/// ```
+/// use pn_governors::Userspace;
+/// use pn_soc::freq::FrequencyTable;
+/// use pn_units::Hertz;
+///
+/// let table = FrequencyTable::paper_levels();
+/// let gov = Userspace::resolved(Hertz::from_gigahertz(1.0), &table);
+/// assert_eq!(gov.level(), 4); // 1.1 GHz is the lowest level ≥ 1.0 GHz
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Userspace {
+    level: usize,
+}
+
+impl Userspace {
+    /// Creates the governor pinned to the median-resolved `target`
+    /// frequency of the paper's table.
+    pub fn new(target: Hertz) -> Self {
+        Self::resolved(target, &FrequencyTable::paper_levels())
+    }
+
+    /// Creates the governor resolving `target` against an explicit
+    /// table.
+    pub fn resolved(target: Hertz, table: &FrequencyTable) -> Self {
+        Self { level: table.resolve_at_least(target) }
+    }
+
+    /// Creates the governor pinned to an explicit level index.
+    pub fn pinned(level: usize) -> Self {
+        Self { level }
+    }
+
+    /// The pinned level.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+}
+
+impl Governor for Userspace {
+    fn name(&self) -> &str {
+        "userspace"
+    }
+
+    fn start(&mut self, _t: Seconds, _vc: Volts, current: Opp) -> GovernorAction {
+        GovernorAction { target_opp: Some(current.with_level(self.level)), ..Default::default() }
+    }
+
+    fn on_event(&mut self, _event: &GovernorEvent, current: Opp) -> GovernorAction {
+        if current.level() == self.level {
+            GovernorAction::none()
+        } else {
+            GovernorAction {
+                target_opp: Some(current.with_level(self.level)),
+                ..Default::default()
+            }
+        }
+    }
+
+    fn tick_period(&self) -> Option<Seconds> {
+        Some(Seconds::new(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_uses_relation_l() {
+        let table = FrequencyTable::paper_levels();
+        assert_eq!(Userspace::resolved(Hertz::from_gigahertz(0.2), &table).level(), 0);
+        assert_eq!(Userspace::resolved(Hertz::from_gigahertz(0.5), &table).level(), 2);
+        assert_eq!(Userspace::resolved(Hertz::from_gigahertz(2.0), &table).level(), 7);
+    }
+
+    #[test]
+    fn start_requests_pinned_level() {
+        let mut g = Userspace::pinned(3);
+        let action = g.start(Seconds::ZERO, Volts::new(5.0), Opp::lowest());
+        assert_eq!(action.target_opp.unwrap().level(), 3);
+    }
+
+    #[test]
+    fn steady_state_is_a_no_op() {
+        let mut g = Userspace::pinned(0);
+        let action = g.on_event(
+            &GovernorEvent::Tick { t: Seconds::new(1.0), vc: Volts::new(5.0), load: 1.0 },
+            Opp::lowest(),
+        );
+        assert!(action.is_none());
+    }
+}

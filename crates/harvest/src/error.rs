@@ -1,0 +1,44 @@
+//! Error type for environment-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building irradiance traces or estimators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HarvestError {
+    /// A trace was constructed with unsorted or empty samples.
+    InvalidTrace(&'static str),
+    /// A model parameter was out of its domain.
+    InvalidParameter(&'static str),
+    /// An estimator calibration table was unusable.
+    InvalidCalibration(&'static str),
+}
+
+impl fmt::Display for HarvestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarvestError::InvalidTrace(why) => write!(f, "invalid irradiance trace: {why}"),
+            HarvestError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+            HarvestError::InvalidCalibration(why) => write!(f, "invalid calibration: {why}"),
+        }
+    }
+}
+
+impl Error for HarvestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert!(HarvestError::InvalidTrace("empty").to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<HarvestError>();
+    }
+}

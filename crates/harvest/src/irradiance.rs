@@ -1,0 +1,280 @@
+//! Sampled irradiance traces.
+
+use crate::HarvestError;
+use pn_units::{Seconds, WattsPerSquareMeter};
+
+/// A time-sampled irradiance signal with linear interpolation between
+/// samples and clamping outside the sampled span.
+///
+/// # Examples
+///
+/// ```
+/// use pn_harvest::irradiance::IrradianceTrace;
+/// use pn_units::{Seconds, WattsPerSquareMeter};
+///
+/// # fn main() -> Result<(), pn_harvest::HarvestError> {
+/// let trace = IrradianceTrace::new(vec![
+///     (Seconds::new(0.0), WattsPerSquareMeter::new(0.0)),
+///     (Seconds::new(10.0), WattsPerSquareMeter::new(1000.0)),
+/// ])?;
+/// assert_eq!(trace.sample(Seconds::new(5.0)).value(), 500.0);
+/// assert_eq!(trace.sample(Seconds::new(99.0)).value(), 1000.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrradianceTrace {
+    samples: Vec<(Seconds, WattsPerSquareMeter)>,
+}
+
+impl IrradianceTrace {
+    /// Creates a trace from samples sorted by strictly increasing time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvestError::InvalidTrace`] for an empty, unsorted or
+    /// non-finite sample list.
+    pub fn new(samples: Vec<(Seconds, WattsPerSquareMeter)>) -> Result<Self, HarvestError> {
+        if samples.is_empty() {
+            return Err(HarvestError::InvalidTrace("trace is empty"));
+        }
+        if samples.iter().any(|(t, g)| !t.is_finite() || !g.is_finite() || g.value() < 0.0) {
+            return Err(HarvestError::InvalidTrace("samples must be finite and non-negative"));
+        }
+        if samples.windows(2).any(|w| w[1].0 <= w[0].0) {
+            return Err(HarvestError::InvalidTrace("sample times must strictly increase"));
+        }
+        Ok(Self { samples })
+    }
+
+    /// Builds a trace by sampling `f` every `dt` over `[t0, t1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvestError::InvalidParameter`] when `dt` is not
+    /// positive or the span is empty, and propagates trace validation.
+    pub fn from_fn(
+        t0: Seconds,
+        t1: Seconds,
+        dt: Seconds,
+        mut f: impl FnMut(Seconds) -> WattsPerSquareMeter,
+    ) -> Result<Self, HarvestError> {
+        if !(dt.value() > 0.0) {
+            return Err(HarvestError::InvalidParameter("dt must be positive"));
+        }
+        if t1 <= t0 {
+            return Err(HarvestError::InvalidParameter("empty time span"));
+        }
+        let n = ((t1 - t0).value() / dt.value()).ceil() as usize;
+        let mut samples = Vec::with_capacity(n + 1);
+        for k in 0..=n {
+            let t = (t0 + dt * k as f64).min(t1);
+            samples.push((t, f(t)));
+            if t >= t1 {
+                break;
+            }
+        }
+        Self::new(samples)
+    }
+
+    /// A constant-irradiance trace over `[t0, t1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvestError::InvalidParameter`] for an empty span.
+    pub fn constant(
+        t0: Seconds,
+        t1: Seconds,
+        g: WattsPerSquareMeter,
+    ) -> Result<Self, HarvestError> {
+        if t1 <= t0 {
+            return Err(HarvestError::InvalidParameter("empty time span"));
+        }
+        Self::new(vec![(t0, g), (t1, g)])
+    }
+
+    /// Irradiance at time `t` (linear interpolation, clamped to the
+    /// first/last sample outside the span).
+    pub fn sample(&self, t: Seconds) -> WattsPerSquareMeter {
+        let s = &self.samples;
+        if t <= s[0].0 {
+            return s[0].1;
+        }
+        if t >= s[s.len() - 1].0 {
+            return s[s.len() - 1].1;
+        }
+        // Binary search for the surrounding pair.
+        let idx = s.partition_point(|(ts, _)| *ts <= t);
+        let (t0, g0) = s[idx - 1];
+        let (t1, g1) = s[idx];
+        let alpha = (t - t0) / (t1 - t0);
+        g0 + (g1 - g0) * alpha
+    }
+
+    /// First sample time.
+    pub fn start(&self) -> Seconds {
+        self.samples[0].0
+    }
+
+    /// Last sample time.
+    pub fn end(&self) -> Seconds {
+        self.samples[self.samples.len() - 1].0
+    }
+
+    /// Duration covered by the trace.
+    pub fn duration(&self) -> Seconds {
+        self.end() - self.start()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the trace has no samples (impossible after
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over `(time, irradiance)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (Seconds, WattsPerSquareMeter)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Peak irradiance over the trace.
+    pub fn peak(&self) -> WattsPerSquareMeter {
+        self.samples.iter().map(|(_, g)| *g).fold(WattsPerSquareMeter::ZERO, |a, b| a.max(b))
+    }
+
+    /// Mean irradiance (trapezoidal, time-weighted).
+    pub fn mean(&self) -> WattsPerSquareMeter {
+        if self.samples.len() < 2 {
+            return self.samples[0].1;
+        }
+        let mut area = 0.0;
+        for w in self.samples.windows(2) {
+            let dt = (w[1].0 - w[0].0).value();
+            area += 0.5 * (w[0].1.value() + w[1].1.value()) * dt;
+        }
+        WattsPerSquareMeter::new(area / self.duration().value())
+    }
+
+    /// Returns a copy scaled by `factor` (e.g. unit conversion or
+    /// panel-degradation studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0 && factor.is_finite(), "scale factor must be non-negative");
+        Self { samples: self.samples.iter().map(|(t, g)| (*t, *g * factor)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simple() -> IrradianceTrace {
+        IrradianceTrace::new(vec![
+            (Seconds::new(0.0), WattsPerSquareMeter::new(100.0)),
+            (Seconds::new(10.0), WattsPerSquareMeter::new(300.0)),
+            (Seconds::new(20.0), WattsPerSquareMeter::new(200.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_traces() {
+        assert!(IrradianceTrace::new(vec![]).is_err());
+        assert!(IrradianceTrace::new(vec![
+            (Seconds::new(1.0), WattsPerSquareMeter::new(1.0)),
+            (Seconds::new(1.0), WattsPerSquareMeter::new(2.0)),
+        ])
+        .is_err());
+        assert!(IrradianceTrace::new(vec![(
+            Seconds::new(0.0),
+            WattsPerSquareMeter::new(-5.0)
+        )])
+        .is_err());
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let t = simple();
+        assert_eq!(t.sample(Seconds::new(-5.0)).value(), 100.0);
+        assert_eq!(t.sample(Seconds::new(5.0)).value(), 200.0);
+        assert_eq!(t.sample(Seconds::new(15.0)).value(), 250.0);
+        assert_eq!(t.sample(Seconds::new(25.0)).value(), 200.0);
+    }
+
+    #[test]
+    fn stats() {
+        let t = simple();
+        assert_eq!(t.peak().value(), 300.0);
+        assert_eq!(t.duration().value(), 20.0);
+        // Trapezoids: (100+300)/2*10 + (300+200)/2*10 = 2000 + 2500 = 4500 over 20 s.
+        assert!((t.mean().value() - 225.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_fn_covers_span_inclusive() {
+        let t = IrradianceTrace::from_fn(
+            Seconds::new(0.0),
+            Seconds::new(1.0),
+            Seconds::new(0.3),
+            |t| WattsPerSquareMeter::new(t.value() * 100.0),
+        )
+        .unwrap();
+        assert_eq!(t.start().value(), 0.0);
+        assert_eq!(t.end().value(), 1.0);
+        assert!((t.sample(Seconds::new(1.0)).value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = IrradianceTrace::constant(
+            Seconds::new(0.0),
+            Seconds::new(5.0),
+            WattsPerSquareMeter::new(42.0),
+        )
+        .unwrap();
+        assert_eq!(t.sample(Seconds::new(2.5)).value(), 42.0);
+        assert!(IrradianceTrace::constant(
+            Seconds::new(5.0),
+            Seconds::new(5.0),
+            WattsPerSquareMeter::ZERO
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scaling() {
+        let t = simple().scaled(0.5);
+        assert_eq!(t.peak().value(), 150.0);
+    }
+
+    proptest! {
+        #[test]
+        fn sample_is_within_trace_bounds(query in -10.0f64..40.0) {
+            let t = simple();
+            let g = t.sample(Seconds::new(query)).value();
+            prop_assert!((100.0..=300.0).contains(&g));
+        }
+
+        #[test]
+        fn mean_between_min_and_max(a in 0.0f64..500.0, b in 0.0f64..500.0, c in 0.0f64..500.0) {
+            let t = IrradianceTrace::new(vec![
+                (Seconds::new(0.0), WattsPerSquareMeter::new(a)),
+                (Seconds::new(1.0), WattsPerSquareMeter::new(b)),
+                (Seconds::new(2.0), WattsPerSquareMeter::new(c)),
+            ]).unwrap();
+            let lo = a.min(b).min(c);
+            let hi = a.max(b).max(c);
+            let m = t.mean().value();
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+}

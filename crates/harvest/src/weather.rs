@@ -1,0 +1,228 @@
+//! Weather presets and the day-profile builder.
+//!
+//! §V-B of the paper reports "testing was performed for over 20 hours
+//! in a variety of weather conditions (full-sun, partial-sun, cloud,
+//! and hail)". [`Weather`] captures those four conditions as cloud-field
+//! parameterisations over the clear-sky envelope, and [`DayProfile`]
+//! renders a complete, seeded irradiance trace for a day.
+
+use crate::clearsky::ClearSky;
+use crate::clouds::{CloudField, CloudParams};
+use crate::irradiance::IrradianceTrace;
+use crate::HarvestError;
+use pn_units::Seconds;
+use std::fmt;
+
+/// The four weather conditions the paper tested under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weather {
+    /// Clear day with only occasional shallow clouds.
+    FullSun,
+    /// Broken cloud: frequent, fairly deep occlusions.
+    PartialSun,
+    /// Persistent overcast with embedded deeper cells.
+    Cloudy,
+    /// Storm/hail: heavy attenuation with violent bursts.
+    Hail,
+}
+
+impl Weather {
+    /// All four conditions.
+    pub fn all() -> [Weather; 4] {
+        [Weather::FullSun, Weather::PartialSun, Weather::Cloudy, Weather::Hail]
+    }
+
+    /// Cloud-field parameters characterising this condition.
+    pub fn cloud_params(&self) -> CloudParams {
+        match self {
+            Weather::FullSun => CloudParams {
+                events_per_hour: 2.5,
+                mean_duration: Seconds::new(40.0),
+                depth_range: (0.04, 0.12),
+                ramp: Seconds::new(4.0),
+                overcast_transmittance: 1.0,
+            },
+            Weather::PartialSun => CloudParams {
+                events_per_hour: 18.0,
+                mean_duration: Seconds::new(90.0),
+                depth_range: (0.25, 0.80),
+                ramp: Seconds::new(5.0),
+                overcast_transmittance: 0.95,
+            },
+            Weather::Cloudy => CloudParams {
+                events_per_hour: 10.0,
+                mean_duration: Seconds::new(240.0),
+                depth_range: (0.30, 0.70),
+                ramp: Seconds::new(8.0),
+                overcast_transmittance: 0.40,
+            },
+            Weather::Hail => CloudParams {
+                events_per_hour: 30.0,
+                mean_duration: Seconds::new(120.0),
+                depth_range: (0.50, 0.95),
+                ramp: Seconds::new(2.0),
+                overcast_transmittance: 0.30,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Weather {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Weather::FullSun => write!(f, "full sun"),
+            Weather::PartialSun => write!(f, "partial sun"),
+            Weather::Cloudy => write!(f, "cloud"),
+            Weather::Hail => write!(f, "hail"),
+        }
+    }
+}
+
+/// Builder for a seeded, full-day irradiance trace.
+///
+/// # Examples
+///
+/// ```
+/// use pn_harvest::weather::{DayProfile, Weather};
+/// use pn_units::Seconds;
+///
+/// # fn main() -> Result<(), pn_harvest::HarvestError> {
+/// let trace = DayProfile::new(Weather::PartialSun, 1)
+///     .with_span(Seconds::from_hours(10.0), Seconds::from_hours(17.0))
+///     .build(Seconds::new(30.0))?;
+/// assert!(trace.peak().value() > 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DayProfile {
+    weather: Weather,
+    seed: u64,
+    sky: Option<ClearSky>,
+    start: Seconds,
+    end: Seconds,
+}
+
+impl DayProfile {
+    /// Starts a profile for the given weather and RNG seed, covering
+    /// the whole 24-hour day under the temperate clear-sky preset.
+    pub fn new(weather: Weather, seed: u64) -> Self {
+        Self {
+            weather,
+            seed,
+            sky: None,
+            start: Seconds::ZERO,
+            end: Seconds::from_hours(24.0),
+        }
+    }
+
+    /// Overrides the clear-sky envelope.
+    pub fn with_sky(mut self, sky: ClearSky) -> Self {
+        self.sky = Some(sky);
+        self
+    }
+
+    /// Restricts the rendered span (e.g. the paper's 10:30–16:30 test
+    /// window in Fig. 12).
+    pub fn with_span(mut self, start: Seconds, end: Seconds) -> Self {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Renders the trace, sampling every `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvestError::InvalidParameter`] for an empty span or
+    /// non-positive `dt`.
+    pub fn build(&self, dt: Seconds) -> Result<IrradianceTrace, HarvestError> {
+        let sky = match self.sky {
+            Some(s) => s,
+            None => ClearSky::temperate_day()?,
+        };
+        let clouds =
+            CloudField::generate(self.weather.cloud_params(), self.start, self.end, self.seed)?;
+        IrradianceTrace::from_fn(self.start, self.end, dt, |t| {
+            sky.irradiance(t) * clouds.transmittance(t)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_over_daylight(w: Weather, seed: u64) -> f64 {
+        DayProfile::new(w, seed)
+            .with_span(Seconds::from_hours(9.0), Seconds::from_hours(17.0))
+            .build(Seconds::new(20.0))
+            .unwrap()
+            .mean()
+            .value()
+    }
+
+    #[test]
+    fn weather_ordering_full_sun_brightest() {
+        // Averaged across seeds, harsher weather harvests less.
+        let avg = |w: Weather| (0..5).map(|s| mean_over_daylight(w, s)).sum::<f64>() / 5.0;
+        let full = avg(Weather::FullSun);
+        let partial = avg(Weather::PartialSun);
+        let cloudy = avg(Weather::Cloudy);
+        let hail = avg(Weather::Hail);
+        assert!(full > partial, "full {full} vs partial {partial}");
+        assert!(partial > cloudy, "partial {partial} vs cloudy {cloudy}");
+        assert!(cloudy > hail, "cloudy {cloudy} vs hail {hail}");
+    }
+
+    #[test]
+    fn full_sun_day_shows_micro_variability() {
+        let trace = DayProfile::new(Weather::FullSun, 3)
+            .with_span(Seconds::from_hours(11.0), Seconds::from_hours(15.0))
+            .build(Seconds::new(10.0))
+            .unwrap();
+        // Peak near the clear-sky level...
+        assert!(trace.peak().value() > 900.0);
+        // ...but not perfectly flat: some dip exists.
+        let min = trace.iter().map(|(_, g)| g.value()).fold(f64::INFINITY, f64::min);
+        assert!(min < trace.peak().value() * 0.999);
+    }
+
+    #[test]
+    fn night_is_dark_in_every_weather() {
+        for w in Weather::all() {
+            let trace = DayProfile::new(w, 9)
+                .with_span(Seconds::ZERO, Seconds::from_hours(4.0))
+                .build(Seconds::new(60.0))
+                .unwrap();
+            assert_eq!(trace.peak().value(), 0.0, "{w} night not dark");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DayProfile::new(Weather::Hail, 77).build(Seconds::new(60.0)).unwrap();
+        let b = DayProfile::new(Weather::Hail, 77).build(Seconds::new(60.0)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Weather::FullSun.to_string(), "full sun");
+        assert_eq!(Weather::Hail.to_string(), "hail");
+    }
+
+    #[test]
+    fn custom_sky_is_honoured() {
+        let weak = ClearSky::paper_test_day().unwrap();
+        let trace = DayProfile::new(Weather::FullSun, 1)
+            .with_sky(weak)
+            .with_span(Seconds::from_hours(12.0), Seconds::from_hours(14.0))
+            .build(Seconds::new(30.0))
+            .unwrap();
+        // The paper-test-day sky is clearly weaker than the 1000 W/m²
+        // temperate default.
+        assert!(trace.peak().value() < 700.0);
+        assert!(trace.peak() <= weak.peak());
+    }
+}

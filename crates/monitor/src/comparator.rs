@@ -1,0 +1,173 @@
+//! The LT6703 comparator stage.
+//!
+//! The LT6703 is a micropower comparator with a built-in 400 mV
+//! reference. It compares the divided/trimmed supply voltage against
+//! that reference and its output (after the MOSFET level shifter of
+//! Fig. 9) is the interrupt line seen by the SoC. The model is
+//! stateful: built-in hysteresis means an edge only fires after the
+//! input has genuinely crossed out of the dead band, which suppresses
+//! chatter when `VC` hovers at a threshold.
+
+use crate::MonitorError;
+use pn_units::{Seconds, Volts};
+
+/// The LT6703's internal reference voltage.
+pub const LT6703_REFERENCE: Volts = Volts::new(0.400);
+
+/// Output edge produced by a comparator state update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComparatorEdge {
+    /// Output switched low → high (input rose above ref + hysteresis).
+    Rising,
+    /// Output switched high → low (input fell below ref − hysteresis).
+    Falling,
+}
+
+/// A hysteretic comparator against a fixed reference.
+///
+/// # Examples
+///
+/// ```
+/// use pn_monitor::comparator::{Comparator, ComparatorEdge};
+/// use pn_units::Volts;
+///
+/// # fn main() -> Result<(), pn_monitor::MonitorError> {
+/// let mut cmp = Comparator::lt6703()?;
+/// assert_eq!(cmp.update(Volts::new(0.39)), None);          // below ref
+/// assert_eq!(cmp.update(Volts::new(0.41)), Some(ComparatorEdge::Rising));
+/// assert_eq!(cmp.update(Volts::new(0.4005)), None);        // inside dead band
+/// assert_eq!(cmp.update(Volts::new(0.39)), Some(ComparatorEdge::Falling));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparator {
+    reference: Volts,
+    hysteresis: Volts,
+    propagation_delay: Seconds,
+    output_high: bool,
+}
+
+impl Comparator {
+    /// Creates a comparator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidParameter`] for a non-positive
+    /// reference or negative hysteresis/delay.
+    pub fn new(
+        reference: Volts,
+        hysteresis: Volts,
+        propagation_delay: Seconds,
+    ) -> Result<Self, MonitorError> {
+        if !(reference.value() > 0.0) {
+            return Err(MonitorError::InvalidParameter("reference must be positive"));
+        }
+        if hysteresis.value() < 0.0 || propagation_delay.value() < 0.0 {
+            return Err(MonitorError::InvalidParameter(
+                "hysteresis and delay must be non-negative",
+            ));
+        }
+        Ok(Self { reference, hysteresis, propagation_delay, output_high: false })
+    }
+
+    /// The LT6703 with datasheet-typical 2 mV input hysteresis and a
+    /// 20 µs propagation delay (micropower part).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the preset constants.
+    pub fn lt6703() -> Result<Self, MonitorError> {
+        Self::new(LT6703_REFERENCE, Volts::from_millivolts(2.0), Seconds::new(20e-6))
+    }
+
+    /// The reference voltage.
+    pub fn reference(&self) -> Volts {
+        self.reference
+    }
+
+    /// The input-referred hysteresis (full band is ±hysteresis/2 around
+    /// the reference).
+    pub fn hysteresis(&self) -> Volts {
+        self.hysteresis
+    }
+
+    /// The propagation delay from input crossing to output edge.
+    pub fn propagation_delay(&self) -> Seconds {
+        self.propagation_delay
+    }
+
+    /// Current output state.
+    pub fn is_output_high(&self) -> bool {
+        self.output_high
+    }
+
+    /// Feeds a new input sample; returns the output edge, if any.
+    pub fn update(&mut self, input: Volts) -> Option<ComparatorEdge> {
+        let half_band = self.hysteresis * 0.5;
+        if !self.output_high && input > self.reference + half_band {
+            self.output_high = true;
+            return Some(ComparatorEdge::Rising);
+        }
+        if self.output_high && input < self.reference - half_band {
+            self.output_high = false;
+            return Some(ComparatorEdge::Falling);
+        }
+        None
+    }
+
+    /// Resets the output state (e.g. at power-on) given an initial
+    /// input level.
+    pub fn reset(&mut self, input: Volts) {
+        self.output_high = input > self.reference;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hysteresis_suppresses_chatter() {
+        let mut cmp = Comparator::lt6703().unwrap();
+        assert_eq!(cmp.update(Volts::new(0.4011)), Some(ComparatorEdge::Rising));
+        // Tiny wobbles inside the band produce nothing.
+        for v in [0.4002, 0.3995, 0.4003, 0.3991] {
+            assert_eq!(cmp.update(Volts::new(v)), None, "chatter at {v}");
+        }
+        assert_eq!(cmp.update(Volts::new(0.3985)), Some(ComparatorEdge::Falling));
+    }
+
+    #[test]
+    fn reset_tracks_input_level() {
+        let mut cmp = Comparator::lt6703().unwrap();
+        cmp.reset(Volts::new(0.5));
+        assert!(cmp.is_output_high());
+        // No rising edge when already high.
+        assert_eq!(cmp.update(Volts::new(0.6)), None);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Comparator::new(Volts::ZERO, Volts::ZERO, Seconds::ZERO).is_err());
+        assert!(Comparator::new(Volts::new(0.4), Volts::new(-0.1), Seconds::ZERO).is_err());
+        assert!(Comparator::new(Volts::new(0.4), Volts::ZERO, Seconds::new(-1.0)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn edges_alternate(levels in proptest::collection::vec(0.2f64..0.6, 1..100)) {
+            let mut cmp = Comparator::lt6703().unwrap();
+            let mut last = None;
+            for v in levels {
+                if let Some(edge) = cmp.update(Volts::new(v)) {
+                    if let Some(prev) = last {
+                        prop_assert_ne!(edge, prev, "two consecutive identical edges");
+                    }
+                    last = Some(edge);
+                }
+            }
+        }
+    }
+}

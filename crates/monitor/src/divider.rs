@@ -1,0 +1,103 @@
+//! Resistive divider stage.
+
+use crate::MonitorError;
+use pn_units::{Ohms, Volts};
+
+/// An ideal two-resistor divider tapping `r_low / (r_high + r_low)` of
+/// its input.
+///
+/// # Examples
+///
+/// ```
+/// use pn_monitor::divider::Divider;
+/// use pn_units::{Ohms, Volts};
+///
+/// # fn main() -> Result<(), pn_monitor::MonitorError> {
+/// // The paper's 470 kΩ / 100 kΩ front divider.
+/// let div = Divider::new(Ohms::new(470e3), Ohms::new(100e3))?;
+/// let out = div.output(Volts::new(5.7));
+/// assert!((out.value() - 1.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Divider {
+    r_high: Ohms,
+    r_low: Ohms,
+}
+
+impl Divider {
+    /// Creates a divider from the top and bottom resistors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidParameter`] for non-positive
+    /// resistances.
+    pub fn new(r_high: Ohms, r_low: Ohms) -> Result<Self, MonitorError> {
+        if !(r_high.value() > 0.0) || !(r_low.value() > 0.0) {
+            return Err(MonitorError::InvalidParameter("divider resistors must be positive"));
+        }
+        Ok(Self { r_high, r_low })
+    }
+
+    /// The paper's front divider: 470 kΩ over 100 kΩ.
+    pub fn paper_front_divider() -> Self {
+        Self::new(Ohms::new(470e3), Ohms::new(100e3)).expect("preset resistors are valid")
+    }
+
+    /// The division ratio `r_low / (r_high + r_low)`.
+    pub fn ratio(&self) -> f64 {
+        self.r_low.value() / (self.r_high.value() + self.r_low.value())
+    }
+
+    /// Output voltage for a given input.
+    pub fn output(&self, input: Volts) -> Volts {
+        input * self.ratio()
+    }
+
+    /// Quiescent current drawn from the monitored rail.
+    pub fn quiescent_current(&self, input: Volts) -> pn_units::Amps {
+        input / (self.r_high + self.r_low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_ratio() {
+        let d = Divider::paper_front_divider();
+        assert!((d.ratio() - 100.0 / 570.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_nonpositive_resistors() {
+        assert!(Divider::new(Ohms::new(0.0), Ohms::new(1.0)).is_err());
+        assert!(Divider::new(Ohms::new(1.0), Ohms::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn quiescent_current_is_microamps() {
+        let d = Divider::paper_front_divider();
+        let i = d.quiescent_current(Volts::new(5.7));
+        assert!(i.value() < 15e-6, "divider burns too much: {i}");
+    }
+
+    proptest! {
+        #[test]
+        fn output_proportional_to_input(v in 0.0f64..10.0, k in 0.5f64..3.0) {
+            let d = Divider::paper_front_divider();
+            let a = d.output(Volts::new(v)).value();
+            let b = d.output(Volts::new(v * k)).value();
+            prop_assert!((b - a * k).abs() < 1e-9);
+        }
+
+        #[test]
+        fn ratio_is_in_unit_interval(rh in 1.0f64..1e7, rl in 1.0f64..1e7) {
+            let d = Divider::new(Ohms::new(rh), Ohms::new(rl)).unwrap();
+            prop_assert!(d.ratio() > 0.0 && d.ratio() < 1.0);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the monitoring-hardware model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the voltage-monitor model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MonitorError {
+    /// A component parameter was out of its physical domain.
+    InvalidParameter(&'static str),
+    /// A requested threshold voltage cannot be realised by the divider
+    /// and potentiometer range.
+    ThresholdOutOfRange {
+        /// The requested threshold.
+        requested: f64,
+        /// Lowest achievable threshold.
+        min: f64,
+        /// Highest achievable threshold.
+        max: f64,
+    },
+    /// Threshold ordering violated (`low` must stay below `high`).
+    ThresholdsInverted {
+        /// Requested high threshold.
+        high: f64,
+        /// Requested low threshold.
+        low: f64,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+            MonitorError::ThresholdOutOfRange { requested, min, max } => {
+                write!(f, "threshold {requested} V outside achievable range [{min}, {max}] V")
+            }
+            MonitorError::ThresholdsInverted { high, low } => {
+                write!(f, "thresholds inverted: high {high} V not above low {low} V")
+            }
+        }
+    }
+}
+
+impl Error for MonitorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = MonitorError::ThresholdOutOfRange { requested: 9.0, min: 4.0, max: 6.0 };
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<MonitorError>();
+    }
+}

@@ -1,0 +1,192 @@
+//! The dual-channel voltage monitor.
+//!
+//! Two [`ThresholdChannel`]s — one for `Vhigh`, one for `Vlow` — plus
+//! the interrupt-latency budget and the measured 1.61 mW power draw of
+//! the external board (§V-D of the paper).
+
+use crate::threshold::ThresholdChannel;
+use crate::MonitorError;
+use pn_units::{Seconds, Volts, Watts};
+
+/// Which threshold channel produced an interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThresholdKind {
+    /// The upper (`Vhigh`) threshold.
+    High,
+    /// The lower (`Vlow`) threshold.
+    Low,
+}
+
+/// The complete external monitoring board of Fig. 9.
+///
+/// # Examples
+///
+/// ```
+/// use pn_monitor::monitor::{ThresholdKind, VoltageMonitor};
+/// use pn_units::Volts;
+///
+/// # fn main() -> Result<(), pn_monitor::MonitorError> {
+/// let mut mon = VoltageMonitor::paper_board()?;
+/// mon.set_thresholds(Volts::new(5.4), Volts::new(5.2))?;
+/// assert!(mon.effective_threshold(ThresholdKind::High)
+///     > mon.effective_threshold(ThresholdKind::Low));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageMonitor {
+    high: ThresholdChannel,
+    low: ThresholdChannel,
+    interrupt_latency: Seconds,
+    power: Watts,
+}
+
+impl VoltageMonitor {
+    /// Builds the board from two channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidParameter`] for negative latency
+    /// or power figures.
+    pub fn new(
+        high: ThresholdChannel,
+        low: ThresholdChannel,
+        interrupt_latency: Seconds,
+        power: Watts,
+    ) -> Result<Self, MonitorError> {
+        if interrupt_latency.value() < 0.0 || power.value() < 0.0 {
+            return Err(MonitorError::InvalidParameter(
+                "latency and power must be non-negative",
+            ));
+        }
+        Ok(Self { high, low, interrupt_latency, power })
+    }
+
+    /// The paper's board: two Fig. 9 channels, a 50 µs SoC
+    /// interrupt-entry latency and the measured 1.61 mW draw.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the preset constants.
+    pub fn paper_board() -> Result<Self, MonitorError> {
+        Ok(Self::new(
+            ThresholdChannel::paper_channel()?,
+            ThresholdChannel::paper_channel()?,
+            Seconds::new(50e-6),
+            Watts::from_milliwatts(1.61),
+        )?)
+    }
+
+    /// Programs both thresholds (quantised); returns the achieved pair
+    /// `(high, low)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MonitorError::ThresholdsInverted`] when `high <= low`,
+    /// * [`MonitorError::ThresholdOutOfRange`] is avoided by clamping —
+    ///   the channels clamp out-of-range requests to their achievable
+    ///   grid, which is what the real firmware must do when `VC` drifts
+    ///   toward the rails.
+    pub fn set_thresholds(
+        &mut self,
+        high: Volts,
+        low: Volts,
+    ) -> Result<(Volts, Volts), MonitorError> {
+        if high <= low {
+            return Err(MonitorError::ThresholdsInverted {
+                high: high.value(),
+                low: low.value(),
+            });
+        }
+        let achieved_high = self.high.set_threshold_clamped(high);
+        let achieved_low = self.low.set_threshold_clamped(low);
+        Ok((achieved_high, achieved_low))
+    }
+
+    /// The threshold a channel currently realises.
+    pub fn effective_threshold(&self, kind: ThresholdKind) -> Volts {
+        match kind {
+            ThresholdKind::High => self.high.effective_threshold(),
+            ThresholdKind::Low => self.low.effective_threshold(),
+        }
+    }
+
+    /// Both effective thresholds as `(high, low)`.
+    pub fn effective_thresholds(&self) -> (Volts, Volts) {
+        (self.high.effective_threshold(), self.low.effective_threshold())
+    }
+
+    /// Access to a channel.
+    pub fn channel(&self, kind: ThresholdKind) -> &ThresholdChannel {
+        match kind {
+            ThresholdKind::High => &self.high,
+            ThresholdKind::Low => &self.low,
+        }
+    }
+
+    /// Total delay from a physical crossing to the governor's handler
+    /// running: comparator propagation plus SoC interrupt entry.
+    pub fn total_interrupt_latency(&self, kind: ThresholdKind) -> Seconds {
+        self.channel(kind).comparator().propagation_delay() + self.interrupt_latency
+    }
+
+    /// Latency to reprogram both thresholds over SPI.
+    pub fn reprogram_latency(&self) -> Seconds {
+        self.high.reprogram_latency() + self.low.reprogram_latency()
+    }
+
+    /// Continuous power drawn by the monitoring board (1.61 mW in the
+    /// paper).
+    pub fn power(&self) -> Watts {
+        self.power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_board_power_matches_section_v_d() {
+        let mon = VoltageMonitor::paper_board().unwrap();
+        assert!((mon.power().to_milliwatts() - 1.61).abs() < 1e-9);
+        // The paper notes this is below 0.82 % of the minimum system
+        // power (≈1.8 W at the lowest OPP).
+        assert!(mon.power().value() / 1.8 < 0.0082);
+    }
+
+    #[test]
+    fn thresholds_keep_ordering() {
+        let mut mon = VoltageMonitor::paper_board().unwrap();
+        let (h, l) = mon.set_thresholds(Volts::new(5.45), Volts::new(5.15)).unwrap();
+        assert!(h > l);
+        assert!(matches!(
+            mon.set_thresholds(Volts::new(5.0), Volts::new(5.2)),
+            Err(MonitorError::ThresholdsInverted { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_requests_clamp_to_grid() {
+        let mut mon = VoltageMonitor::paper_board().unwrap();
+        let (h, l) = mon.set_thresholds(Volts::new(9.0), Volts::new(1.0)).unwrap();
+        assert!(h.value() < 6.2);
+        assert!(l.value() > 3.9);
+        assert!(h > l);
+    }
+
+    #[test]
+    fn interrupt_latency_is_sub_millisecond() {
+        let mon = VoltageMonitor::paper_board().unwrap();
+        for kind in [ThresholdKind::High, ThresholdKind::Low] {
+            let lat = mon.total_interrupt_latency(kind).value();
+            assert!(lat > 0.0 && lat < 1e-3, "latency {lat}");
+        }
+    }
+
+    #[test]
+    fn reprogramming_is_fast() {
+        let mon = VoltageMonitor::paper_board().unwrap();
+        assert!(mon.reprogram_latency().value() < 1e-3);
+    }
+}

@@ -1,0 +1,157 @@
+//! The MCP4131 SPI digital potentiometer.
+//!
+//! The MCP4131 has 129 wiper positions (tap 0 … 128). The processor
+//! writes the wiper register over SPI — a 16-bit transaction — which is
+//! the mechanism by which the paper's governor *moves* a voltage
+//! threshold after every crossing.
+
+use crate::MonitorError;
+use pn_units::{Ohms, Seconds};
+
+/// Number of wiper positions of the MCP4131 (7-bit + full-scale).
+pub const MCP4131_TAPS: u16 = 129;
+
+/// An MCP4131 digital potentiometer.
+///
+/// # Examples
+///
+/// ```
+/// use pn_monitor::potentiometer::Mcp4131;
+///
+/// # fn main() -> Result<(), pn_monitor::MonitorError> {
+/// let mut pot = Mcp4131::new_100k()?;
+/// pot.set_tap(64)?;
+/// assert!((pot.wiper_fraction() - 0.5).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mcp4131 {
+    full_scale: Ohms,
+    wiper_resistance: Ohms,
+    spi_clock_hz: f64,
+    tap: u16,
+}
+
+impl Mcp4131 {
+    /// Creates a potentiometer with the given end-to-end resistance and
+    /// SPI clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidParameter`] for non-positive
+    /// resistance or clock.
+    pub fn new(full_scale: Ohms, spi_clock_hz: f64) -> Result<Self, MonitorError> {
+        if !(full_scale.value() > 0.0) {
+            return Err(MonitorError::InvalidParameter("full-scale resistance must be positive"));
+        }
+        if !(spi_clock_hz > 0.0) {
+            return Err(MonitorError::InvalidParameter("spi clock must be positive"));
+        }
+        Ok(Self {
+            full_scale,
+            wiper_resistance: Ohms::new(75.0), // datasheet typical
+            spi_clock_hz,
+            tap: MCP4131_TAPS / 2,
+        })
+    }
+
+    /// The 100 kΩ variant at a 1 MHz SPI clock (the paper's schematic
+    /// labels the part MCP4131-104).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the preset constants.
+    pub fn new_100k() -> Result<Self, MonitorError> {
+        Self::new(Ohms::new(100e3), 1.0e6)
+    }
+
+    /// Current wiper tap (0 ..= 128).
+    pub fn tap(&self) -> u16 {
+        self.tap
+    }
+
+    /// Sets the wiper tap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidParameter`] for a tap above 128.
+    pub fn set_tap(&mut self, tap: u16) -> Result<(), MonitorError> {
+        if tap >= MCP4131_TAPS {
+            return Err(MonitorError::InvalidParameter("tap must be 0..=128"));
+        }
+        self.tap = tap;
+        Ok(())
+    }
+
+    /// Wiper position as a fraction of full scale.
+    pub fn wiper_fraction(&self) -> f64 {
+        f64::from(self.tap) / f64::from(MCP4131_TAPS - 1)
+    }
+
+    /// Resistance between wiper and the B terminal.
+    pub fn resistance_wb(&self) -> Ohms {
+        self.full_scale * self.wiper_fraction() + self.wiper_resistance
+    }
+
+    /// Resistance between wiper and the A terminal.
+    pub fn resistance_wa(&self) -> Ohms {
+        self.full_scale * (1.0 - self.wiper_fraction()) + self.wiper_resistance
+    }
+
+    /// Duration of one wiper write: a 16-bit SPI frame plus chip-select
+    /// framing overhead.
+    pub fn write_latency(&self) -> Seconds {
+        let frame_bits = 16.0;
+        let cs_overhead = 2.0e-6;
+        Seconds::new(frame_bits / self.spi_clock_hz + cs_overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tap_range_is_enforced() {
+        let mut pot = Mcp4131::new_100k().unwrap();
+        assert!(pot.set_tap(128).is_ok());
+        assert!(pot.set_tap(129).is_err());
+    }
+
+    #[test]
+    fn endpoints() {
+        let mut pot = Mcp4131::new_100k().unwrap();
+        pot.set_tap(0).unwrap();
+        assert_eq!(pot.wiper_fraction(), 0.0);
+        assert!((pot.resistance_wb().value() - 75.0).abs() < 1e-9);
+        pot.set_tap(128).unwrap();
+        assert_eq!(pot.wiper_fraction(), 1.0);
+        assert!((pot.resistance_wa().value() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_latency_is_tens_of_microseconds() {
+        let pot = Mcp4131::new_100k().unwrap();
+        let lat = pot.write_latency().value();
+        assert!(lat > 1e-6 && lat < 1e-4, "latency {lat}");
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Mcp4131::new(Ohms::new(0.0), 1e6).is_err());
+        assert!(Mcp4131::new(Ohms::new(1e5), 0.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn wa_plus_wb_is_constant(tap in 0u16..129) {
+            let mut pot = Mcp4131::new_100k().unwrap();
+            pot.set_tap(tap).unwrap();
+            let total = pot.resistance_wa().value() + pot.resistance_wb().value();
+            // Full scale + 2 wiper resistances.
+            prop_assert!((total - (100e3 + 150.0)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,845 @@
+//! The hybrid continuous/discrete simulation engine.
+//!
+//! Between events the buffer-capacitor voltage is integrated with the
+//! adaptive RK23 solver (`ode23`, as in the paper's Simulink model);
+//! threshold and brownout crossings are located on each accepted
+//! step's dense output by bisection; governor actions start multi-step
+//! OPP transitions whose per-step latencies and pre-step power draws
+//! feed back into the ODE. Threshold interrupts are masked while a
+//! transition is in flight (the buffer capacitor's job is to carry the
+//! board through exactly this window) and re-checked when it
+//! completes, which reproduces the rapid response cascades visible in
+//! the paper's Fig. 6.
+
+use crate::recorder::{Recorder, Snapshot};
+use crate::runtime::SocRuntime;
+use crate::supply::Supply;
+use crate::SimError;
+use pn_circuit::capacitor::Supercapacitor;
+use pn_circuit::events::{first_threshold_crossing, CrossingDirection};
+use pn_circuit::ode::{AdaptiveOptions, Rk23};
+use pn_core::events::{Governor, GovernorAction, GovernorEvent, ThresholdEdge};
+use pn_monitor::monitor::VoltageMonitor;
+use pn_soc::opp::Opp;
+use pn_soc::platform::Platform;
+use pn_soc::transition::{plan_transition, TransitionStrategy};
+use pn_units::{Seconds, Volts, Watts};
+use pn_workload::work::WorkAccount;
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Simulation start time.
+    pub t_start: Seconds,
+    /// Simulation end time.
+    pub t_end: Seconds,
+    /// Trace recording interval.
+    pub record_dt: Seconds,
+    /// Maximum ODE step (also bounds event-detection granularity).
+    pub max_step: Seconds,
+    /// Dead time after an action before threshold conditions are
+    /// re-evaluated (comparator + interrupt + handler re-entry).
+    pub rearm_delay: Seconds,
+    /// Period of the budgeting software's housekeeping/logging task.
+    pub housekeeping_period: Seconds,
+    /// CPU time per housekeeping invocation (Fig. 15 accounting).
+    pub housekeeping_cost: Seconds,
+    /// Stop the simulation at brownout (Table II semantics).
+    pub stop_on_brownout: bool,
+}
+
+impl SimOptions {
+    /// Defaults for second-to-hour scale experiments.
+    pub fn new(t_end: Seconds) -> Self {
+        Self {
+            t_start: Seconds::ZERO,
+            t_end,
+            record_dt: Seconds::new(0.5),
+            max_step: Seconds::new(0.05),
+            rearm_delay: Seconds::new(300e-6),
+            housekeeping_period: Seconds::new(1.0),
+            housekeeping_cost: Seconds::new(1.0e-3),
+            stop_on_brownout: true,
+        }
+    }
+
+    /// Sets the simulated window (builder style).
+    pub fn with_span(mut self, t_start: Seconds, t_end: Seconds) -> Self {
+        self.t_start = t_start;
+        self.t_end = t_end;
+        self
+    }
+
+    /// Sets the recording interval (builder style).
+    pub fn with_record_dt(mut self, dt: Seconds) -> Self {
+        self.record_dt = dt;
+        self
+    }
+
+    /// Sets the maximum ODE step (builder style).
+    pub fn with_max_step(mut self, dt: Seconds) -> Self {
+        self.max_step = dt;
+        self
+    }
+}
+
+/// Outcome of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    governor: String,
+    recorder: Recorder,
+    lifetime: Option<Seconds>,
+    duration: Seconds,
+    work: WorkAccount,
+    control_cpu: Seconds,
+    transitions: u64,
+    final_vc: Volts,
+}
+
+impl SimReport {
+    /// The governor that was driving.
+    pub fn governor(&self) -> &str {
+        &self.governor
+    }
+
+    /// The recorded traces.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Time of brownout, measured from the simulation start, or `None`
+    /// when the board survived the whole window.
+    pub fn lifetime(&self) -> Option<Seconds> {
+        self.lifetime
+    }
+
+    /// Lifetime as reported in Table II: the brownout time, or the
+    /// full window when the board survived.
+    pub fn lifetime_or_duration(&self) -> Seconds {
+        self.lifetime.unwrap_or(self.duration)
+    }
+
+    /// `true` when the board never browned out.
+    pub fn survived(&self) -> bool {
+        self.lifetime.is_none()
+    }
+
+    /// Length of the simulated window.
+    pub fn duration(&self) -> Seconds {
+        self.duration
+    }
+
+    /// Completed work.
+    pub fn work(&self) -> &WorkAccount {
+        &self.work
+    }
+
+    /// CPU fraction consumed by the power-budgeting software
+    /// (Fig. 15's headline number).
+    pub fn control_cpu_fraction(&self) -> f64 {
+        let alive = self.lifetime_or_duration().value();
+        if alive > 0.0 {
+            self.control_cpu.value() / alive
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of OPP transitions performed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Final capacitor voltage.
+    pub fn final_vc(&self) -> Volts {
+        self.final_vc
+    }
+}
+
+/// Builder-assembled simulation of the Fig. 2/8 system.
+pub struct Simulation {
+    platform: Platform,
+    supply: Supply,
+    buffer: Supercapacitor,
+    monitor: VoltageMonitor,
+    governor: Box<dyn Governor>,
+    initial_opp: Opp,
+    initial_vc: Volts,
+    options: SimOptions,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("platform", &self.platform.name())
+            .field("governor", &self.governor.name())
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrossKind {
+    Brownout,
+    High,
+    Low,
+}
+
+struct AdvanceOutcome {
+    t: f64,
+    vc: f64,
+    event: Option<CrossKind>,
+}
+
+impl Simulation {
+    /// Assembles a simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty window or an
+    /// initial voltage outside a sane range.
+    pub fn new(
+        platform: Platform,
+        supply: Supply,
+        buffer: Supercapacitor,
+        monitor: VoltageMonitor,
+        governor: Box<dyn Governor>,
+        initial_opp: Opp,
+        initial_vc: Volts,
+        options: SimOptions,
+    ) -> Result<Self, SimError> {
+        if options.t_end <= options.t_start {
+            return Err(SimError::InvalidConfig("empty simulation window"));
+        }
+        if !(initial_vc.value() > 0.0) || initial_vc.value() > 10.0 {
+            return Err(SimError::InvalidConfig("initial vc out of range"));
+        }
+        Ok(Self { platform, supply, buffer, monitor, governor, initial_opp, initial_vc, options })
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and monitor failures; these indicate a
+    /// mis-assembled scenario, not a brownout (brownouts are reported
+    /// in the [`SimReport`]).
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        let opts = self.options;
+        let vmin = self.platform.voltage_window().min.value();
+        let uses_irq = self.governor.uses_threshold_interrupts();
+        let housekeeping_share =
+            opts.housekeeping_cost.value() / opts.housekeeping_period.value().max(1e-9);
+
+        let mut runtime = SocRuntime::new(self.platform.clone(), self.initial_opp);
+        let mut recorder = Recorder::new();
+        let mut solver = Rk23::new(
+            AdaptiveOptions::new()
+                .with_max_step(opts.max_step.value())
+                .with_tolerances(1e-6, 1e-7),
+        );
+
+        let t_start = opts.t_start.value();
+        let t_end = opts.t_end.value();
+        let mut t = t_start;
+        let mut vc = match &self.supply {
+            Supply::Controlled { waveform } => waveform.sample(Seconds::new(t)).value(),
+            Supply::Photovoltaic { .. } => self.initial_vc.value(),
+        };
+
+        // Governor start-up.
+        let action = self.governor.start(Seconds::new(t), Volts::new(vc), runtime.current_opp());
+        let _ = apply_action(
+            &mut runtime,
+            &mut self.monitor,
+            self.governor.as_mut(),
+            action,
+            Seconds::new(t),
+        )?;
+
+        let mut next_tick = self.governor.tick_period().map(|p| t + p.value());
+        let mut recheck_at: Option<f64> = None;
+
+        record_snapshot(&mut recorder, &runtime, &self.monitor, &self.supply, t, vc, uses_irq)?;
+        let mut next_record = t + opts.record_dt.value();
+
+        let mut brownout_handled = !runtime.is_alive();
+        loop {
+            if t >= t_end - 1e-12 {
+                break;
+            }
+            if !runtime.is_alive() && opts.stop_on_brownout {
+                break;
+            }
+
+            // Next discrete boundary.
+            let mut boundary = t_end;
+            if let Some(d) = runtime.step_deadline() {
+                boundary = boundary.min(d.value());
+            }
+            if let Some(tk) = next_tick {
+                boundary = boundary.min(tk);
+            }
+            if let Some(r) = recheck_at {
+                boundary = boundary.min(r);
+            }
+            boundary = boundary.min(next_record);
+
+            if boundary > t + 1e-12 {
+                // Continuous phase: advance toward the boundary.
+                let armed = uses_irq
+                    && !runtime.is_transitioning()
+                    && recheck_at.is_none()
+                    && runtime.is_alive();
+                let (high, low) = if armed {
+                    let (h, l) = self.monitor.effective_thresholds();
+                    (Some(h.value()), Some(l.value()))
+                } else {
+                    (None, None)
+                };
+                let p_load = if runtime.is_alive() {
+                    (runtime.power() + self.monitor.power()).value()
+                } else {
+                    0.0
+                };
+                let outcome = advance(
+                    &self.supply,
+                    &self.buffer,
+                    &mut solver,
+                    p_load,
+                    t,
+                    vc,
+                    boundary,
+                    if runtime.is_alive() { Some(vmin) } else { None },
+                    high,
+                    low,
+                )?;
+                let dt = outcome.t - t;
+                runtime.accrue(
+                    Seconds::new(dt),
+                    Seconds::new(dt * housekeeping_share),
+                );
+                t = outcome.t;
+                vc = outcome.vc;
+                match outcome.event {
+                    Some(CrossKind::Brownout) => {
+                        runtime.brownout(Seconds::new(t));
+                        brownout_handled = true;
+                        solver.reset_step();
+                        record_snapshot(
+                            &mut recorder,
+                            &runtime,
+                            &self.monitor,
+                            &self.supply,
+                            t,
+                            vc,
+                            uses_irq,
+                        )?;
+                        continue;
+                    }
+                    Some(kind) => {
+                        let edge = if kind == CrossKind::High {
+                            ThresholdEdge::High
+                        } else {
+                            ThresholdEdge::Low
+                        };
+                        let event = GovernorEvent::ThresholdCrossed {
+                            edge,
+                            vc: Volts::new(vc),
+                            t: Seconds::new(t),
+                        };
+                        let action = self.governor.on_event(&event, runtime.current_opp());
+                        let changed = apply_action(
+                            &mut runtime,
+                            &mut self.monitor,
+                            self.governor.as_mut(),
+                            action,
+                            Seconds::new(t),
+                        )?;
+                        if changed {
+                            recheck_at = Some(t + opts.rearm_delay.value());
+                        }
+                        solver.reset_step();
+                        record_snapshot(
+                            &mut recorder,
+                            &runtime,
+                            &self.monitor,
+                            &self.supply,
+                            t,
+                            vc,
+                            uses_irq,
+                        )?;
+                        continue;
+                    }
+                    None => {}
+                }
+                if t < boundary - 1e-12 {
+                    // Mid-flight accepted step; keep integrating.
+                    continue;
+                }
+            } else {
+                t = boundary;
+            }
+
+            // Discrete boundary handling (several may coincide).
+            if runtime.step_deadline().is_some_and(|d| (d.value() - t).abs() <= 1e-9) {
+                let finished = runtime.complete_step(Seconds::new(t));
+                if finished {
+                    recheck_at = Some(t + opts.rearm_delay.value());
+                }
+                solver.reset_step();
+            }
+            if next_tick.is_some_and(|tk| (tk - t).abs() <= 1e-9) {
+                let period = self.governor.tick_period().expect("tick governor").value();
+                next_tick = Some(t + period);
+                if runtime.is_alive() {
+                    // The ray-tracing workload saturates every online
+                    // core: load is pinned at 100 %.
+                    let event =
+                        GovernorEvent::Tick { t: Seconds::new(t), vc: Volts::new(vc), load: 1.0 };
+                    let action = self.governor.on_event(&event, runtime.current_opp());
+                    let _ = apply_action(
+                        &mut runtime,
+                        &mut self.monitor,
+                        self.governor.as_mut(),
+                        action,
+                        Seconds::new(t),
+                    )?;
+                    solver.reset_step();
+                }
+            }
+            if recheck_at.is_some_and(|r| (r - t).abs() <= 1e-9) {
+                recheck_at = None;
+                if uses_irq && !runtime.is_transitioning() && runtime.is_alive() {
+                    let (high, low) = self.monitor.effective_thresholds();
+                    let edge = if vc >= high.value() {
+                        Some(ThresholdEdge::High)
+                    } else if vc <= low.value() {
+                        Some(ThresholdEdge::Low)
+                    } else {
+                        None
+                    };
+                    if let Some(edge) = edge {
+                        let event = GovernorEvent::ThresholdCrossed {
+                            edge,
+                            vc: Volts::new(vc),
+                            t: Seconds::new(t),
+                        };
+                        let action = self.governor.on_event(&event, runtime.current_opp());
+                        let changed = apply_action(
+                            &mut runtime,
+                            &mut self.monitor,
+                            self.governor.as_mut(),
+                            action,
+                            Seconds::new(t),
+                        )?;
+                        if changed {
+                            recheck_at = Some(t + opts.rearm_delay.value());
+                        }
+                        solver.reset_step();
+                    }
+                }
+            }
+            if t >= next_record - 1e-9 {
+                record_snapshot(&mut recorder, &runtime, &self.monitor, &self.supply, t, vc, uses_irq)?;
+                next_record = t + opts.record_dt.value();
+            }
+        }
+
+        // Final snapshot at the stop time.
+        record_snapshot(&mut recorder, &runtime, &self.monitor, &self.supply, t, vc, uses_irq)?;
+        let _ = brownout_handled;
+
+        Ok(SimReport {
+            governor: self.governor.name().to_string(),
+            recorder,
+            lifetime: runtime.death_time().map(|d| d - Seconds::new(t_start)),
+            duration: Seconds::new(t_end - t_start),
+            work: *runtime.work(),
+            control_cpu: runtime.control_cpu_time(),
+            transitions: runtime.transitions_started(),
+            final_vc: Volts::new(vc),
+        })
+    }
+}
+
+/// Applies a governor action: program thresholds, start a transition,
+/// charge the handler cost. Returns `true` when the action actually
+/// changed the system state (thresholds moved to different taps or a
+/// transition started) — the engine only re-arms its post-action
+/// threshold recheck in that case, because a level-asserted comparator
+/// produces no further *edges* while nothing changes.
+fn apply_action(
+    runtime: &mut SocRuntime,
+    monitor: &mut VoltageMonitor,
+    governor: &mut dyn Governor,
+    action: GovernorAction,
+    t: Seconds,
+) -> Result<bool, SimError> {
+    if action.is_none() {
+        return Ok(false);
+    }
+    let mut changed = false;
+    let mut cost = governor.handler_cost();
+    if let Some((high, low)) = action.thresholds {
+        let before = monitor.effective_thresholds();
+        let after = monitor.set_thresholds(high, low)?;
+        cost += monitor.reprogram_latency();
+        if (after.0 - before.0).abs() > Volts::new(1e-9)
+            || (after.1 - before.1).abs() > Volts::new(1e-9)
+        {
+            changed = true;
+        }
+    }
+    if let Some(requested) = action.target_opp {
+        if !runtime.is_transitioning() {
+            let level = runtime.clamp_level(requested.level());
+            let target = Opp::new(requested.config(), level);
+            if target != runtime.current_opp() {
+                let strategy = action.strategy.unwrap_or(TransitionStrategy::FrequencyFirst);
+                let plan = plan_transition(
+                    runtime.current_opp(),
+                    target,
+                    strategy,
+                    runtime.platform().frequencies(),
+                    runtime.platform().latency(),
+                )?;
+                if !plan.is_empty() {
+                    changed = true;
+                }
+                runtime.begin_transition(plan, t);
+            }
+        }
+    }
+    runtime.charge_control_time(cost);
+    Ok(changed)
+}
+
+fn record_snapshot(
+    recorder: &mut Recorder,
+    runtime: &SocRuntime,
+    monitor: &VoltageMonitor,
+    supply: &Supply,
+    t: f64,
+    vc: f64,
+    uses_irq: bool,
+) -> Result<(), SimError> {
+    let opp = runtime.effective_opp();
+    let freq = runtime
+        .platform()
+        .frequencies()
+        .frequency(opp.level())
+        .map(|f| f.to_gigahertz())
+        .unwrap_or(0.0);
+    let power_out = if runtime.is_alive() {
+        runtime.power() + monitor.power()
+    } else {
+        Watts::ZERO
+    };
+    let power_in = match supply {
+        Supply::Photovoltaic { .. } => {
+            let i = supply.current(Seconds::new(t), Volts::new(vc))?;
+            Volts::new(vc) * i
+        }
+        Supply::Controlled { .. } => power_out,
+    };
+    let (v_high, v_low) = if uses_irq {
+        monitor.effective_thresholds()
+    } else {
+        (Volts::ZERO, Volts::ZERO)
+    };
+    let (little, big) = if runtime.is_alive() {
+        (opp.config().little(), opp.config().big())
+    } else {
+        (0, 0)
+    };
+    recorder.record(&Snapshot {
+        t: Seconds::new(t),
+        vc: Volts::new(vc),
+        frequency_ghz: if runtime.is_alive() { freq } else { 0.0 },
+        little_cores: little,
+        big_cores: big,
+        power_out,
+        power_in,
+        v_high,
+        v_low,
+    });
+    Ok(())
+}
+
+/// Advances the continuous state toward `boundary`, stopping at the
+/// earliest crossing (brownout, Vhigh rising, Vlow falling).
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    supply: &Supply,
+    buffer: &Supercapacitor,
+    solver: &mut Rk23,
+    p_load: f64,
+    t: f64,
+    vc: f64,
+    boundary: f64,
+    vmin: Option<f64>,
+    high: Option<f64>,
+    low: Option<f64>,
+) -> Result<AdvanceOutcome, SimError> {
+    match supply {
+        Supply::Controlled { waveform } => {
+            let f = |tt: f64| waveform.sample(Seconds::new(tt)).value();
+            let subdivisions = (((boundary - t) / 0.01).ceil() as usize).clamp(4, 4000);
+            let found = scan_crossings(&f, t, boundary, subdivisions, vmin, high, low)?;
+            match found {
+                Some((tc, kind)) => Ok(AdvanceOutcome { t: tc, vc: f(tc), event: Some(kind) }),
+                None => Ok(AdvanceOutcome { t: boundary, vc: f(boundary), event: None }),
+            }
+        }
+        Supply::Photovoltaic { cell, irradiance } => {
+            let mut solve_error: Option<pn_circuit::CircuitError> = None;
+            let mut deriv = |tt: f64, y: &[f64; 1]| -> [f64; 1] {
+                let v = y[0].max(0.05);
+                let g = irradiance.sample(Seconds::new(tt));
+                let i_in = match cell.current(Volts::new(v), g) {
+                    Ok(i) => i,
+                    Err(e) => {
+                        solve_error = Some(e);
+                        pn_units::Amps::ZERO
+                    }
+                };
+                let i_out = pn_units::Amps::new(p_load / v.max(0.3));
+                [buffer.dv_dt(Volts::new(v), i_in, i_out)]
+            };
+            let step = solver.step(&mut deriv, t, &[vc], boundary)?;
+            if let Some(e) = solve_error {
+                return Err(SimError::Circuit(e));
+            }
+            let f = |tt: f64| step.interpolate(tt)[0];
+            let subdivisions = 8;
+            let found = scan_crossings(&f, step.t0, step.t1, subdivisions, vmin, high, low)?;
+            match found {
+                Some((tc, kind)) => Ok(AdvanceOutcome { t: tc, vc: f(tc), event: Some(kind) }),
+                None => Ok(AdvanceOutcome { t: step.t1, vc: step.y1[0], event: None }),
+            }
+        }
+    }
+}
+
+/// Finds the earliest qualifying crossing of the three monitored
+/// levels on `[a, b]`.
+fn scan_crossings(
+    f: &impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    subdivisions: usize,
+    vmin: Option<f64>,
+    high: Option<f64>,
+    low: Option<f64>,
+) -> Result<Option<(f64, CrossKind)>, SimError> {
+    let mut best: Option<(f64, CrossKind)> = None;
+    let mut consider = |threshold: f64,
+                        want: CrossingDirection,
+                        kind: CrossKind|
+     -> Result<(), SimError> {
+        if let Some(c) = first_threshold_crossing(f, threshold, a, b, subdivisions, 1e-9)? {
+            if c.direction == want && best.map_or(true, |(bt, _)| c.t < bt) {
+                best = Some((c.t, kind));
+            }
+        }
+        Ok(())
+    };
+    if let Some(v) = vmin {
+        consider(v, CrossingDirection::Falling, CrossKind::Brownout)?;
+    }
+    if let Some(h) = high {
+        consider(h, CrossingDirection::Rising, CrossKind::High)?;
+    }
+    if let Some(l) = low {
+        consider(l, CrossingDirection::Falling, CrossKind::Low)?;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supply::VoltageWaveform;
+    use pn_core::governor::PowerNeutralGovernor;
+    use pn_core::params::ControlParams;
+    use pn_governors::{Performance, Powersave};
+    use pn_harvest::irradiance::IrradianceTrace;
+    use pn_units::WattsPerSquareMeter;
+
+    fn pv_supply(g: f64, t_end: f64) -> Supply {
+        Supply::Photovoltaic {
+            cell: pn_circuit::solar::SolarCell::odroid_array(),
+            irradiance: IrradianceTrace::constant(
+                Seconds::ZERO,
+                Seconds::new(t_end),
+                WattsPerSquareMeter::new(g),
+            )
+            .unwrap(),
+        }
+    }
+
+    fn build(
+        governor: Box<dyn Governor>,
+        supply: Supply,
+        t_end: f64,
+        initial_opp: Opp,
+    ) -> Simulation {
+        Simulation::new(
+            Platform::odroid_xu4(),
+            supply,
+            Supercapacitor::paper_buffer(),
+            VoltageMonitor::paper_board().unwrap(),
+            governor,
+            initial_opp,
+            Volts::new(5.3),
+            SimOptions::new(Seconds::new(t_end)),
+        )
+        .unwrap()
+    }
+
+    fn pn_governor() -> Box<dyn Governor> {
+        Box::new(
+            PowerNeutralGovernor::new(
+                ControlParams::paper_optimal().unwrap(),
+                &Platform::odroid_xu4(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn performance_governor_browns_out_fast_on_weak_sun() {
+        // ~560 W/m² gives ≈3.3 W available; performance draws ≈7 W.
+        let sim = build(
+            Box::new(Performance::new()),
+            pv_supply(560.0, 30.0),
+            30.0,
+            Opp::new(pn_soc::cores::CoreConfig::MAX, 0),
+        );
+        let report = sim.run().unwrap();
+        assert!(!report.survived(), "performance should brown out");
+        assert!(report.lifetime().unwrap().value() < 5.0);
+    }
+
+    #[test]
+    fn powersave_survives_weak_sun() {
+        let sim = build(
+            Box::new(Powersave::new()),
+            pv_supply(560.0, 30.0),
+            30.0,
+            Opp::new(pn_soc::cores::CoreConfig::MAX, 0),
+        );
+        let report = sim.run().unwrap();
+        assert!(report.survived(), "powersave must survive ≈3.3 W harvest");
+        assert!(report.work().instructions() > 0.0);
+    }
+
+    #[test]
+    fn power_neutral_survives_and_outperforms_powersave() {
+        let pn = build(
+            pn_governor(),
+            pv_supply(560.0, 60.0),
+            60.0,
+            Opp::lowest(),
+        )
+        .run()
+        .unwrap();
+        assert!(pn.survived(), "power-neutral must survive");
+        let ps = build(
+            Box::new(Powersave::new()),
+            pv_supply(560.0, 60.0),
+            60.0,
+            Opp::new(pn_soc::cores::CoreConfig::MAX, 0),
+        )
+        .run()
+        .unwrap();
+        assert!(
+            pn.work().instructions() > ps.work().instructions(),
+            "pn {} vs powersave {}",
+            pn.work().instructions(),
+            ps.work().instructions()
+        );
+    }
+
+    #[test]
+    fn power_neutral_tracks_mpp_voltage() {
+        let report =
+            build(pn_governor(), pv_supply(560.0, 120.0), 120.0, Opp::lowest()).run().unwrap();
+        assert!(report.survived());
+        // After convergence VC must hover near the MPP (5.3 V target).
+        let vc = report.recorder().vc();
+        let tail_mean: f64 = {
+            let values = vc.values();
+            let n = values.len();
+            values[n - n / 3..].iter().sum::<f64>() / (n / 3) as f64
+        };
+        assert!(
+            (4.6..=6.2).contains(&tail_mean),
+            "vc settled at {tail_mean} — not near the PV knee"
+        );
+        // And the governor must actually have transitioned.
+        assert!(report.transitions() > 1);
+    }
+
+    #[test]
+    fn controlled_supply_drives_crossings() {
+        // Ramp down from 5.3 to 4.3 V over 20 s: the governor must see
+        // several Vlow crossings and scale down.
+        let waveform = VoltageWaveform::new(vec![
+            (Seconds::ZERO, Volts::new(5.3)),
+            (Seconds::new(20.0), Volts::new(4.3)),
+        ])
+        .unwrap();
+        let start = Opp::new(pn_soc::cores::CoreConfig::MAX, 7);
+        let sim = build(pn_governor(), Supply::Controlled { waveform }, 20.0, start);
+        let report = sim.run().unwrap();
+        assert!(report.survived());
+        let freq = report.recorder().frequency_ghz();
+        let first = freq.values()[0];
+        let last = *freq.values().last().unwrap();
+        assert!(last < first, "frequency should have scaled down: {first} → {last}");
+    }
+
+    #[test]
+    fn brownout_is_reported_with_interpolated_time() {
+        // Darkness: the board discharges the 47 mF buffer and dies.
+        let sim = build(
+            Box::new(Performance::new()),
+            pv_supply(0.0, 10.0),
+            10.0,
+            Opp::new(pn_soc::cores::CoreConfig::MAX, 7),
+        );
+        let report = sim.run().unwrap();
+        let life = report.lifetime().unwrap().value();
+        // ~7 W from 47 mF between 5.3 and 4.1 V: C·ΔV/I ≈ 0.047·1.2/1.4 ≈ 40 ms.
+        assert!(life > 0.005 && life < 0.5, "lifetime {life}");
+        let final_vc = report.final_vc().value();
+        assert!((final_vc - 4.1).abs() < 0.05, "died at {final_vc} V");
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let report =
+            build(pn_governor(), pv_supply(560.0, 10.0), 10.0, Opp::lowest()).run().unwrap();
+        assert_eq!(report.governor(), "power-neutral");
+        assert!(report.duration().value() > 9.9);
+        assert!(report.recorder().len() > 5);
+        assert!(report.control_cpu_fraction() < 0.05);
+    }
+
+    #[test]
+    fn rejects_empty_window() {
+        let r = Simulation::new(
+            Platform::odroid_xu4(),
+            pv_supply(500.0, 1.0),
+            Supercapacitor::paper_buffer(),
+            VoltageMonitor::paper_board().unwrap(),
+            pn_governor(),
+            Opp::lowest(),
+            Volts::new(5.3),
+            SimOptions::new(Seconds::ZERO),
+        );
+        assert!(r.is_err());
+    }
+}

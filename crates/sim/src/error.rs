@@ -1,0 +1,107 @@
+//! Error type for the co-simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while assembling or running a simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was out of its domain.
+    InvalidConfig(&'static str),
+    /// The circuit substrate failed (solver divergence etc.).
+    Circuit(pn_circuit::CircuitError),
+    /// The platform model rejected a lookup.
+    Soc(pn_soc::SocError),
+    /// The governor rejected its configuration.
+    Core(pn_core::CoreError),
+    /// The monitoring hardware rejected a request.
+    Monitor(pn_monitor::MonitorError),
+    /// The environment model failed.
+    Harvest(pn_harvest::HarvestError),
+    /// Trace analysis failed.
+    Analysis(pn_analysis::AnalysisError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(why) => write!(f, "invalid simulation config: {why}"),
+            SimError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SimError::Soc(e) => write!(f, "platform error: {e}"),
+            SimError::Core(e) => write!(f, "governor error: {e}"),
+            SimError::Monitor(e) => write!(f, "monitor error: {e}"),
+            SimError::Harvest(e) => write!(f, "harvest error: {e}"),
+            SimError::Analysis(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidConfig(_) => None,
+            SimError::Circuit(e) => Some(e),
+            SimError::Soc(e) => Some(e),
+            SimError::Core(e) => Some(e),
+            SimError::Monitor(e) => Some(e),
+            SimError::Harvest(e) => Some(e),
+            SimError::Analysis(e) => Some(e),
+        }
+    }
+}
+
+impl From<pn_circuit::CircuitError> for SimError {
+    fn from(e: pn_circuit::CircuitError) -> Self {
+        SimError::Circuit(e)
+    }
+}
+
+impl From<pn_soc::SocError> for SimError {
+    fn from(e: pn_soc::SocError) -> Self {
+        SimError::Soc(e)
+    }
+}
+
+impl From<pn_core::CoreError> for SimError {
+    fn from(e: pn_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<pn_monitor::MonitorError> for SimError {
+    fn from(e: pn_monitor::MonitorError) -> Self {
+        SimError::Monitor(e)
+    }
+}
+
+impl From<pn_harvest::HarvestError> for SimError {
+    fn from(e: pn_harvest::HarvestError) -> Self {
+        SimError::Harvest(e)
+    }
+}
+
+impl From<pn_analysis::AnalysisError> for SimError {
+    fn from(e: pn_analysis::AnalysisError) -> Self {
+        SimError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::from(pn_circuit::CircuitError::InvalidArgument("x"));
+        assert!(e.to_string().contains("circuit"));
+        assert!(e.source().is_some());
+        assert!(SimError::InvalidConfig("y").source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 4 — board power vs operating frequency for the eight core
+//! configurations of the hot-plug ladder.
+
+use crate::SimError;
+use pn_soc::cores::CoreConfig;
+use pn_soc::freq::FrequencyTable;
+use pn_soc::power::PowerModel;
+
+/// One curve of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct PowerCurve {
+    /// The configuration (e.g. `4xA7+2xA15`).
+    pub config: CoreConfig,
+    /// `(frequency GHz, board power W)` samples across the table.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The regenerated Fig. 4 data.
+#[derive(Debug, Clone)]
+pub struct Fig04 {
+    /// One curve per ladder configuration.
+    pub curves: Vec<PowerCurve>,
+}
+
+/// Regenerates Fig. 4 from the calibrated power model.
+///
+/// # Errors
+///
+/// Propagates frequency-table lookups (infallible for the preset).
+pub fn run() -> Result<Fig04, SimError> {
+    let model = PowerModel::odroid_xu4();
+    let table = FrequencyTable::paper_levels();
+    let mut curves = Vec::new();
+    for config in CoreConfig::ladder() {
+        let mut points = Vec::new();
+        for (_, f) in table.iter() {
+            points.push((f.to_gigahertz(), model.board_power(config, f).value()));
+        }
+        curves.push(PowerCurve { config, points });
+    }
+    Ok(Fig04 { curves })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig04_envelope_matches_the_paper() {
+        let fig = run().unwrap();
+        assert_eq!(fig.curves.len(), 8);
+        // Bottom-left corner ≈1.7–2 W; top-right ≈6.5–7 W.
+        let min = fig.curves[0].points[0].1;
+        let max = fig.curves[7].points.last().unwrap().1;
+        assert!(min > 1.5 && min < 2.0, "min {min}");
+        assert!(max > 6.0 && max < 7.5, "max {max}");
+        // Curves are ordered: more cores, more power, at every frequency.
+        for i in 1..8 {
+            for k in 0..8 {
+                assert!(fig.curves[i].points[k].1 > fig.curves[i - 1].points[k].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 7 — raytrace performance (FPS) vs board power for every OPP,
+//! split into the LITTLE-only panel and the big+LITTLE panel.
+
+use crate::SimError;
+use pn_soc::cores::CoreConfig;
+use pn_soc::freq::FrequencyTable;
+use pn_soc::perf::PerfModel;
+use pn_soc::power::PowerModel;
+
+/// One OPP point of Fig. 7.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfPoint {
+    /// The configuration.
+    pub config: CoreConfig,
+    /// Clock frequency, GHz.
+    pub frequency_ghz: f64,
+    /// Board power, W.
+    pub power_w: f64,
+    /// Benchmark frames per second.
+    pub fps: f64,
+}
+
+/// The regenerated Fig. 7 data.
+#[derive(Debug, Clone)]
+pub struct Fig07 {
+    /// Left panel: LITTLE-only configurations.
+    pub little_only: Vec<PerfPoint>,
+    /// Right panel: configurations with big cores online.
+    pub with_big: Vec<PerfPoint>,
+}
+
+/// Regenerates Fig. 7 from the calibrated models.
+///
+/// # Errors
+///
+/// Propagates table lookups (infallible for the preset).
+pub fn run() -> Result<Fig07, SimError> {
+    let power = PowerModel::odroid_xu4();
+    let perf = PerfModel::odroid_xu4();
+    let table = FrequencyTable::paper_levels();
+    let mut little_only = Vec::new();
+    let mut with_big = Vec::new();
+    for config in CoreConfig::ladder() {
+        for (_, f) in table.iter() {
+            let point = PerfPoint {
+                config,
+                frequency_ghz: f.to_gigahertz(),
+                power_w: power.board_power(config, f).value(),
+                fps: perf.frames_per_second(config, f),
+            };
+            if config.big() == 0 {
+                little_only.push(point);
+            } else {
+                with_big.push(point);
+            }
+        }
+    }
+    Ok(Fig07 { little_only, with_big })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig07_envelopes_match_the_paper() {
+        let fig = run().unwrap();
+        assert_eq!(fig.little_only.len(), 4 * 8);
+        assert_eq!(fig.with_big.len(), 4 * 8);
+        // Left panel: LITTLE-only tops out near 0.065 FPS / ≈3 W.
+        let max_fps_little =
+            fig.little_only.iter().map(|p| p.fps).fold(f64::NEG_INFINITY, f64::max);
+        assert!((max_fps_little - 0.065).abs() < 0.01, "little max {max_fps_little}");
+        // Right panel: all-cores tops out near 0.25 FPS.
+        let max_fps_big = fig.with_big.iter().map(|p| p.fps).fold(f64::NEG_INFINITY, f64::max);
+        assert!((max_fps_big - 0.25).abs() < 0.04, "big max {max_fps_big}");
+        // Big-core OPPs extend to much higher power than LITTLE-only.
+        let max_p_little =
+            fig.little_only.iter().map(|p| p.power_w).fold(f64::NEG_INFINITY, f64::max);
+        let max_p_big = fig.with_big.iter().map(|p| p.power_w).fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_p_big > max_p_little * 1.8);
+    }
+
+    #[test]
+    fn fig07_pareto_consistency() {
+        // Within a configuration, higher power ⇒ higher FPS (frequency
+        // is the only mover).
+        let fig = run().unwrap();
+        for window in fig.little_only.chunks(8) {
+            for pair in window.windows(2) {
+                assert!(pair[1].power_w > pair[0].power_w);
+                assert!(pair[1].fps > pair[0].fps);
+            }
+        }
+    }
+}

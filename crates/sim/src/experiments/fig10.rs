@@ -1,0 +1,106 @@
+//! Fig. 10 — transition overheads: hot-plug latency per core-count
+//! transition at three frequencies (top panel) and DVFS latency per
+//! configuration and direction (bottom panel).
+
+use crate::SimError;
+use pn_soc::cores::CoreConfig;
+use pn_soc::latency::{DvfsDirection, LatencyModel};
+use pn_units::Hertz;
+
+/// One bar of the top (hot-plug) panel.
+#[derive(Debug, Clone, Copy)]
+pub struct HotplugBar {
+    /// Transition label: plugging from `from` to `from + 1` cores.
+    pub from: u8,
+    /// Operating frequency during the hot-plug, GHz.
+    pub frequency_ghz: f64,
+    /// Latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// One bar of the bottom (DVFS) panel.
+#[derive(Debug, Clone, Copy)]
+pub struct DvfsBar {
+    /// The configuration performing the change.
+    pub config: CoreConfig,
+    /// `true` for a down-transition.
+    pub down: bool,
+    /// Latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The regenerated Fig. 10 data.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Top panel bars: 7 transitions × 3 frequencies.
+    pub hotplug: Vec<HotplugBar>,
+    /// Bottom panel bars: 4 configurations × 2 directions.
+    pub dvfs: Vec<DvfsBar>,
+}
+
+/// Regenerates Fig. 10 from the calibrated latency model.
+///
+/// # Errors
+///
+/// Infallible for the preset; the `Result` mirrors sibling
+/// experiments.
+pub fn run() -> Result<Fig10, SimError> {
+    let model = LatencyModel::odroid_xu4();
+    let mut hotplug = Vec::new();
+    for ghz in [0.2, 0.8, 1.4] {
+        for from in 1..=7u8 {
+            hotplug.push(HotplugBar {
+                from,
+                frequency_ghz: ghz,
+                latency_ms: model
+                    .hotplug_latency(from + 1, Hertz::from_gigahertz(ghz))
+                    .to_millis(),
+            });
+        }
+    }
+    let mut dvfs = Vec::new();
+    for config in [
+        CoreConfig::new(1, 0).expect("valid"),
+        CoreConfig::new(4, 0).expect("valid"),
+        CoreConfig::new(4, 1).expect("valid"),
+        CoreConfig::new(4, 4).expect("valid"),
+    ] {
+        for down in [false, true] {
+            let dir = if down { DvfsDirection::Down } else { DvfsDirection::Up };
+            dvfs.push(DvfsBar { config, down, latency_ms: model.dvfs_latency(config, dir).to_millis() });
+        }
+    }
+    Ok(Fig10 { hotplug, dvfs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_shape_matches_the_paper() {
+        let fig = run().unwrap();
+        assert_eq!(fig.hotplug.len(), 21);
+        assert_eq!(fig.dvfs.len(), 8);
+        // Hot-plug is tens of ms and slowest at 200 MHz.
+        let at_02: Vec<f64> = fig
+            .hotplug
+            .iter()
+            .filter(|b| b.frequency_ghz == 0.2)
+            .map(|b| b.latency_ms)
+            .collect();
+        let at_14: Vec<f64> = fig
+            .hotplug
+            .iter()
+            .filter(|b| b.frequency_ghz == 1.4)
+            .map(|b| b.latency_ms)
+            .collect();
+        assert!(at_02.iter().cloned().fold(0.0, f64::max) < 45.0);
+        assert!(at_02.iter().sum::<f64>() > 2.0 * at_14.iter().sum::<f64>());
+        // DVFS is single milliseconds, below every hot-plug bar.
+        let max_dvfs = fig.dvfs.iter().map(|b| b.latency_ms).fold(0.0, f64::max);
+        let min_hotplug = fig.hotplug.iter().map(|b| b.latency_ms).fold(f64::INFINITY, f64::min);
+        assert!(max_dvfs < 3.5);
+        assert!(min_hotplug > max_dvfs);
+    }
+}

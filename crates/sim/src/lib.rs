@@ -1,0 +1,50 @@
+//! Hybrid co-simulation of the complete power-neutral system.
+//!
+//! This crate ties the whole workspace together into the closed loop of
+//! the paper's Figs. 2 and 8: a photovoltaic source (or a controlled
+//! supply) feeds a small buffer capacitor whose voltage is watched by
+//! the modelled monitoring hardware; threshold interrupts (or sampling
+//! ticks) drive a governor; the governor commands OPP transitions whose
+//! latencies and power draws feed back into the capacitor dynamics.
+//!
+//! * [`supply`] — the energy source (PV array × irradiance trace, or a
+//!   prescribed voltage waveform for the Fig. 11 bench test),
+//! * [`runtime`] — the SoC runtime state: current OPP, in-flight
+//!   transitions, work and overhead accounting,
+//! * [`recorder`] — recorded traces (`VC`, frequency, cores, powers),
+//! * [`engine`] — the hybrid continuous/discrete simulation loop
+//!   (adaptive RK23 between events, bisection event location, interrupt
+//!   masking during transitions),
+//! * [`scenario`] — canned scenarios for each paper experiment,
+//! * [`sweep`] — the §III parameter sweep,
+//! * [`experiments`] — one module per paper figure/table, producing the
+//!   rows/series the paper reports.
+//!
+//! # Examples
+//!
+//! Run sixty simulated seconds of the full-sun scenario under the
+//! power-neutral governor:
+//!
+//! ```
+//! use pn_sim::scenario;
+//!
+//! # fn main() -> Result<(), pn_sim::SimError> {
+//! let report = scenario::full_sun_day(7)
+//!     .with_duration(pn_units::Seconds::new(60.0))
+//!     .run_power_neutral()?;
+//! assert!(report.survived());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod experiments;
+pub mod recorder;
+pub mod runtime;
+pub mod scenario;
+pub mod supply;
+pub mod sweep;
+
+mod error;
+
+pub use error::SimError;

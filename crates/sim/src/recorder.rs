@@ -1,0 +1,179 @@
+//! Recorded simulation traces.
+
+use pn_analysis::series::TimeSeries;
+use pn_units::{Seconds, Volts, Watts};
+
+/// One snapshot of the system state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Simulation time.
+    pub t: Seconds,
+    /// Buffer-capacitor voltage.
+    pub vc: Volts,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Online LITTLE cores.
+    pub little_cores: u8,
+    /// Online big cores.
+    pub big_cores: u8,
+    /// Power drawn by the board (+ monitor).
+    pub power_out: Watts,
+    /// Power sourced by the harvester at the present operating point.
+    pub power_in: Watts,
+    /// Current `Vhigh` threshold (0 for non-interrupt governors).
+    pub v_high: Volts,
+    /// Current `Vlow` threshold (0 for non-interrupt governors).
+    pub v_low: Volts,
+}
+
+/// Time-series recorder for every traced quantity.
+///
+/// Samples arriving at non-increasing times (e.g. an event snapshot at
+/// the same instant as a grid snapshot) are silently dropped — the
+/// first snapshot at an instant wins.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    vc: TimeSeries,
+    frequency_ghz: TimeSeries,
+    little_cores: TimeSeries,
+    big_cores: TimeSeries,
+    total_cores: TimeSeries,
+    power_out: TimeSeries,
+    power_in: TimeSeries,
+    v_high: TimeSeries,
+    v_low: TimeSeries,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self {
+            vc: TimeSeries::new("vc"),
+            frequency_ghz: TimeSeries::new("frequency_ghz"),
+            little_cores: TimeSeries::new("little_cores"),
+            big_cores: TimeSeries::new("big_cores"),
+            total_cores: TimeSeries::new("total_cores"),
+            power_out: TimeSeries::new("power_out"),
+            power_in: TimeSeries::new("power_in"),
+            v_high: TimeSeries::new("v_high"),
+            v_low: TimeSeries::new("v_low"),
+        }
+    }
+
+    /// Records a snapshot.
+    pub fn record(&mut self, s: &Snapshot) {
+        let t = s.t.value();
+        // All series share a time base; if this instant is stale, skip.
+        if self.vc.end().is_some_and(|last| t <= last) {
+            return;
+        }
+        let _ = self.vc.push(t, s.vc.value());
+        let _ = self.frequency_ghz.push(t, s.frequency_ghz);
+        let _ = self.little_cores.push(t, f64::from(s.little_cores));
+        let _ = self.big_cores.push(t, f64::from(s.big_cores));
+        let _ = self.total_cores.push(t, f64::from(s.little_cores + s.big_cores));
+        let _ = self.power_out.push(t, s.power_out.value());
+        let _ = self.power_in.push(t, s.power_in.value());
+        let _ = self.v_high.push(t, s.v_high.value());
+        let _ = self.v_low.push(t, s.v_low.value());
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.vc.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.vc.is_empty()
+    }
+
+    /// The `VC` trace.
+    pub fn vc(&self) -> &TimeSeries {
+        &self.vc
+    }
+
+    /// The clock-frequency trace (GHz).
+    pub fn frequency_ghz(&self) -> &TimeSeries {
+        &self.frequency_ghz
+    }
+
+    /// The online-LITTLE-core trace.
+    pub fn little_cores(&self) -> &TimeSeries {
+        &self.little_cores
+    }
+
+    /// The online-big-core trace.
+    pub fn big_cores(&self) -> &TimeSeries {
+        &self.big_cores
+    }
+
+    /// The total-online-core trace.
+    pub fn total_cores(&self) -> &TimeSeries {
+        &self.total_cores
+    }
+
+    /// The consumed-power trace.
+    pub fn power_out(&self) -> &TimeSeries {
+        &self.power_out
+    }
+
+    /// The harvested-power trace.
+    pub fn power_in(&self) -> &TimeSeries {
+        &self.power_in
+    }
+
+    /// The `Vhigh` threshold trace.
+    pub fn v_high(&self) -> &TimeSeries {
+        &self.v_high
+    }
+
+    /// The `Vlow` threshold trace.
+    pub fn v_low(&self) -> &TimeSeries {
+        &self.v_low
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: f64, vc: f64) -> Snapshot {
+        Snapshot {
+            t: Seconds::new(t),
+            vc: Volts::new(vc),
+            frequency_ghz: 1.4,
+            little_cores: 4,
+            big_cores: 2,
+            power_out: Watts::new(4.0),
+            power_in: Watts::new(3.5),
+            v_high: Volts::new(5.4),
+            v_low: Volts::new(5.2),
+        }
+    }
+
+    #[test]
+    fn records_all_series() {
+        let mut r = Recorder::new();
+        r.record(&snap(0.0, 5.3));
+        r.record(&snap(1.0, 5.25));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_cores().values()[0], 6.0);
+        assert_eq!(r.power_in().values()[1], 3.5);
+    }
+
+    #[test]
+    fn duplicate_instants_are_dropped() {
+        let mut r = Recorder::new();
+        r.record(&snap(0.0, 5.3));
+        r.record(&snap(0.0, 9.9));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.vc().values()[0], 5.3);
+    }
+}

@@ -1,0 +1,256 @@
+//! The SoC runtime: current OPP, in-flight transitions, work and
+//! overhead accounting.
+
+use pn_soc::opp::Opp;
+use pn_soc::platform::Platform;
+use pn_soc::transition::TransitionStep;
+use pn_units::{Seconds, Watts};
+use pn_workload::work::WorkAccount;
+use std::collections::VecDeque;
+
+/// Live platform state during a simulation.
+#[derive(Debug, Clone)]
+pub struct SocRuntime {
+    platform: Platform,
+    current: Opp,
+    alive: bool,
+    /// Remaining steps of an in-flight transition; the front step is
+    /// executing and completes at `step_deadline`.
+    pending: VecDeque<TransitionStep>,
+    step_deadline: Option<Seconds>,
+    work: WorkAccount,
+    control_cpu: Seconds,
+    transitions_started: u64,
+    death_time: Option<Seconds>,
+}
+
+impl SocRuntime {
+    /// Creates a runtime at an initial OPP.
+    pub fn new(platform: Platform, initial: Opp) -> Self {
+        Self {
+            platform,
+            current: initial,
+            alive: true,
+            pending: VecDeque::new(),
+            step_deadline: None,
+            work: WorkAccount::new(),
+            control_cpu: Seconds::ZERO,
+            transitions_started: 0,
+            death_time: None,
+        }
+    }
+
+    /// The platform description.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The committed OPP (the transition target once a transition
+    /// completes, otherwise the stable point).
+    pub fn current_opp(&self) -> Opp {
+        self.current
+    }
+
+    /// The OPP the hardware is *electrically* at right now: during a
+    /// transition step the pre-step OPP still burns power.
+    pub fn effective_opp(&self) -> Opp {
+        self.pending.front().map_or(self.current, |step| step.during)
+    }
+
+    /// `true` while an OPP change is in flight (interrupts are masked).
+    pub fn is_transitioning(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Deadline of the executing transition step.
+    pub fn step_deadline(&self) -> Option<Seconds> {
+        self.step_deadline
+    }
+
+    /// `true` until brownout.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Time of death, if the board browned out.
+    pub fn death_time(&self) -> Option<Seconds> {
+        self.death_time
+    }
+
+    /// Completed work.
+    pub fn work(&self) -> &WorkAccount {
+        &self.work
+    }
+
+    /// Accumulated CPU time spent in the power-budgeting software.
+    pub fn control_cpu_time(&self) -> Seconds {
+        self.control_cpu
+    }
+
+    /// Number of OPP transitions started.
+    pub fn transitions_started(&self) -> u64 {
+        self.transitions_started
+    }
+
+    /// Board power right now (zero after brownout).
+    pub fn power(&self) -> Watts {
+        if !self.alive {
+            return Watts::ZERO;
+        }
+        let opp = self.effective_opp();
+        opp.power(self.platform.power(), self.platform.frequencies())
+            .unwrap_or(Watts::ZERO)
+    }
+
+    /// Starts a transition plan at time `t`. An empty plan is a no-op.
+    pub fn begin_transition(&mut self, plan: Vec<TransitionStep>, t: Seconds) {
+        if plan.is_empty() || !self.alive {
+            return;
+        }
+        // A new command pre-empts any queued (not yet guaranteed) steps:
+        // the executing step finishes, the rest are replaced. For
+        // simplicity — and because the governor masks interrupts during
+        // transitions — pre-emption only occurs from tick governors,
+        // where the previous plan is abandoned cleanly at a step edge.
+        self.current = plan.last().expect("non-empty plan").after;
+        self.pending = plan.into();
+        let first = self.pending.front().expect("non-empty plan");
+        self.step_deadline = Some(t + first.duration);
+        self.transitions_started += 1;
+    }
+
+    /// Completes the executing step at time `t`; returns `true` when
+    /// the whole transition has finished.
+    pub fn complete_step(&mut self, t: Seconds) -> bool {
+        self.pending.pop_front();
+        match self.pending.front() {
+            Some(next) => {
+                self.step_deadline = Some(t + next.duration);
+                false
+            }
+            None => {
+                self.step_deadline = None;
+                true
+            }
+        }
+    }
+
+    /// Accrues `dt` of execution at the effective OPP's rates, plus
+    /// `control_dt` of that window spent in the budgeting software.
+    pub fn accrue(&mut self, dt: Seconds, control_dt: Seconds) {
+        if !self.alive || dt.value() <= 0.0 {
+            return;
+        }
+        let opp = self.effective_opp();
+        let table = self.platform.frequencies();
+        let Ok(f) = table.frequency(opp.level()) else { return };
+        let fps = self.platform.perf().frames_per_second(opp.config(), f);
+        let ips = self.platform.perf().instructions_per_second(opp.config(), f);
+        self.work.accrue(dt.value(), fps, ips);
+        self.control_cpu += control_dt.min(dt);
+    }
+
+    /// Adds control-software CPU time outside the accrual path (e.g.
+    /// an interrupt handler at an event instant).
+    pub fn charge_control_time(&mut self, cost: Seconds) {
+        if self.alive {
+            self.control_cpu += cost;
+        }
+    }
+
+    /// Marks the board dead at `t` (supply fell below the operating
+    /// minimum).
+    pub fn brownout(&mut self, t: Seconds) {
+        if self.alive {
+            self.alive = false;
+            self.death_time = Some(t);
+            self.pending.clear();
+            self.step_deadline = None;
+        }
+    }
+
+    /// Resolves a requested level index against the platform table:
+    /// `usize::MAX` (and anything out of range) clamps to the top.
+    pub fn clamp_level(&self, level: usize) -> usize {
+        level.min(self.platform.frequencies().max_level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_soc::cores::CoreConfig;
+    use pn_soc::transition::{plan_transition, TransitionStrategy};
+
+    fn runtime() -> SocRuntime {
+        SocRuntime::new(Platform::odroid_xu4(), Opp::lowest())
+    }
+
+    fn plan(rt: &SocRuntime, from: Opp, to: Opp) -> Vec<TransitionStep> {
+        plan_transition(
+            from,
+            to,
+            TransitionStrategy::CoreFirst,
+            rt.platform().frequencies(),
+            rt.platform().latency(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn effective_opp_tracks_transition_steps() {
+        let mut rt = runtime();
+        let target = Opp::new(CoreConfig::new(2, 0).unwrap(), 2);
+        let p = plan(&rt, rt.current_opp(), target);
+        rt.begin_transition(p, Seconds::ZERO);
+        assert!(rt.is_transitioning());
+        // During the first step the old OPP still burns.
+        assert_eq!(rt.effective_opp().config(), CoreConfig::MIN);
+        // Walk all steps.
+        let mut t = rt.step_deadline().unwrap();
+        while !rt.complete_step(t) {
+            t = rt.step_deadline().unwrap();
+        }
+        assert!(!rt.is_transitioning());
+        assert_eq!(rt.effective_opp(), target);
+        assert_eq!(rt.transitions_started(), 1);
+    }
+
+    #[test]
+    fn power_drops_to_zero_after_brownout() {
+        let mut rt = runtime();
+        assert!(rt.power().value() > 1.0);
+        rt.brownout(Seconds::new(5.0));
+        assert!(!rt.is_alive());
+        assert_eq!(rt.power(), Watts::ZERO);
+        assert_eq!(rt.death_time(), Some(Seconds::new(5.0)));
+    }
+
+    #[test]
+    fn accrual_counts_work_and_overhead() {
+        let mut rt = runtime();
+        rt.accrue(Seconds::new(10.0), Seconds::new(0.01));
+        assert!(rt.work().instructions() > 0.0);
+        assert!((rt.control_cpu_time().value() - 0.01).abs() < 1e-12);
+        // Dead boards accrue nothing.
+        rt.brownout(Seconds::new(10.0));
+        let before = rt.work().instructions();
+        rt.accrue(Seconds::new(10.0), Seconds::ZERO);
+        assert_eq!(rt.work().instructions(), before);
+    }
+
+    #[test]
+    fn clamp_level_resolves_sentinels() {
+        let rt = runtime();
+        assert_eq!(rt.clamp_level(usize::MAX), 7);
+        assert_eq!(rt.clamp_level(3), 3);
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let mut rt = runtime();
+        rt.begin_transition(Vec::new(), Seconds::ZERO);
+        assert!(!rt.is_transitioning());
+        assert_eq!(rt.transitions_started(), 0);
+    }
+}

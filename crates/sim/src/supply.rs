@@ -1,0 +1,200 @@
+//! The energy supply driving the simulation.
+
+use crate::SimError;
+use pn_circuit::solar::SolarCell;
+use pn_harvest::irradiance::IrradianceTrace;
+use pn_units::{Amps, Seconds, Volts, WattsPerSquareMeter};
+
+/// A prescribed supply-voltage waveform (the paper's §V-A bench test
+/// with a controlled variable supply, Fig. 11).
+///
+/// # Examples
+///
+/// ```
+/// use pn_sim::supply::VoltageWaveform;
+/// use pn_units::{Seconds, Volts};
+///
+/// # fn main() -> Result<(), pn_sim::SimError> {
+/// let w = VoltageWaveform::new(vec![
+///     (Seconds::new(0.0), Volts::new(5.0)),
+///     (Seconds::new(10.0), Volts::new(5.5)),
+/// ])?;
+/// assert!((w.sample(Seconds::new(5.0)).value() - 5.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageWaveform {
+    samples: Vec<(Seconds, Volts)>,
+}
+
+impl VoltageWaveform {
+    /// Creates a waveform from samples sorted by strictly increasing
+    /// time (linear interpolation between, clamped outside).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty or unsorted
+    /// sample list.
+    pub fn new(samples: Vec<(Seconds, Volts)>) -> Result<Self, SimError> {
+        if samples.is_empty() {
+            return Err(SimError::InvalidConfig("waveform is empty"));
+        }
+        if samples.windows(2).any(|w| w[1].0 <= w[0].0) {
+            return Err(SimError::InvalidConfig("waveform times must strictly increase"));
+        }
+        Ok(Self { samples })
+    }
+
+    /// Builds a waveform by sampling `f` every `dt` over `[t0, t1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a non-positive `dt` or
+    /// empty span.
+    pub fn from_fn(
+        t0: Seconds,
+        t1: Seconds,
+        dt: Seconds,
+        mut f: impl FnMut(Seconds) -> Volts,
+    ) -> Result<Self, SimError> {
+        if !(dt.value() > 0.0) || t1 <= t0 {
+            return Err(SimError::InvalidConfig("bad waveform span"));
+        }
+        let n = ((t1 - t0).value() / dt.value()).ceil() as usize;
+        let mut samples = Vec::with_capacity(n + 1);
+        for k in 0..=n {
+            let t = (t0 + dt * k as f64).min(t1);
+            samples.push((t, f(t)));
+            if t >= t1 {
+                break;
+            }
+        }
+        Self::new(samples)
+    }
+
+    /// Voltage at time `t`.
+    pub fn sample(&self, t: Seconds) -> Volts {
+        let s = &self.samples;
+        if t <= s[0].0 {
+            return s[0].1;
+        }
+        if t >= s[s.len() - 1].0 {
+            return s[s.len() - 1].1;
+        }
+        let idx = s.partition_point(|(ts, _)| *ts <= t);
+        let (t0, v0) = s[idx - 1];
+        let (t1, v1) = s[idx];
+        v0 + (v1 - v0) * ((t - t0) / (t1 - t0))
+    }
+
+    /// End time of the waveform.
+    pub fn end(&self) -> Seconds {
+        self.samples[self.samples.len() - 1].0
+    }
+}
+
+/// The energy source of the simulated system.
+#[derive(Debug, Clone)]
+pub enum Supply {
+    /// A PV array under an irradiance trace, directly coupled to the
+    /// buffer capacitor (the paper's Figs. 2/8 topology).
+    Photovoltaic {
+        /// The array's single-diode model.
+        cell: SolarCell,
+        /// Irradiance over the simulated span.
+        irradiance: IrradianceTrace,
+    },
+    /// An ideal controlled voltage source that pins `VC` to a waveform
+    /// (the paper's §V-A verification rig).
+    Controlled {
+        /// The prescribed supply voltage.
+        waveform: VoltageWaveform,
+    },
+}
+
+impl Supply {
+    /// Irradiance at `t` for PV supplies (zero for controlled ones).
+    pub fn irradiance(&self, t: Seconds) -> WattsPerSquareMeter {
+        match self {
+            Supply::Photovoltaic { irradiance, .. } => irradiance.sample(t),
+            Supply::Controlled { .. } => WattsPerSquareMeter::ZERO,
+        }
+    }
+
+    /// Source current into the node at voltage `v` and time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PV operating-point solver failures.
+    pub fn current(&self, t: Seconds, v: Volts) -> Result<Amps, SimError> {
+        match self {
+            Supply::Photovoltaic { cell, irradiance } => {
+                Ok(cell.current(v, irradiance.sample(t))?)
+            }
+            Supply::Controlled { .. } => Ok(Amps::ZERO),
+        }
+    }
+
+    /// `true` for the controlled-voltage variant.
+    pub fn is_controlled(&self) -> bool {
+        matches!(self, Supply::Controlled { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_validation() {
+        assert!(VoltageWaveform::new(vec![]).is_err());
+        assert!(VoltageWaveform::new(vec![
+            (Seconds::new(1.0), Volts::new(5.0)),
+            (Seconds::new(1.0), Volts::new(5.1)),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn waveform_clamps_outside_span() {
+        let w = VoltageWaveform::new(vec![
+            (Seconds::new(1.0), Volts::new(4.5)),
+            (Seconds::new(2.0), Volts::new(5.5)),
+        ])
+        .unwrap();
+        assert_eq!(w.sample(Seconds::ZERO), Volts::new(4.5));
+        assert_eq!(w.sample(Seconds::new(3.0)), Volts::new(5.5));
+    }
+
+    #[test]
+    fn pv_supply_sources_current() {
+        let supply = Supply::Photovoltaic {
+            cell: SolarCell::odroid_array(),
+            irradiance: IrradianceTrace::constant(
+                Seconds::ZERO,
+                Seconds::new(10.0),
+                WattsPerSquareMeter::new(1000.0),
+            )
+            .unwrap(),
+        };
+        let i = supply.current(Seconds::new(1.0), Volts::new(5.0)).unwrap();
+        assert!(i.value() > 1.0);
+        assert!(!supply.is_controlled());
+    }
+
+    #[test]
+    fn controlled_supply_has_no_pv_current() {
+        let supply = Supply::Controlled {
+            waveform: VoltageWaveform::from_fn(
+                Seconds::ZERO,
+                Seconds::new(1.0),
+                Seconds::new(0.1),
+                |_| Volts::new(5.0),
+            )
+            .unwrap(),
+        };
+        assert_eq!(supply.current(Seconds::ZERO, Volts::new(5.0)).unwrap(), Amps::ZERO);
+        assert!(supply.is_controlled());
+    }
+}

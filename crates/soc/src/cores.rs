@@ -1,0 +1,240 @@
+//! Core types and hot-plug configurations of the Exynos5422.
+//!
+//! The platform has four Cortex-A7 "LITTLE" cores and four Cortex-A15
+//! "big" cores. CPU0 is a LITTLE core and can never be hot-unplugged
+//! (the governor itself must keep running), so every valid
+//! configuration has at least one LITTLE core.
+
+use crate::SocError;
+use std::fmt;
+
+/// The two core types of a big.LITTLE system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoreType {
+    /// Cortex-A7: low power, lower performance.
+    Little,
+    /// Cortex-A15: high performance, high power.
+    Big,
+}
+
+impl fmt::Display for CoreType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreType::Little => write!(f, "LITTLE (A7)"),
+            CoreType::Big => write!(f, "big (A15)"),
+        }
+    }
+}
+
+/// Number of cores of each type present in the Exynos5422 cluster.
+pub const CORES_PER_CLUSTER: u8 = 4;
+
+/// A hot-plug configuration: how many cores of each type are online.
+///
+/// Invariants: `1 ≤ little ≤ 4` and `0 ≤ big ≤ 4`.
+///
+/// # Examples
+///
+/// ```
+/// use pn_soc::cores::{CoreConfig, CoreType};
+///
+/// # fn main() -> Result<(), pn_soc::SocError> {
+/// let config = CoreConfig::new(4, 1)?;
+/// assert_eq!(config.total(), 5);
+/// let more = config.plugged(CoreType::Big).expect("room for another big core");
+/// assert_eq!(more.big(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreConfig {
+    little: u8,
+    big: u8,
+}
+
+impl CoreConfig {
+    /// The minimal configuration: one LITTLE core (CPU0).
+    pub const MIN: CoreConfig = CoreConfig { little: 1, big: 0 };
+
+    /// The maximal configuration: all eight cores online.
+    pub const MAX: CoreConfig = CoreConfig { little: 4, big: 4 };
+
+    /// Creates a configuration, validating the platform invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidCoreConfig`] when `little` is zero or
+    /// either count exceeds [`CORES_PER_CLUSTER`].
+    pub fn new(little: u8, big: u8) -> Result<Self, SocError> {
+        if little == 0 || little > CORES_PER_CLUSTER || big > CORES_PER_CLUSTER {
+            return Err(SocError::InvalidCoreConfig { little, big });
+        }
+        Ok(Self { little, big })
+    }
+
+    /// Number of online LITTLE cores.
+    pub fn little(&self) -> u8 {
+        self.little
+    }
+
+    /// Number of online big cores.
+    pub fn big(&self) -> u8 {
+        self.big
+    }
+
+    /// Total online cores.
+    pub fn total(&self) -> u8 {
+        self.little + self.big
+    }
+
+    /// Number of online cores of the given type.
+    pub fn count(&self, kind: CoreType) -> u8 {
+        match kind {
+            CoreType::Little => self.little,
+            CoreType::Big => self.big,
+        }
+    }
+
+    /// Returns the configuration with one more core of `kind`, or
+    /// `None` when that cluster is already fully online.
+    pub fn plugged(&self, kind: CoreType) -> Option<Self> {
+        match kind {
+            CoreType::Little if self.little < CORES_PER_CLUSTER => {
+                Some(Self { little: self.little + 1, ..*self })
+            }
+            CoreType::Big if self.big < CORES_PER_CLUSTER => {
+                Some(Self { big: self.big + 1, ..*self })
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the configuration with one fewer core of `kind`, or
+    /// `None` when removal would violate the invariants (no big cores
+    /// left to remove, or the last LITTLE core — CPU0 — is targeted).
+    pub fn unplugged(&self, kind: CoreType) -> Option<Self> {
+        match kind {
+            CoreType::Little if self.little > 1 => Some(Self { little: self.little - 1, ..*self }),
+            CoreType::Big if self.big > 0 => Some(Self { big: self.big - 1, ..*self }),
+            _ => None,
+        }
+    }
+
+    /// The eight-step configuration ladder of the paper's Fig. 4:
+    /// `1L, 2L, 3L, 4L, 4L+1b, 4L+2b, 4L+3b, 4L+4b`.
+    pub fn ladder() -> Vec<CoreConfig> {
+        let mut out = Vec::with_capacity(8);
+        for little in 1..=CORES_PER_CLUSTER {
+            out.push(CoreConfig { little, big: 0 });
+        }
+        for big in 1..=CORES_PER_CLUSTER {
+            out.push(CoreConfig { little: CORES_PER_CLUSTER, big });
+        }
+        out
+    }
+
+    /// Every valid configuration (4 × 5 = 20 combinations).
+    pub fn all() -> Vec<CoreConfig> {
+        let mut out = Vec::with_capacity(20);
+        for little in 1..=CORES_PER_CLUSTER {
+            for big in 0..=CORES_PER_CLUSTER {
+                out.push(CoreConfig { little, big });
+            }
+        }
+        out
+    }
+}
+
+impl Default for CoreConfig {
+    /// Defaults to the minimal configuration (CPU0 only).
+    fn default() -> Self {
+        Self::MIN
+    }
+}
+
+impl fmt::Display for CoreConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.big == 0 {
+            write!(f, "{}xA7", self.little)
+        } else {
+            write!(f, "{}xA7+{}xA15", self.little, self.big)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_zero_little_cores() {
+        assert!(matches!(CoreConfig::new(0, 2), Err(SocError::InvalidCoreConfig { .. })));
+    }
+
+    #[test]
+    fn rejects_oversized_clusters() {
+        assert!(CoreConfig::new(5, 0).is_err());
+        assert!(CoreConfig::new(4, 5).is_err());
+    }
+
+    #[test]
+    fn plug_saturates_at_cluster_size() {
+        let full = CoreConfig::MAX;
+        assert!(full.plugged(CoreType::Little).is_none());
+        assert!(full.plugged(CoreType::Big).is_none());
+    }
+
+    #[test]
+    fn unplug_protects_cpu0() {
+        let min = CoreConfig::MIN;
+        assert!(min.unplugged(CoreType::Little).is_none());
+        assert!(min.unplugged(CoreType::Big).is_none());
+    }
+
+    #[test]
+    fn ladder_matches_fig4() {
+        let ladder = CoreConfig::ladder();
+        assert_eq!(ladder.len(), 8);
+        assert_eq!(ladder[0], CoreConfig::MIN);
+        assert_eq!(ladder[3], CoreConfig::new(4, 0).unwrap());
+        assert_eq!(ladder[7], CoreConfig::MAX);
+        // Strictly increasing total core count along the ladder.
+        for pair in ladder.windows(2) {
+            assert_eq!(pair[1].total(), pair[0].total() + 1);
+        }
+    }
+
+    #[test]
+    fn all_enumerates_twenty_configs() {
+        let all = CoreConfig::all();
+        assert_eq!(all.len(), 20);
+        assert!(all.iter().all(|c| c.little() >= 1));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(CoreConfig::new(4, 0).unwrap().to_string(), "4xA7");
+        assert_eq!(CoreConfig::new(4, 2).unwrap().to_string(), "4xA7+2xA15");
+    }
+
+    proptest! {
+        #[test]
+        fn plug_then_unplug_is_identity(little in 1u8..4, big in 0u8..4) {
+            let c = CoreConfig::new(little, big).unwrap();
+            for kind in [CoreType::Little, CoreType::Big] {
+                if let Some(p) = c.plugged(kind) {
+                    prop_assert_eq!(p.unplugged(kind).unwrap(), c);
+                }
+            }
+        }
+
+        #[test]
+        fn total_is_sum(little in 1u8..=4, big in 0u8..=4) {
+            let c = CoreConfig::new(little, big).unwrap();
+            prop_assert_eq!(c.total(), little + big);
+            prop_assert_eq!(c.count(CoreType::Little), little);
+            prop_assert_eq!(c.count(CoreType::Big), big);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for platform-model construction and lookups.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the platform model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A core configuration violated the platform's invariants
+    /// (at least one LITTLE core, at most four of each type).
+    InvalidCoreConfig {
+        /// Requested LITTLE core count.
+        little: u8,
+        /// Requested big core count.
+        big: u8,
+    },
+    /// A frequency-level index was outside the table.
+    LevelOutOfRange {
+        /// The requested level.
+        level: usize,
+        /// Number of levels available.
+        available: usize,
+    },
+    /// A frequency table was constructed empty or unsorted.
+    InvalidFrequencyTable(&'static str),
+    /// A model parameter was out of its physical domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::InvalidCoreConfig { little, big } => {
+                write!(f, "invalid core configuration: {little} LITTLE + {big} big")
+            }
+            SocError::LevelOutOfRange { level, available } => {
+                write!(f, "frequency level {level} out of range (table has {available})")
+            }
+            SocError::InvalidFrequencyTable(why) => write!(f, "invalid frequency table: {why}"),
+            SocError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SocError::InvalidCoreConfig { little: 0, big: 5 }.to_string().contains("0 LITTLE"));
+        assert!(SocError::LevelOutOfRange { level: 9, available: 8 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<SocError>();
+    }
+}

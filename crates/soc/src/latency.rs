@@ -1,0 +1,203 @@
+//! DVFS and core hot-plug transition latencies (Fig. 10).
+//!
+//! Fig. 10 measures two overheads on the ODROID XU4:
+//!
+//! * **core hot-plug** (top panel): tens of milliseconds per core, and
+//!   markedly *slower at low clock frequency* — the kernel's hot-plug
+//!   path itself runs on the throttled cores (≈8–15 ms at 1.4 GHz but
+//!   20–40 ms at 200 MHz);
+//! * **DVFS** (bottom panel): single milliseconds per level change,
+//!   growing slightly with the number of online cores and marginally
+//!   more expensive for down-transitions.
+//!
+//! This asymmetry is the paper's whole argument for Table I: reducing
+//! performance *core-first* is far cheaper than *frequency-first*,
+//! because frequency-first is forced to hot-plug at 200 MHz.
+
+use crate::cores::CoreConfig;
+use crate::SocError;
+use pn_units::{Hertz, Seconds};
+
+/// Direction of a frequency change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DvfsDirection {
+    /// Moving to a higher frequency.
+    Up,
+    /// Moving to a lower frequency.
+    Down,
+}
+
+/// The calibrated transition-latency model.
+///
+/// # Examples
+///
+/// ```
+/// use pn_soc::latency::LatencyModel;
+/// use pn_units::Hertz;
+///
+/// let lat = LatencyModel::odroid_xu4();
+/// let slow = lat.hotplug_latency(8, Hertz::from_gigahertz(0.2));
+/// let fast = lat.hotplug_latency(8, Hertz::from_gigahertz(1.4));
+/// assert!(slow > fast * 2.0); // hot-plugging at 200 MHz is much slower
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Hot-plug base latency in milliseconds.
+    hotplug_base_ms: f64,
+    /// Hot-plug latency growth per (target) online-core count, ms.
+    hotplug_per_core_ms: f64,
+    /// Frequency sensitivity of hot-plug: multiplies by `1 + k/f_GHz`.
+    hotplug_freq_factor: f64,
+    /// DVFS base latency in milliseconds.
+    dvfs_base_ms: f64,
+    /// DVFS latency growth per online core, ms.
+    dvfs_per_core_ms: f64,
+    /// Extra DVFS latency for down-transitions, ms.
+    dvfs_down_extra_ms: f64,
+}
+
+impl LatencyModel {
+    /// Creates a model from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for negative terms.
+    pub fn new(
+        hotplug_base_ms: f64,
+        hotplug_per_core_ms: f64,
+        hotplug_freq_factor: f64,
+        dvfs_base_ms: f64,
+        dvfs_per_core_ms: f64,
+        dvfs_down_extra_ms: f64,
+    ) -> Result<Self, SocError> {
+        let all = [
+            hotplug_base_ms,
+            hotplug_per_core_ms,
+            hotplug_freq_factor,
+            dvfs_base_ms,
+            dvfs_per_core_ms,
+            dvfs_down_extra_ms,
+        ];
+        if all.iter().any(|x| *x < 0.0 || !x.is_finite()) {
+            return Err(SocError::InvalidParameter("latency terms must be non-negative"));
+        }
+        Ok(Self {
+            hotplug_base_ms,
+            hotplug_per_core_ms,
+            hotplug_freq_factor,
+            dvfs_base_ms,
+            dvfs_per_core_ms,
+            dvfs_down_extra_ms,
+        })
+    }
+
+    /// The calibrated ODROID XU4 model (Fig. 10).
+    pub fn odroid_xu4() -> Self {
+        Self::new(3.0, 0.45, 0.8, 0.8, 0.18, 0.4).expect("preset latency model is valid")
+    }
+
+    /// Latency of one hot-plug operation whose *end state* has
+    /// `target_total` online cores, performed while running at clock
+    /// frequency `f`. Covers both plug and unplug (Fig. 10, top).
+    pub fn hotplug_latency(&self, target_total: u8, f: Hertz) -> Seconds {
+        let f_ghz = f.to_gigahertz().max(0.05);
+        let ms = (self.hotplug_base_ms + self.hotplug_per_core_ms * f64::from(target_total))
+            * (1.0 + self.hotplug_freq_factor / f_ghz);
+        Seconds::from_millis(ms)
+    }
+
+    /// Latency of a single-level frequency change at the given core
+    /// configuration (Fig. 10, bottom).
+    pub fn dvfs_latency(&self, config: CoreConfig, direction: DvfsDirection) -> Seconds {
+        let mut ms = self.dvfs_base_ms + self.dvfs_per_core_ms * f64::from(config.total());
+        if direction == DvfsDirection::Down {
+            ms += self.dvfs_down_extra_ms;
+        }
+        Seconds::from_millis(ms)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::odroid_xu4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ghz(g: f64) -> Hertz {
+        Hertz::from_gigahertz(g)
+    }
+
+    #[test]
+    fn fig10_hotplug_magnitudes() {
+        let lat = LatencyModel::odroid_xu4();
+        // At 200 MHz: ~20–40 ms per transition.
+        let at_02 = lat.hotplug_latency(8, ghz(0.2)).to_millis();
+        assert!(at_02 > 20.0 && at_02 < 45.0, "got {at_02} ms");
+        // At 1.4 GHz: ~5–20 ms per transition.
+        let at_14 = lat.hotplug_latency(8, ghz(1.4)).to_millis();
+        assert!(at_14 > 5.0 && at_14 < 20.0, "got {at_14} ms");
+    }
+
+    #[test]
+    fn fig10_dvfs_magnitudes() {
+        let lat = LatencyModel::odroid_xu4();
+        for total in [1u8, 4, 5, 8] {
+            let config = if total <= 4 {
+                CoreConfig::new(total, 0).unwrap()
+            } else {
+                CoreConfig::new(4, total - 4).unwrap()
+            };
+            for dir in [DvfsDirection::Up, DvfsDirection::Down] {
+                let ms = lat.dvfs_latency(config, dir).to_millis();
+                assert!(ms > 0.3 && ms < 3.0, "dvfs {ms} ms out of Fig. 10 range");
+            }
+        }
+    }
+
+    #[test]
+    fn hotplug_much_slower_at_low_frequency() {
+        let lat = LatencyModel::odroid_xu4();
+        let ratio = lat.hotplug_latency(5, ghz(0.2)) / lat.hotplug_latency(5, ghz(1.4));
+        assert!(ratio > 2.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn dvfs_is_orders_of_magnitude_cheaper_than_hotplug() {
+        let lat = LatencyModel::odroid_xu4();
+        let dvfs = lat.dvfs_latency(CoreConfig::MAX, DvfsDirection::Down);
+        let plug = lat.hotplug_latency(8, ghz(1.4));
+        assert!(plug / dvfs > 3.0);
+    }
+
+    #[test]
+    fn down_transitions_cost_more() {
+        let lat = LatencyModel::odroid_xu4();
+        let c = CoreConfig::new(4, 2).unwrap();
+        assert!(lat.dvfs_latency(c, DvfsDirection::Down) > lat.dvfs_latency(c, DvfsDirection::Up));
+    }
+
+    #[test]
+    fn constructor_rejects_negative_terms() {
+        assert!(LatencyModel::new(-1.0, 0.5, 0.8, 0.8, 0.2, 0.4).is_err());
+        assert!(LatencyModel::new(3.0, 0.5, 0.8, 0.8, 0.2, f64::NAN).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn hotplug_monotone_in_core_count(f in 0.2f64..1.4, n in 1u8..8) {
+            let lat = LatencyModel::odroid_xu4();
+            prop_assert!(lat.hotplug_latency(n + 1, ghz(f)) > lat.hotplug_latency(n, ghz(f)));
+        }
+
+        #[test]
+        fn hotplug_monotone_in_frequency(f in 0.2f64..1.3, df in 0.05f64..0.2, n in 1u8..=8) {
+            let lat = LatencyModel::odroid_xu4();
+            prop_assert!(lat.hotplug_latency(n, ghz(f)) > lat.hotplug_latency(n, ghz(f + df)));
+        }
+    }
+}

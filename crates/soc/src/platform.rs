@@ -1,0 +1,224 @@
+//! The assembled platform description.
+//!
+//! [`Platform`] bundles the frequency table, power, performance and
+//! latency models together with the board's electrical operating window
+//! — everything the governor and the co-simulation need.
+
+use crate::freq::FrequencyTable;
+use crate::latency::LatencyModel;
+use crate::perf::PerfModel;
+use crate::power::PowerModel;
+use crate::SocError;
+use pn_units::Volts;
+
+/// The safe electrical operating window of the board's supply input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageWindow {
+    /// Minimum operating voltage; below this the board browns out.
+    pub min: Volts,
+    /// Maximum rated operating voltage.
+    pub max: Volts,
+}
+
+impl VoltageWindow {
+    /// The ODROID XU4 window quoted in the paper: 4.1 V – 5.7 V.
+    pub fn odroid_xu4() -> Self {
+        Self { min: Volts::new(4.1), max: Volts::new(5.7) }
+    }
+
+    /// `true` when `v` lies inside the window.
+    pub fn contains(&self, v: Volts) -> bool {
+        v >= self.min && v <= self.max
+    }
+
+    /// Width of the window.
+    pub fn width(&self) -> Volts {
+        self.max - self.min
+    }
+}
+
+/// A complete platform description.
+///
+/// # Examples
+///
+/// ```
+/// use pn_soc::platform::Platform;
+///
+/// let xu4 = Platform::odroid_xu4();
+/// assert_eq!(xu4.name(), "ODROID XU4 (Exynos5422)");
+/// assert_eq!(xu4.frequencies().len(), 8);
+/// assert!(xu4.voltage_window().contains(xu4.target_voltage()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    name: String,
+    frequencies: FrequencyTable,
+    power: PowerModel,
+    perf: PerfModel,
+    latency: LatencyModel,
+    voltage_window: VoltageWindow,
+    target_voltage: Volts,
+}
+
+impl Platform {
+    /// Assembles a platform from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when the target voltage
+    /// lies outside the operating window or the window is inverted.
+    pub fn new(
+        name: impl Into<String>,
+        frequencies: FrequencyTable,
+        power: PowerModel,
+        perf: PerfModel,
+        latency: LatencyModel,
+        voltage_window: VoltageWindow,
+        target_voltage: Volts,
+    ) -> Result<Self, SocError> {
+        if voltage_window.min >= voltage_window.max {
+            return Err(SocError::InvalidParameter("voltage window is inverted"));
+        }
+        if !voltage_window.contains(target_voltage) {
+            return Err(SocError::InvalidParameter("target voltage outside operating window"));
+        }
+        Ok(Self {
+            name: name.into(),
+            frequencies,
+            power,
+            perf,
+            latency,
+            voltage_window,
+            target_voltage,
+        })
+    }
+
+    /// The ODROID XU4 preset used throughout the paper, with the target
+    /// voltage set to the PV array's calibrated maximum power point
+    /// (5.3 V, §V-B).
+    pub fn odroid_xu4() -> Self {
+        Self::new(
+            "ODROID XU4 (Exynos5422)",
+            FrequencyTable::paper_levels(),
+            PowerModel::odroid_xu4(),
+            PerfModel::odroid_xu4(),
+            LatencyModel::odroid_xu4(),
+            VoltageWindow::odroid_xu4(),
+            Volts::new(5.3),
+        )
+        .expect("preset platform is valid")
+    }
+
+    /// Human-readable platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The DVFS frequency table.
+    pub fn frequencies(&self) -> &FrequencyTable {
+        &self.frequencies
+    }
+
+    /// The board power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The performance model.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// The transition-latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The electrical operating window.
+    pub fn voltage_window(&self) -> VoltageWindow {
+        self.voltage_window
+    }
+
+    /// The supply-voltage target (the PV array's MPP voltage in the
+    /// paper's experiments).
+    pub fn target_voltage(&self) -> Volts {
+        self.target_voltage
+    }
+
+    /// Returns a copy with a different target voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] when the target lies
+    /// outside the operating window.
+    pub fn with_target_voltage(mut self, target: Volts) -> Result<Self, SocError> {
+        if !self.voltage_window.contains(target) {
+            return Err(SocError::InvalidParameter("target voltage outside operating window"));
+        }
+        self.target_voltage = target;
+        Ok(self)
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::odroid_xu4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cores::CoreConfig;
+    use crate::opp::Opp;
+
+    #[test]
+    fn preset_is_self_consistent() {
+        let p = Platform::odroid_xu4();
+        assert!(p.voltage_window().contains(p.target_voltage()));
+        assert_eq!(p.frequencies().len(), 8);
+        // Power at the top OPP is within the Fig. 4 envelope.
+        let top = Opp::highest(p.frequencies());
+        let w = top.power(p.power(), p.frequencies()).unwrap();
+        assert!(w.value() < 7.5);
+    }
+
+    #[test]
+    fn rejects_target_outside_window() {
+        let p = Platform::odroid_xu4();
+        assert!(p.clone().with_target_voltage(Volts::new(3.0)).is_err());
+        assert!(p.with_target_voltage(Volts::new(5.0)).is_ok());
+    }
+
+    #[test]
+    fn rejects_inverted_window() {
+        let err = Platform::new(
+            "bad",
+            FrequencyTable::paper_levels(),
+            PowerModel::odroid_xu4(),
+            PerfModel::odroid_xu4(),
+            LatencyModel::odroid_xu4(),
+            VoltageWindow { min: Volts::new(5.7), max: Volts::new(4.1) },
+            Volts::new(5.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SocError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn window_geometry() {
+        let w = VoltageWindow::odroid_xu4();
+        assert!((w.width().value() - 1.6).abs() < 1e-12);
+        assert!(w.contains(Volts::new(4.1)));
+        assert!(w.contains(Volts::new(5.7)));
+        assert!(!w.contains(Volts::new(5.71)));
+    }
+
+    #[test]
+    fn lowest_opp_is_cpu0_at_min_frequency() {
+        let p = Platform::odroid_xu4();
+        let low = Opp::lowest();
+        assert_eq!(low.config(), CoreConfig::MIN);
+        assert_eq!(low.frequency(p.frequencies()).unwrap(), p.frequencies().min_frequency());
+    }
+}

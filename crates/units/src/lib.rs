@@ -1,0 +1,65 @@
+//! Newtype physical quantities with dimensional arithmetic.
+//!
+//! Every electrical and temporal quantity used by the `power-neutral`
+//! workspace is a newtype over `f64` ([C-NEWTYPE]). The wrappers are
+//! deliberately thin — they exist so that a capacitance can never be
+//! passed where a voltage is expected — while cross-type operator
+//! overloads encode the handful of physical laws the simulator relies on
+//! (`V·A = W`, `W·s = J`, `A·s = C`, `Q/V = F`, `V/Ω = A`, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use pn_units::{Volts, Amps, Watts, Seconds};
+//!
+//! let v = Volts::new(5.3);
+//! let i = Amps::new(0.5);
+//! let p: Watts = v * i;
+//! assert!((p.value() - 2.65).abs() < 1e-12);
+//!
+//! let e = p * Seconds::new(2.0);
+//! assert!((e.value() - 5.3).abs() < 1e-12);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+mod quantity;
+
+pub use quantity::{
+    Amps, Celsius, Coulombs, Farads, Gigahertz, Hertz, Joules, Ohms, Seconds, Volts, Watts,
+    WattsPerSquareMeter,
+};
+
+/// Boltzmann constant divided by elementary charge, in volts per kelvin.
+///
+/// Used to compute the diode thermal voltage `V_T = k·T/q`.
+pub const BOLTZMANN_OVER_CHARGE: f64 = 8.617_333_262e-5;
+
+/// Diode thermal voltage at the given cell temperature.
+///
+/// # Examples
+///
+/// ```
+/// use pn_units::{thermal_voltage, Celsius};
+/// let vt = thermal_voltage(Celsius::new(25.0));
+/// assert!((vt.value() - 0.02569).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(temperature: Celsius) -> Volts {
+    Volts::new(BOLTZMANN_OVER_CHARGE * temperature.to_kelvin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = thermal_voltage(Celsius::new(25.0));
+        assert!((vt.value() - 0.025693).abs() < 1e-5, "got {vt}");
+    }
+
+    #[test]
+    fn thermal_voltage_scales_with_temperature() {
+        assert!(thermal_voltage(Celsius::new(60.0)) > thermal_voltage(Celsius::new(20.0)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Rays, spheres and materials (the geometric core of smallpt).
+
+use crate::vec3::Vec3;
+
+/// A ray with origin and (unit) direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Origin point.
+    pub origin: Vec3,
+    /// Direction (assumed normalised).
+    pub direction: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray.
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Self { origin, direction }
+    }
+
+    /// Point at parameter `t` along the ray.
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.direction * t
+    }
+}
+
+/// Surface reflectance model (smallpt's `Refl_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Material {
+    /// Lambertian diffuse.
+    Diffuse,
+    /// Perfect mirror.
+    Specular,
+    /// Dielectric (glass) with Fresnel refraction.
+    Refractive,
+}
+
+/// A sphere primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Radius.
+    pub radius: f64,
+    /// Centre position.
+    pub position: Vec3,
+    /// Emitted radiance (lights have non-zero emission).
+    pub emission: Vec3,
+    /// Surface albedo.
+    pub color: Vec3,
+    /// Reflectance model.
+    pub material: Material,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    pub fn new(radius: f64, position: Vec3, emission: Vec3, color: Vec3, material: Material) -> Self {
+        Self { radius, position, emission, color, material }
+    }
+
+    /// Ray–sphere intersection; returns the positive hit distance or
+    /// `None` (smallpt's `intersect`, solving the quadratic with the
+    /// numerically stable half-b form).
+    pub fn intersect(&self, ray: &Ray) -> Option<f64> {
+        const EPS: f64 = 1e-4;
+        let op = self.position - ray.origin;
+        let b = op.dot(ray.direction);
+        let det_sq = b * b - op.dot(op) + self.radius * self.radius;
+        if det_sq < 0.0 {
+            return None;
+        }
+        let det = det_sq.sqrt();
+        let t1 = b - det;
+        if t1 > EPS {
+            return Some(t1);
+        }
+        let t2 = b + det;
+        if t2 > EPS {
+            return Some(t2);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_sphere() -> Sphere {
+        Sphere::new(1.0, Vec3::ZERO, Vec3::ZERO, Vec3::new(0.5, 0.5, 0.5), Material::Diffuse)
+    }
+
+    #[test]
+    fn head_on_hit() {
+        let s = unit_sphere();
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let t = s.intersect(&r).unwrap();
+        assert!((t - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let s = unit_sphere();
+        let r = Ray::new(Vec3::new(0.0, 3.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(s.intersect(&r).is_none());
+    }
+
+    #[test]
+    fn inside_hit_uses_far_root() {
+        let s = unit_sphere();
+        let r = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        let t = s.intersect(&r).unwrap();
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn behind_the_ray_is_a_miss() {
+        let s = unit_sphere();
+        let r = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(s.intersect(&r).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn hit_point_lies_on_the_sphere(
+            ox in -10.0f64..-2.0, oy in -1.0f64..1.0, oz in -1.0f64..1.0,
+        ) {
+            let s = unit_sphere();
+            // Aim from the left at the sphere's centre.
+            let origin = Vec3::new(ox, oy, oz);
+            let dir = (s.position - origin).norm();
+            let r = Ray::new(origin, dir);
+            if let Some(t) = s.intersect(&r) {
+                let p = r.at(t);
+                prop_assert!(((p - s.position).length() - s.radius).abs() < 1e-6);
+            }
+        }
+    }
+}

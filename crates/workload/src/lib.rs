@@ -1,0 +1,22 @@
+//! The benchmark workload: a Rust port of smallpt plus synthetic work
+//! accounting.
+//!
+//! The paper benchmarks its platform with *smallpt*, Kevin Beason's
+//! 99-line global-illumination path tracer, rendering at 5 samples per
+//! pixel — a trivially parallel, CPU-saturating workload. This crate
+//! provides:
+//!
+//! * [`vec3`], [`geometry`], [`scene`], [`render`] — a faithful port of
+//!   smallpt (diffuse/mirror/glass spheres in a Cornell box, explicit
+//!   cosine-weighted sampling, Russian roulette), runnable from the
+//!   workspace examples so the workload is *real*, not hand-waved;
+//! * [`work`] — the accounting used inside the simulator, where
+//!   throughput models (frames/s, instructions/s per OPP) are
+//!   integrated over time into completed frames, renders and
+//!   instructions (the Table II metrics).
+
+pub mod geometry;
+pub mod render;
+pub mod scene;
+pub mod vec3;
+pub mod work;

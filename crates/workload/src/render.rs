@@ -1,0 +1,251 @@
+//! The path-tracing core (smallpt's `radiance` and `main` loops).
+
+use crate::geometry::{Material, Ray};
+use crate::scene::Scene;
+use crate::vec3::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Render settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderSettings {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Samples per pixel (the paper benchmarks at quality 5).
+    pub samples_per_pixel: usize,
+    /// RNG seed for reproducible images.
+    pub seed: u64,
+}
+
+impl RenderSettings {
+    /// The paper's benchmark quality at a thumbnail size that renders
+    /// in well under a second — used by tests and the quickstart
+    /// example.
+    pub fn benchmark_thumbnail() -> Self {
+        Self { width: 64, height: 48, samples_per_pixel: 5, seed: 0 }
+    }
+}
+
+/// A rendered image with simple statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Linear-radiance pixels, row-major, bottom-up (smallpt order).
+    pub pixels: Vec<Vec3>,
+    /// Total camera + bounce rays traced.
+    pub rays_traced: u64,
+}
+
+impl RenderedImage {
+    /// Mean pixel luminance (for smoke-testing convergence).
+    pub fn mean_luminance(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 =
+            self.pixels.iter().map(|p| 0.2126 * p.x + 0.7152 * p.y + 0.0722 * p.z).sum();
+        sum / self.pixels.len() as f64
+    }
+
+    /// Encodes the image as a binary PPM (P6) byte stream with
+    /// smallpt's gamma-2.2 tone mapping.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        fn to_byte(v: f64) -> u8 {
+            (v.clamp(0.0, 1.0).powf(1.0 / 2.2) * 255.0 + 0.5) as u8
+        }
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        // smallpt stores bottom-up; PPM wants top-down.
+        for row in (0..self.height).rev() {
+            for col in 0..self.width {
+                let p = self.pixels[row * self.width + col];
+                out.extend_from_slice(&[to_byte(p.x), to_byte(p.y), to_byte(p.z)]);
+            }
+        }
+        out
+    }
+}
+
+fn radiance(scene: &Scene, ray: &Ray, depth: u32, rng: &mut StdRng, rays: &mut u64) -> Vec3 {
+    *rays += 1;
+    let Some((t, idx)) = scene.intersect(ray) else {
+        return Vec3::ZERO;
+    };
+    let obj = scene.spheres()[idx];
+    let x = ray.at(t);
+    let n = (x - obj.position).norm();
+    let nl = if n.dot(ray.direction) < 0.0 { n } else { -n };
+    let mut f = obj.color;
+    let p = f.max_component();
+    let depth = depth + 1;
+    if depth > 5 {
+        // Russian roulette.
+        if rng.gen::<f64>() < p && depth < 64 {
+            f = f * (1.0 / p);
+        } else {
+            return obj.emission;
+        }
+    }
+    match obj.material {
+        Material::Diffuse => {
+            // Cosine-weighted hemisphere sample around nl.
+            let r1 = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+            let r2: f64 = rng.gen();
+            let r2s = r2.sqrt();
+            let w = nl;
+            let u = (if w.x.abs() > 0.1 { Vec3::new(0.0, 1.0, 0.0) } else { Vec3::new(1.0, 0.0, 0.0) }
+                % w)
+                .norm();
+            let v = w % u;
+            let d = (u * (r1.cos() * r2s) + v * (r1.sin() * r2s) + w * (1.0 - r2).sqrt()).norm();
+            obj.emission + f.mult(radiance(scene, &Ray::new(x, d), depth, rng, rays))
+        }
+        Material::Specular => {
+            let refl = ray.direction - n * (2.0 * n.dot(ray.direction));
+            obj.emission + f.mult(radiance(scene, &Ray::new(x, refl), depth, rng, rays))
+        }
+        Material::Refractive => {
+            let refl_ray = Ray::new(x, ray.direction - n * (2.0 * n.dot(ray.direction)));
+            let into = n.dot(nl) > 0.0;
+            let nc = 1.0;
+            let nt = 1.5;
+            let nnt = if into { nc / nt } else { nt / nc };
+            let ddn = ray.direction.dot(nl);
+            let cos2t = 1.0 - nnt * nnt * (1.0 - ddn * ddn);
+            if cos2t < 0.0 {
+                // Total internal reflection.
+                return obj.emission + f.mult(radiance(scene, &refl_ray, depth, rng, rays));
+            }
+            let tdir = (ray.direction * nnt
+                - n * ((if into { 1.0 } else { -1.0 }) * (ddn * nnt + cos2t.sqrt())))
+            .norm();
+            let a = nt - nc;
+            let b = nt + nc;
+            let r0 = a * a / (b * b);
+            let c = 1.0 - if into { -ddn } else { tdir.dot(n) };
+            let re = r0 + (1.0 - r0) * c.powi(5);
+            let tr = 1.0 - re;
+            let pp = 0.25 + 0.5 * re;
+            obj.emission
+                + f.mult(if depth > 2 {
+                    if rng.gen::<f64>() < pp {
+                        radiance(scene, &refl_ray, depth, rng, rays) * (re / pp)
+                    } else {
+                        radiance(scene, &Ray::new(x, tdir), depth, rng, rays) * (tr / (1.0 - pp))
+                    }
+                } else {
+                    radiance(scene, &refl_ray, depth, rng, rays) * re
+                        + radiance(scene, &Ray::new(x, tdir), depth, rng, rays) * tr
+                })
+        }
+    }
+}
+
+/// Renders the scene with smallpt's camera and 2×2 tent-filter
+/// subsampling.
+///
+/// # Examples
+///
+/// ```
+/// use pn_workload::render::{render, RenderSettings};
+/// use pn_workload::scene::Scene;
+///
+/// let img = render(&Scene::cornell_box(), RenderSettings {
+///     width: 16, height: 12, samples_per_pixel: 1, seed: 7,
+/// });
+/// assert_eq!(img.pixels.len(), 16 * 12);
+/// assert!(img.rays_traced > 0);
+/// ```
+pub fn render(scene: &Scene, settings: RenderSettings) -> RenderedImage {
+    let RenderSettings { width: w, height: h, samples_per_pixel, seed } = settings;
+    let samps = (samples_per_pixel / 4).max(1);
+    let cam = Ray::new(Vec3::new(50.0, 52.0, 295.6), Vec3::new(0.0, -0.042612, -1.0).norm());
+    let cx = Vec3::new(w as f64 * 0.5135 / h as f64, 0.0, 0.0);
+    let cy = (cx % cam.direction).norm() * 0.5135;
+    let mut pixels = vec![Vec3::ZERO; w * h];
+    let mut rays: u64 = 0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let mut c = Vec3::ZERO;
+            for sy in 0..2 {
+                for sx in 0..2 {
+                    let mut r = Vec3::ZERO;
+                    for _ in 0..samps {
+                        let r1: f64 = 2.0 * rng.gen::<f64>();
+                        let dx =
+                            if r1 < 1.0 { r1.sqrt() - 1.0 } else { 1.0 - (2.0 - r1).sqrt() };
+                        let r2: f64 = 2.0 * rng.gen::<f64>();
+                        let dy =
+                            if r2 < 1.0 { r2.sqrt() - 1.0 } else { 1.0 - (2.0 - r2).sqrt() };
+                        let d = cx
+                            * (((sx as f64 + 0.5 + dx) / 2.0 + x as f64) / w as f64 - 0.5)
+                            + cy * (((sy as f64 + 0.5 + dy) / 2.0 + y as f64) / h as f64 - 0.5)
+                            + cam.direction;
+                        let ray = Ray::new(cam.origin + d * 140.0, d.norm());
+                        r = r + radiance(scene, &ray, 0, &mut rng, &mut rays)
+                            * (1.0 / samps as f64);
+                    }
+                    c = c
+                        + Vec3::new(
+                            r.x.clamp(0.0, 1.0),
+                            r.y.clamp(0.0, 1.0),
+                            r.z.clamp(0.0, 1.0),
+                        ) * 0.25;
+                }
+            }
+            pixels[i] = c;
+        }
+    }
+    RenderedImage { width: w, height: h, pixels, rays_traced: rays }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_per_seed() {
+        let scene = Scene::cornell_box();
+        let s = RenderSettings { width: 8, height: 6, samples_per_pixel: 2, seed: 3 };
+        let a = render(&scene, s);
+        let b = render(&scene, s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn image_is_not_black() {
+        let scene = Scene::cornell_box();
+        let img = render(&scene, RenderSettings::benchmark_thumbnail());
+        assert!(
+            img.mean_luminance() > 0.02,
+            "scene too dark: {}",
+            img.mean_luminance()
+        );
+    }
+
+    #[test]
+    fn more_pixels_means_more_rays() {
+        let scene = Scene::cornell_box();
+        let small =
+            render(&scene, RenderSettings { width: 8, height: 6, samples_per_pixel: 2, seed: 1 });
+        let big =
+            render(&scene, RenderSettings { width: 16, height: 12, samples_per_pixel: 2, seed: 1 });
+        assert!(big.rays_traced > small.rays_traced);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let scene = Scene::cornell_box();
+        let img =
+            render(&scene, RenderSettings { width: 8, height: 6, samples_per_pixel: 1, seed: 1 });
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n8 6\n255\n"));
+        assert_eq!(ppm.len(), "P6\n8 6\n255\n".len() + 8 * 6 * 3);
+    }
+}

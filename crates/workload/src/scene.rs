@@ -1,0 +1,109 @@
+//! The smallpt Cornell-box scene.
+
+use crate::geometry::{Material, Ray, Sphere};
+use crate::vec3::Vec3;
+
+/// A collection of spheres with intersection queries.
+///
+/// # Examples
+///
+/// ```
+/// use pn_workload::scene::Scene;
+///
+/// let scene = Scene::cornell_box();
+/// assert_eq!(scene.spheres().len(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    spheres: Vec<Sphere>,
+}
+
+impl Scene {
+    /// Creates a scene from spheres.
+    pub fn new(spheres: Vec<Sphere>) -> Self {
+        Self { spheres }
+    }
+
+    /// The canonical smallpt scene: a Cornell box built from six huge
+    /// wall spheres, one mirror ball, one glass ball and a spherical
+    /// ceiling light.
+    pub fn cornell_box() -> Self {
+        let v = Vec3::new;
+        let z = Vec3::ZERO;
+        let grey = |k: f64| v(k, k, k);
+        Self::new(vec![
+            // Left wall (red).
+            Sphere::new(1e5, v(1e5 + 1.0, 40.8, 81.6), z, v(0.75, 0.25, 0.25), Material::Diffuse),
+            // Right wall (blue).
+            Sphere::new(1e5, v(-1e5 + 99.0, 40.8, 81.6), z, v(0.25, 0.25, 0.75), Material::Diffuse),
+            // Back wall.
+            Sphere::new(1e5, v(50.0, 40.8, 1e5), z, grey(0.75), Material::Diffuse),
+            // Front (open) wall.
+            Sphere::new(1e5, v(50.0, 40.8, -1e5 + 170.0), z, z, Material::Diffuse),
+            // Floor.
+            Sphere::new(1e5, v(50.0, 1e5, 81.6), z, grey(0.75), Material::Diffuse),
+            // Ceiling.
+            Sphere::new(1e5, v(50.0, -1e5 + 81.6, 81.6), z, grey(0.75), Material::Diffuse),
+            // Mirror ball.
+            Sphere::new(16.5, v(27.0, 16.5, 47.0), z, grey(0.999), Material::Specular),
+            // Glass ball.
+            Sphere::new(16.5, v(73.0, 16.5, 78.0), z, grey(0.999), Material::Refractive),
+            // Ceiling light.
+            Sphere::new(600.0, v(50.0, 681.6 - 0.27, 81.6), v(12.0, 12.0, 12.0), z, Material::Diffuse),
+        ])
+    }
+
+    /// The spheres.
+    pub fn spheres(&self) -> &[Sphere] {
+        &self.spheres
+    }
+
+    /// Nearest intersection along `ray`: `(distance, sphere index)`.
+    pub fn intersect(&self, ray: &Ray) -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        for (idx, sphere) in self.spheres.iter().enumerate() {
+            if let Some(t) = sphere.intersect(ray) {
+                if best.map_or(true, |(bt, _)| t < bt) {
+                    best = Some((t, idx));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camera_ray_hits_something() {
+        let scene = Scene::cornell_box();
+        // The canonical smallpt camera.
+        let ray = Ray::new(Vec3::new(50.0, 52.0, 295.6), Vec3::new(0.0, -0.042612, -1.0).norm());
+        let (t, idx) = scene.intersect(&ray).unwrap();
+        assert!(t > 0.0 && t < 1e5);
+        assert!(idx < scene.spheres().len());
+    }
+
+    #[test]
+    fn nearest_hit_wins() {
+        let scene = Scene::cornell_box();
+        // Shoot straight down at the floor from inside the box: must
+        // hit the floor wall, not the ceiling behind it.
+        let ray = Ray::new(Vec3::new(50.0, 50.0, 81.6), Vec3::new(0.0, -1.0, 0.0));
+        let (t, idx) = scene.intersect(&ray).unwrap();
+        let hit = scene.spheres()[idx];
+        assert!(hit.position.y > 0.9e5 || hit.position.y < 1.1e5);
+        assert!((ray.at(t).y).abs() < 1.0, "floor is at y≈0, hit at {}", ray.at(t).y);
+    }
+
+    #[test]
+    fn light_is_the_only_emitter() {
+        let scene = Scene::cornell_box();
+        let emitters: Vec<_> =
+            scene.spheres().iter().filter(|s| s.emission.max_component() > 0.0).collect();
+        assert_eq!(emitters.len(), 1);
+        assert!(emitters[0].emission.x >= 12.0);
+    }
+}

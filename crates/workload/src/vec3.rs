@@ -1,0 +1,148 @@
+//! Minimal 3-vector for the path tracer.
+
+use std::ops::{Add, Mul, Neg, Rem, Sub};
+
+/// A 3-component vector, used for positions, directions and RGB
+/// radiance (smallpt's `Vec`).
+///
+/// # Examples
+///
+/// ```
+/// use pn_workload::vec3::Vec3;
+///
+/// let a = Vec3::new(1.0, 2.0, 3.0);
+/// let b = Vec3::new(4.0, 5.0, 6.0);
+/// assert_eq!(a.dot(b), 32.0);
+/// assert_eq!(a % b, Vec3::new(-3.0, 6.0, -3.0)); // cross product, smallpt style
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component / red channel.
+    pub x: f64,
+    /// Y component / green channel.
+    pub y: f64,
+    /// Z component / blue channel.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when called on a zero vector.
+    pub fn norm(self) -> Vec3 {
+        let len = self.length();
+        debug_assert!(len > 0.0, "normalising a zero vector");
+        self * (1.0 / len)
+    }
+
+    /// Component-wise product (radiance modulation).
+    pub fn mult(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x * other.x, self.y * other.y, self.z * other.z)
+    }
+
+    /// Largest component (smallpt's Russian-roulette weight).
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// Cross product, using smallpt's idiosyncratic `%` operator.
+impl Rem for Vec3 {
+    type Output = Vec3;
+    fn rem(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn norm_produces_unit_length() {
+        let v = Vec3::new(3.0, 4.0, 0.0).norm();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+        assert!((v.x - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a % b, Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn cross_orthogonal_to_operands(
+            ax in -5.0f64..5.0, ay in -5.0f64..5.0, az in -5.0f64..5.0,
+            bx in -5.0f64..5.0, by in -5.0f64..5.0, bz in -5.0f64..5.0,
+        ) {
+            let a = Vec3::new(ax, ay, az);
+            let b = Vec3::new(bx, by, bz);
+            let c = a % b;
+            prop_assert!(c.dot(a).abs() < 1e-9);
+            prop_assert!(c.dot(b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn mult_commutes(x in -5.0f64..5.0, y in -5.0f64..5.0) {
+            let a = Vec3::new(x, y, 1.0);
+            let b = Vec3::new(y, x, 2.0);
+            prop_assert_eq!(a.mult(b), b.mult(a));
+        }
+    }
+}

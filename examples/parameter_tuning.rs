@@ -1,0 +1,42 @@
+//! The §III parameter study, live: sweep Vwidth/Vq/α/β over the
+//! shadowing scenario and rank candidates by VC stability.
+//!
+//! ```sh
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use power_neutral::sim::experiments::params;
+use power_neutral::sim::sweep::SweepGrid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = SweepGrid::coarse();
+    println!("sweeping {} parameter combinations (parallel)…", grid.candidates().len());
+    let sweep = params::run(&grid)?;
+
+    println!(
+        "\n  {:<12} {:<9} {:<9} {:<9} {:<14} {}",
+        "Vwidth (mV)", "Vq (mV)", "α (V/s)", "β (V/s)", "±5% residency", "survived"
+    );
+    println!("  {}", "-".repeat(66));
+    for r in sweep.results.iter().take(10) {
+        println!(
+            "  {:<12.0} {:<9.1} {:<9.3} {:<9.3} {:<14.3} {}",
+            r.params.v_width().to_millivolts(),
+            r.params.v_q().to_millivolts(),
+            r.params.alpha(),
+            r.params.beta(),
+            r.stability,
+            r.survived
+        );
+    }
+    let best = sweep.best();
+    println!(
+        "\n  best: Vwidth {:.0} mV, Vq {:.1} mV, α {:.3}, β {:.3}",
+        best.params.v_width().to_millivolts(),
+        best.params.v_q().to_millivolts(),
+        best.params.alpha(),
+        best.params.beta()
+    );
+    println!("  paper's §III optimum: Vwidth 144 mV, Vq 47.9 mV, α 0.120, β 0.479");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: assemble the paper's system (PV array → 47 mF buffer →
+//! ODROID XU4 + power-neutral governor) and run one simulated minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use power_neutral::sim::scenario;
+use power_neutral::units::{Seconds, WattsPerSquareMeter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ~560 W/m² ≈ the paper's test-day midday sun (≈3.3 W available
+    // from the 1340 cm² array).
+    let report = scenario::constant_sun(WattsPerSquareMeter::new(560.0), Seconds::new(60.0))
+        .run_power_neutral()?;
+
+    println!("power-neutral quickstart — one simulated minute of midday sun");
+    println!("  governor:           {}", report.governor());
+    println!("  survived:           {}", report.survived());
+    println!("  final VC:           {:.3}", report.final_vc());
+    println!("  OPP transitions:    {}", report.transitions());
+    println!(
+        "  instructions:       {:.1} billion",
+        report.work().instructions_billions()
+    );
+    println!(
+        "  renders completed:  {:.3} (at {:.3} renders/min)",
+        report.work().renders(),
+        report.work().renders_per_minute(report.duration().value())
+    );
+    println!(
+        "  control overhead:   {:.3} % CPU",
+        report.control_cpu_fraction() * 100.0
+    );
+
+    let vc = report.recorder().vc();
+    println!(
+        "  VC range:           {:.3} V … {:.3} V (target 5.3 V)",
+        vc.min().unwrap_or(0.0),
+        vc.max().unwrap_or(0.0)
+    );
+    Ok(())
+}

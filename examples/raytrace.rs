@@ -1,0 +1,43 @@
+//! Renders the actual smallpt workload the paper benchmarks with, and
+//! relates wall-clock throughput to the platform performance model.
+//!
+//! ```sh
+//! cargo run --release --example raytrace -- [width] [height] [spp] [out.ppm]
+//! ```
+
+use power_neutral::soc::cores::CoreConfig;
+use power_neutral::soc::perf::PerfModel;
+use power_neutral::units::Hertz;
+use power_neutral::workload::render::{render, RenderSettings};
+use power_neutral::workload::scene::Scene;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let width: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(160);
+    let height: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let spp: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let out = args.get(4).cloned().unwrap_or_else(|| "smallpt.ppm".to_string());
+
+    println!("rendering {width}x{height} at {spp} spp (the paper's benchmark quality)…");
+    let start = std::time::Instant::now();
+    let image = render(
+        &Scene::cornell_box(),
+        RenderSettings { width, height, samples_per_pixel: spp, seed: 0 },
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+
+    std::fs::write(&out, image.to_ppm())?;
+    println!("  wrote {out}");
+    println!("  rays traced:     {}", image.rays_traced);
+    println!("  mean luminance:  {:.3}", image.mean_luminance());
+    println!("  render time:     {elapsed:.2} s  ({:.3} frames/s here)", 1.0 / elapsed);
+
+    // For scale: what the modelled ODROID XU4 would sustain.
+    let perf = PerfModel::odroid_xu4();
+    let all_cores = CoreConfig::new(4, 4)?;
+    println!(
+        "  modelled XU4:    {:.3} benchmark frames/s at 8 cores × 1.4 GHz (Fig. 7: ≈0.25)",
+        perf.frames_per_second(all_cores, Hertz::from_gigahertz(1.4))
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Table II semantics across the whole governor zoo.
+
+use power_neutral::sim::experiments::table2;
+use power_neutral::units::Seconds;
+
+#[test]
+fn table2_ordering_holds() {
+    let t = table2::run_with_duration(3, Seconds::from_minutes(5.0)).expect("table runs");
+
+    // The paper: Performance, Ondemand and Interactive "could not
+    // support any operation".
+    for scheme in ["performance", "ondemand", "interactive"] {
+        let row = t.row(scheme).expect(scheme);
+        assert!(!row.survived, "{scheme} must brown out");
+        assert!(row.lifetime_seconds < 10.0);
+    }
+
+    // Conservative: a short, gradual-ramp-limited lifetime (00:05).
+    let conservative = t.row("conservative").expect("row");
+    assert!(!conservative.survived);
+    assert!(conservative.lifetime_seconds > 1.0 && conservative.lifetime_seconds < 30.0);
+
+    // Conservative still beats the instant-death governors on work done.
+    let performance = t.row("performance").expect("row");
+    assert!(conservative.instructions_billions > performance.instructions_billions);
+
+    // Powersave and the proposed governor both survive; proposed wins.
+    let powersave = t.row("powersave").expect("row");
+    let proposed = t.row("power-neutral").expect("row");
+    assert!(powersave.survived);
+    assert!(proposed.survived);
+    assert!(proposed.instructions_billions > powersave.instructions_billions);
+    assert!(proposed.renders_per_minute > powersave.renders_per_minute);
+}
+
+#[test]
+fn renders_per_minute_magnitudes_match_the_paper() {
+    let t = table2::run_with_duration(8, Seconds::from_minutes(5.0)).expect("table runs");
+    // Paper: powersave 0.1456 r/min, proposed 0.2460 r/min. Accept a
+    // generous band around those magnitudes.
+    let powersave = t.row("powersave").expect("row").renders_per_minute;
+    let proposed = t.row("power-neutral").expect("row").renders_per_minute;
+    assert!((0.05..0.4).contains(&powersave), "powersave {powersave} r/min");
+    assert!((0.1..0.6).contains(&proposed), "proposed {proposed} r/min");
+}
+
+#[test]
+fn different_seeds_preserve_the_qualitative_outcome() {
+    for seed in [1, 2, 5] {
+        let t = table2::run_with_duration(seed, Seconds::from_minutes(3.0)).expect("table runs");
+        assert!(t.row("power-neutral").expect("row").survived, "seed {seed}");
+        assert!(t.row("powersave").expect("row").survived, "seed {seed}");
+        assert!(!t.row("performance").expect("row").survived, "seed {seed}");
+        assert!(
+            t.proposed_over_powersave().expect("rows") > 1.0,
+            "seed {seed}: proposed must beat powersave"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! The headline claims: voltage stabilisation at the MPP, power
+//! tracking without overdraw, and negligible control overhead.
+
+use power_neutral::analysis::metrics::{fraction_within_band, mean_utilisation};
+use power_neutral::sim::experiments::{fig12, fig13, fig14, fig15};
+use power_neutral::sim::scenario;
+use power_neutral::units::Seconds;
+
+#[test]
+fn vc_stabilises_near_the_target_voltage() {
+    let fig = fig12::run_with_duration(7, Seconds::from_minutes(15.0)).expect("fig12 runs");
+    assert!(fig.survived);
+    assert!(
+        fig.within_5pct > 0.6,
+        "±5 % residency {:.1} % too low",
+        fig.within_5pct * 100.0
+    );
+}
+
+#[test]
+fn the_system_dwells_near_the_maximum_power_point() {
+    let fig = fig13::run(11, Seconds::from_minutes(15.0)).expect("fig13 runs");
+    assert!(
+        (fig.modal_voltage - fig.mpp_voltage).abs() < 0.8,
+        "modal {} vs mpp {}",
+        fig.modal_voltage,
+        fig.mpp_voltage
+    );
+}
+
+#[test]
+fn consumption_tracks_availability_without_systematic_overdraw() {
+    let fig = fig14::run(5, Seconds::from_minutes(15.0)).expect("fig14 runs");
+    assert!(fig.utilisation > 0.5, "wasting harvest: utilisation {}", fig.utilisation);
+    assert!(fig.utilisation < 1.15, "overdrawing: utilisation {}", fig.utilisation);
+    assert!(fig.overdraw_fraction < 0.35, "overdraw fraction {}", fig.overdraw_fraction);
+}
+
+#[test]
+fn control_overhead_is_well_under_one_percent() {
+    let fig = fig15::run(9, Seconds::from_minutes(15.0)).expect("fig15 runs");
+    assert!(fig.control_cpu_fraction < 0.01, "overhead {}", fig.control_cpu_fraction);
+    assert!(fig.monitor_power_fraction_of_min < 0.0082);
+}
+
+#[test]
+fn harvest_extraction_beats_powersave_by_construction() {
+    // Power neutrality means consuming what is harvested; powersave
+    // consumes a fixed trickle and leaves the rest unextracted (the PV
+    // array floats toward open circuit). Compare the energy actually
+    // pulled from the array.
+    // Compare around solar noon, where the headroom above powersave's
+    // fixed draw is widest (morning harvest barely covers it).
+    let base = scenario::table2_hour(13).with_duration(Seconds::from_minutes(10.0));
+    let pn = base.run_power_neutral().expect("pn run");
+    let ps = base.run_powersave().expect("powersave run");
+    let harvested = |r: &power_neutral::sim::engine::SimReport| {
+        r.recorder().power_in().integrate().expect("energy")
+    };
+    assert!(
+        harvested(&pn) > 1.05 * harvested(&ps),
+        "pn {} J vs powersave {} J",
+        harvested(&pn),
+        harvested(&ps)
+    );
+    // And every consumed watt is a delivered watt (power neutrality):
+    let util = mean_utilisation(pn.recorder().power_out(), pn.recorder().power_in(), 0.5)
+        .expect("utilisation");
+    assert!(util > 0.9 && util < 1.1, "pn utilisation {util}");
+}
+
+#[test]
+fn stability_metric_agrees_with_an_independent_computation() {
+    // Cross-check fig12's number against a direct call on the trace.
+    let base = scenario::full_sun_day(7).with_duration(Seconds::from_minutes(10.0));
+    let report = base.run_power_neutral().expect("run");
+    let direct = fraction_within_band(report.recorder().vc(), 5.3, 0.05).expect("metric");
+    let fig = fig12::run_with_duration(7, Seconds::from_minutes(10.0)).expect("fig12");
+    assert!((direct - fig.within_5pct).abs() < 1e-9);
+}
