@@ -69,7 +69,7 @@ impl ChartOptions {
 /// ```
 pub fn chart(series: &[&TimeSeries], options: &ChartOptions) -> String {
     const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
-    let populated: Vec<&&TimeSeries> = series.iter().filter(|s| s.len() >= 1).collect();
+    let populated: Vec<&&TimeSeries> = series.iter().filter(|s| !s.is_empty()).collect();
     if populated.is_empty() {
         return String::new();
     }
@@ -84,6 +84,7 @@ pub fn chart(series: &[&TimeSeries], options: &ChartOptions) -> String {
     let mut grid = vec![vec![' '; w]; h];
     for (si, s) in populated.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)] // each column lands in a different row
         for col in 0..w {
             let t = t_min + t_span * col as f64 / (w - 1).max(1) as f64;
             if let Ok(v) = s.sample(t) {

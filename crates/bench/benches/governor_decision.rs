@@ -23,7 +23,7 @@ fn bench_governor(c: &mut Criterion) {
         let mut t = 0.0f64;
         b.iter(|| {
             t += 0.25;
-            let edge = if (t / 0.25) as u64 % 2 == 0 {
+            let edge = if ((t / 0.25) as u64).is_multiple_of(2) {
                 ThresholdEdge::Low
             } else {
                 ThresholdEdge::High

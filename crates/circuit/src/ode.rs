@@ -242,8 +242,8 @@ impl<const N: usize> AcceptedStep<N> {
         let h01 = -2.0 * s3 + 3.0 * s2;
         let h11 = s3 - s2;
         let mut out = [0.0; N];
-        for i in 0..N {
-            out[i] = h00 * self.y0[i] + h10 * h * self.f0[i] + h01 * self.y1[i] + h11 * h * self.f1[i];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = h00 * self.y0[i] + h10 * h * self.f0[i] + h01 * self.y1[i] + h11 * h * self.f1[i];
         }
         out
     }

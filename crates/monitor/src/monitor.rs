@@ -69,12 +69,12 @@ impl VoltageMonitor {
     ///
     /// Never fails for the preset constants.
     pub fn paper_board() -> Result<Self, MonitorError> {
-        Ok(Self::new(
+        Self::new(
             ThresholdChannel::paper_channel()?,
             ThresholdChannel::paper_channel()?,
             Seconds::new(50e-6),
             Watts::from_milliwatts(1.61),
-        )?)
+        )
     }
 
     /// Programs both thresholds (quantised); returns the achieved pair

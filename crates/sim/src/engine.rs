@@ -198,6 +198,7 @@ impl Simulation {
     ///
     /// Returns [`SimError::InvalidConfig`] for an empty window or an
     /// initial voltage outside a sane range.
+    #[allow(clippy::too_many_arguments)] // one parameter per physical subsystem
     pub fn new(
         platform: Platform,
         supply: Supply,
@@ -639,7 +640,7 @@ fn scan_crossings(
                         kind: CrossKind|
      -> Result<(), SimError> {
         if let Some(c) = first_threshold_crossing(f, threshold, a, b, subdivisions, 1e-9)? {
-            if c.direction == want && best.map_or(true, |(bt, _)| c.t < bt) {
+            if c.direction == want && best.is_none_or(|(bt, _)| c.t < bt) {
                 best = Some((c.t, kind));
             }
         }

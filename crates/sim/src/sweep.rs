@@ -89,21 +89,20 @@ pub fn run_sweep(
         (0..candidates.len()).map(|_| None).collect();
 
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
         for _ in 0..n_workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= candidates.len() {
                     break;
                 }
                 let params = candidates[idx];
                 let outcome = evaluate(scenario, params, target);
-                results_mutex.lock()[idx] = Some(outcome);
+                results_mutex.lock().expect("results mutex poisoned")[idx] = Some(outcome);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     let mut scored = Vec::with_capacity(candidates.len());
     for slot in results {

@@ -63,7 +63,7 @@ impl Scene {
         let mut best: Option<(f64, usize)> = None;
         for (idx, sphere) in self.spheres.iter().enumerate() {
             if let Some(t) = sphere.intersect(ray) {
-                if best.map_or(true, |(bt, _)| t < bt) {
+                if best.is_none_or(|(bt, _)| t < bt) {
                     best = Some((t, idx));
                 }
             }

@@ -14,8 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sweep = params::run(&grid)?;
 
     println!(
-        "\n  {:<12} {:<9} {:<9} {:<9} {:<14} {}",
-        "Vwidth (mV)", "Vq (mV)", "α (V/s)", "β (V/s)", "±5% residency", "survived"
+        "\n  {:<12} {:<9} {:<9} {:<9} {:<14} survived",
+        "Vwidth (mV)", "Vq (mV)", "α (V/s)", "β (V/s)", "±5% residency"
     );
     println!("  {}", "-".repeat(66));
     for r in sweep.results.iter().take(10) {

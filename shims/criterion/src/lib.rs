@@ -1,0 +1,208 @@
+//! Offline stand-in for the subset of the `criterion` crate used by the
+//! `power-neutral` bench harnesses.
+//!
+//! The build environment has no crates.io access, so this shim supplies
+//! just enough API for the seven harnesses in `crates/bench/benches` to
+//! compile and run: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (+ `sample_size`/`finish`),
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Measurement is intentionally simple — a short warm-up followed by a
+//! fixed number of timed samples, reporting min/mean per iteration. It
+//! produces honest wall-clock numbers but none of criterion's
+//! statistics, plotting, or regression analysis.
+
+use std::time::Instant;
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Collects one timing measurement per call to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, mean_ns: 0.0, min_ns: 0.0 }
+    }
+
+    /// Times the closure. Runs one warm-up batch, then `samples` timed
+    /// batches, each sized so a batch takes at least ~1ms of wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing: grow the batch until it costs >= 1ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed.as_micros() >= 1000 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.mean_ns = total_ns / self.samples as f64;
+        self.min_ns = min_ns;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: DEFAULT_SAMPLES }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _parent: self, name: name.to_string(), sample_size }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group (reported as `group/name`).
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    println!(
+        "{name:<50} mean {:>12}   min {:>12}",
+        format_ns(b.mean_ns),
+        format_ns(b.min_ns)
+    );
+}
+
+/// `criterion_group!(name, target, ...)` — defines a function running
+/// each target against a default-configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — generates `fn main` invoking each
+/// group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

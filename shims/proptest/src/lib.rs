@@ -1,0 +1,354 @@
+//! Offline stand-in for the subset of the `proptest` crate used by the
+//! `power-neutral` workspace tests.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the pieces the tests actually exercise:
+//!
+//! * the [`proptest!`] macro (multiple `#[test] fn name(pat in strategy)`
+//!   items per block),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * range strategies over floats and integers (`0.0f64..1.0`,
+//!   `1u8..=4`, ...),
+//! * [`collection::vec`] and [`bool::ANY`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the assertion message and the case number. Generation is deterministic
+//! per test name, so failures reproduce exactly across runs.
+
+pub mod test_runner {
+    /// Number of random cases each `proptest!` test executes.
+    pub const CASES: u32 = 128;
+
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic per-test random source (the rand shim's seeded
+    /// generator, exactly as real proptest builds on rand).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from the test's name (FNV-1a), so every
+        /// run of a given test sees the same case sequence.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { inner: rand::rngs::StdRng::seed_from_u64(h) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            self.inner.gen()
+        }
+
+        /// Uniform in `[lo, hi)` (delegates to the rand shim, which owns
+        /// the half-open rounding guard).
+        pub fn gen_range(&mut self, range: core::ops::Range<f64>) -> f64 {
+            self.inner.gen_range(range)
+        }
+    }
+
+    /// A failed property case (carried out of the test body by
+    /// `prop_assert!` and friends).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            TestCaseError { msg }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values for one `proptest!` argument.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty strategy range");
+            // Bias some draws onto the exact endpoints (real proptest
+            // generates boundary values); interpolation alone could
+            // never produce `hi`.
+            match rng.next_u64() % 32 {
+                0 => lo,
+                1 => hi,
+                _ => lo + (hi - lo) * rng.next_f64(),
+            }
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (self.start as i128, self.end as i128);
+                    assert!(lo < hi, "empty strategy range");
+                    let span = (hi - lo) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (lo + off) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi - lo) as u128 + 1;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (lo + off) as $t
+                }
+            }
+        )+};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Always yields the same value (real proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors with element strategy `S` and a length drawn
+    /// from a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// item expands to a normal test that runs
+/// [`CASES`](test_runner::CASES) sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let mut __pn_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __pn_case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __pn_rng);)+
+                    let __pn_result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            let _: () = $body;
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __pn_result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __pn_case + 1,
+                            $crate::test_runner::CASES,
+                            e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — fails the
+/// current case with the stringified condition and case number (cases
+/// are seeded per test name, so a failure reproduces deterministically).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (left: `{:?}`, right: `{:?}`)",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (both: `{:?}`)",
+                format!($($fmt)+),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 2.0f64..3.0, n in 1u8..=4, k in 0usize..10) {
+            prop_assert!((2.0..3.0).contains(&x));
+            prop_assert!((1..=4).contains(&n));
+            prop_assert!(k < 10);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0.0f64..1.0, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x), "out of range: {}", x);
+            }
+        }
+
+        #[test]
+        fn bools_take_both_values(bits in crate::collection::vec(crate::bool::ANY, 64..65)) {
+            prop_assert!(bits.iter().any(|b| *b));
+            prop_assert!(bits.iter().any(|b| !*b));
+        }
+
+        #[test]
+        fn eq_and_ne_assertions_work(a in 1i32..100) {
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a + 1);
+            prop_assert_eq!(a + a, 2 * a, "custom message {}", a);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("foo");
+        let mut b = crate::test_runner::TestRng::for_test("foo");
+        let mut c = crate::test_runner::TestRng::for_test("bar");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the subset of the `serde` crate used by the
+//! `power-neutral` workspace.
+//!
+//! Only `pn-analysis` uses serde, and only for `#[derive(Serialize,
+//! Deserialize)]` markers on its series types (actual persistence goes
+//! through the hand-written CSV layer). The build environment has no
+//! crates.io access, so this shim supplies marker traits and no-op
+//! derive macros with the same names; swapping in real serde later is a
+//! manifest-only change.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// The derive macros share the traits' names, exactly as in real serde.
+pub use serde_derive::{Deserialize, Serialize};

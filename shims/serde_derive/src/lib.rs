@@ -1,0 +1,34 @@
+//! `Serialize`/`Deserialize` derive macros for the offline serde shim
+//! (see `shims/serde`). The shim's traits are pure markers, so each
+//! derive emits an empty impl for the deriving type — enough that
+//! `T: Serialize` bounds are satisfied exactly as they would be with
+//! real serde. Generic types are not supported (the workspace derives
+//! only on concrete types).
+
+use proc_macro::TokenStream;
+
+/// Extracts the type name following the `struct`/`enum`/`union`
+/// keyword, skipping attributes, doc comments and visibility.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        let s = tt.to_string();
+        if saw_keyword {
+            return s;
+        }
+        if s == "struct" || s == "enum" || s == "union" {
+            saw_keyword = true;
+        }
+    }
+    panic!("serde_derive shim: could not find a type name in the derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Serialize for {} {{}}", type_name(input)).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    format!("impl<'de> ::serde::Deserialize<'de> for {} {{}}", type_name(input)).parse().unwrap()
+}
