@@ -78,6 +78,43 @@ fn segment_time_within(t0: f64, v0: f64, t1: f64, v1: f64, lo: f64, hi: f64) -> 
     ((s_exit - s_enter).max(0.0)) * dt
 }
 
+/// Trapezoidal integral of `series` over its full span — turning a
+/// power trace in watts into energy in joules for the campaign
+/// energy accounting.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NotEnoughSamples`] for fewer than two
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// use pn_analysis::metrics::time_integral;
+/// use pn_analysis::series::TimeSeries;
+///
+/// # fn main() -> Result<(), pn_analysis::AnalysisError> {
+/// // 2 W for 10 s, then 4 W for 10 s: 60 J.
+/// let p = TimeSeries::from_samples("p",
+///     vec![0.0, 10.0, 10.001, 20.0],
+///     vec![2.0, 2.0, 4.0, 4.0])?;
+/// assert!((time_integral(&p)? - 60.0).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn time_integral(series: &TimeSeries) -> Result<f64, AnalysisError> {
+    if series.len() < 2 {
+        return Err(AnalysisError::NotEnoughSamples { needed: 2, available: series.len() });
+    }
+    let times = series.times();
+    let values = series.values();
+    let mut acc = 0.0;
+    for i in 1..series.len() {
+        acc += 0.5 * (values[i] + values[i - 1]) * (times[i] - times[i - 1]);
+    }
+    Ok(acc)
+}
+
 /// Root-mean-square tracking error of `series` against a constant
 /// target.
 ///
@@ -185,6 +222,20 @@ mod tests {
         let s = TimeSeries::from_samples("x", vec![0.0, 1.0], vec![5.3, 6.3]).unwrap();
         let frac = fraction_within_band(&s, 5.3, 0.05).unwrap();
         assert!((frac - 0.265).abs() < 1e-9, "frac = {frac}");
+    }
+
+    #[test]
+    fn integral_of_constant_power() {
+        let s = TimeSeries::from_samples("p", vec![0.0, 5.0, 12.0], vec![3.0, 3.0, 3.0]).unwrap();
+        assert!((time_integral(&s).unwrap() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_of_ramp_is_trapezoid() {
+        let s = TimeSeries::from_samples("p", vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        assert!((time_integral(&s).unwrap() - 4.0).abs() < 1e-12);
+        let short = TimeSeries::from_samples("p", vec![0.0], vec![1.0]).unwrap();
+        assert!(time_integral(&short).is_err());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Criterion bench: campaign throughput versus executor width.
+//!
+//! Runs the same fixed 12-cell matrix on 1, 2 and 4 worker threads.
+//! The cells are independent simulations, so wall time should fall
+//! near-linearly with thread count until the machine runs out of
+//! cores; comparing the three lines makes scaling regressions in the
+//! executor (or accidental serialisation in the campaign layer)
+//! visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pn_sim::campaign::{run_campaign, CampaignSpec, GovernorSpec};
+use pn_sim::executor::Executor;
+use pn_units::Seconds;
+use std::hint::black_box;
+
+fn matrix() -> CampaignSpec {
+    CampaignSpec::new()
+        .expect("paper preset valid")
+        .with_weathers(vec![
+            pn_harvest::weather::Weather::FullSun,
+            pn_harvest::weather::Weather::PartialSun,
+            pn_harvest::weather::Weather::Cloudy,
+        ])
+        .with_seeds(vec![1, 2])
+        .with_governors(vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave])
+        .with_duration(Seconds::new(5.0))
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let spec = matrix();
+    assert_eq!(spec.cell_count(), 12);
+    let mut group = c.benchmark_group("sim_campaign");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let executor = Executor::new(threads);
+        group.bench_function(&format!("12_cells_{threads}_threads"), |b| {
+            b.iter(|| {
+                let report = run_campaign(&spec, &executor).unwrap();
+                black_box(report.brownout_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Campaign runner: simulate a (weather × seed × buffer × governor)
+//! scenario matrix in parallel and print the aggregated verdicts.
+//!
+//! ```sh
+//! cargo run --release -p pn-bench --bin campaign              # 24-cell diverse matrix
+//! cargo run --release -p pn-bench --bin campaign -- --smoke   # tiny 2×2 CI matrix
+//! cargo run --release -p pn-bench --bin campaign -- --threads 4 --seeds 3
+//! ```
+
+use pn_bench::{banner, print_table};
+use pn_sim::campaign::{run_campaign, CampaignSpec};
+use pn_sim::executor::Executor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Parse every flag first, then assemble the spec, so flag order
+    // cannot silently change the campaign (`--seeds 3 --smoke` and
+    // `--smoke --seeds 3` must mean the same thing).
+    let mut smoke = false;
+    let mut threads = 0usize; // 0 → default parallelism
+    let mut seeds: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                threads = args.next().ok_or("--threads needs a value")?.parse()?;
+            }
+            "--seeds" => {
+                seeds = Some(args.next().ok_or("--seeds needs a value")?.parse()?);
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+    let mut spec = if smoke { CampaignSpec::smoke() } else { CampaignSpec::diverse() };
+    if let Some(n) = seeds {
+        spec.seeds = (1..=n.max(1)).collect();
+    }
+
+    let executor = Executor::new(threads);
+    banner(
+        "campaign",
+        &format!(
+            "{} scenario cells on {} worker threads",
+            spec.cell_count(),
+            executor.threads()
+        ),
+    );
+
+    let t0 = std::time::Instant::now();
+    let report = run_campaign(&spec, &executor)?;
+    let wall = t0.elapsed();
+
+    let rows: Vec<Vec<String>> = report
+        .cells()
+        .iter()
+        .map(|c| {
+            vec![
+                c.cell.label(),
+                if c.survived { "yes".into() } else { "NO".into() },
+                format!("{:.1}", c.lifetime_seconds),
+                format!("{:.3}", c.vc_stability),
+                format!("{:.2}", c.instructions_billions),
+                format!("{:.1}", c.energy_in_joules),
+                format!("{:.1}", c.energy_out_joules),
+                format!("{}", c.transitions),
+            ]
+        })
+        .collect();
+    print_table(
+        &["cell", "alive", "life (s)", "VC ±5%", "instr (G)", "E_in (J)", "E_out (J)", "trans"],
+        &rows,
+    );
+
+    println!();
+    println!(
+        "  {} cells, {} brownouts, survival rate {:.0} %, {:.1} G instructions total",
+        report.len(),
+        report.brownout_count(),
+        report.survival_rate() * 100.0,
+        report.total_instructions_billions()
+    );
+
+    let group_rows = |groups: &[pn_sim::campaign::GroupSummary]| -> Vec<Vec<String>> {
+        groups
+            .iter()
+            .map(|g| {
+                vec![
+                    g.label.clone(),
+                    format!("{}", g.cells),
+                    format!("{}", g.brownouts),
+                    format!("{:.3}", g.vc_stability.mean().unwrap_or(0.0)),
+                    format!("{:.2}", g.instructions_billions.sum()),
+                    format!("{:.2}", g.energy_utilisation.mean().unwrap_or(0.0)),
+                ]
+            })
+            .collect()
+    };
+
+    println!();
+    println!("  by weather:");
+    print_table(
+        &["weather", "cells", "brownouts", "mean VC ±5%", "instr (G)", "E_out/E_in"],
+        &group_rows(&report.by_weather()),
+    );
+    println!();
+    println!("  by governor:");
+    print_table(
+        &["governor", "cells", "brownouts", "mean VC ±5%", "instr (G)", "E_out/E_in"],
+        &group_rows(&report.by_governor()),
+    );
+
+    println!();
+    println!(
+        "  simulated {:.0} scenario-seconds in {:.2} s of wall time",
+        report.cells().iter().map(|c| c.cell.duration.value()).sum::<f64>(),
+        wall.as_secs_f64()
+    );
+    Ok(())
+}

@@ -192,5 +192,63 @@ mod tests {
             let p = p.unwrap();
             prop_assert!(p.big_response_tau() < p.little_response_tau());
         }
+
+        #[test]
+        fn accessors_round_trip_the_inputs(width_mv in 10.0f64..500.0, q_frac in 0.05f64..1.0,
+                                           alpha in 0.01f64..1.0, beta_mult in 1.01f64..10.0) {
+            let p = ControlParams::new(
+                Volts::from_millivolts(width_mv),
+                Volts::from_millivolts(width_mv * q_frac),
+                alpha,
+                alpha * beta_mult,
+            ).unwrap();
+            prop_assert!((p.v_width().to_millivolts() - width_mv).abs() < 1e-9);
+            prop_assert!((p.v_q().to_millivolts() - width_mv * q_frac).abs() < 1e-9);
+            prop_assert!((p.alpha() - alpha).abs() < 1e-12);
+            prop_assert!((p.beta() - alpha * beta_mult).abs() < 1e-12);
+        }
+
+        #[test]
+        fn vq_above_vwidth_is_always_rejected(width_mv in 10.0f64..500.0,
+                                              excess in 1.0001f64..5.0,
+                                              alpha in 0.01f64..1.0) {
+            let p = ControlParams::new(
+                Volts::from_millivolts(width_mv),
+                Volts::from_millivolts(width_mv * excess),
+                alpha,
+                alpha * 2.0,
+            );
+            prop_assert!(p.is_err());
+        }
+
+        #[test]
+        fn beta_not_exceeding_alpha_is_always_rejected(width_mv in 10.0f64..500.0,
+                                                       alpha in 0.01f64..1.0,
+                                                       shrink in 0.0f64..=1.0) {
+            // Any β ≤ α — including β = α exactly — must be rejected.
+            let p = ControlParams::new(
+                Volts::from_millivolts(width_mv),
+                Volts::from_millivolts(width_mv * 0.5),
+                alpha,
+                alpha * shrink,
+            );
+            prop_assert!(p.is_err());
+        }
+
+        #[test]
+        fn non_finite_and_non_positive_inputs_are_rejected(width_mv in 10.0f64..500.0,
+                                                           alpha in 0.01f64..1.0,
+                                                           bad in 0usize..6) {
+            let v = Volts::from_millivolts;
+            let (w, q, a, b) = match bad {
+                0 => (0.0, width_mv * 0.5, alpha, alpha * 2.0),
+                1 => (width_mv, 0.0, alpha, alpha * 2.0),
+                2 => (width_mv, width_mv * 0.5, 0.0, alpha * 2.0),
+                3 => (f64::NAN, width_mv * 0.5, alpha, alpha * 2.0),
+                4 => (width_mv, width_mv * 0.5, f64::NAN, alpha * 2.0),
+                _ => (width_mv, width_mv * 0.5, alpha, f64::INFINITY),
+            };
+            prop_assert!(ControlParams::new(v(w), v(q), a, b).is_err());
+        }
     }
 }

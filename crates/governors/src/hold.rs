@@ -1,0 +1,67 @@
+//! The `hold` (static) governor: pin whatever OPP the system starts
+//! at and never react.
+//!
+//! This is the "static performance" comparator of the paper's Figs. 3
+//! and 6 — a board with no power management at all. It was previously
+//! duplicated as an ad-hoc governor inside `pn-sim`; it lives here so
+//! every binary and test shares one static baseline.
+
+use pn_core::events::{Governor, GovernorAction, GovernorEvent};
+use pn_soc::opp::Opp;
+use pn_units::{Seconds, Volts};
+
+/// A governor that pins whatever OPP it is given and never reacts.
+///
+/// # Examples
+///
+/// ```
+/// use pn_core::events::Governor;
+/// use pn_governors::Hold;
+/// use pn_soc::opp::Opp;
+/// use pn_units::{Seconds, Volts};
+///
+/// let mut gov = Hold::new();
+/// let action = gov.start(Seconds::ZERO, Volts::new(5.3), Opp::lowest());
+/// assert!(action.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hold {
+    _private: (),
+}
+
+impl Hold {
+    /// Creates the governor.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Governor for Hold {
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn start(&mut self, _t: Seconds, _vc: Volts, _current: Opp) -> GovernorAction {
+        GovernorAction::none()
+    }
+
+    fn on_event(&mut self, _event: &GovernorEvent, _current: Opp) -> GovernorAction {
+        GovernorAction::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_requests_anything() {
+        let mut g = Hold::new();
+        assert_eq!(g.name(), "static");
+        assert!(g.start(Seconds::ZERO, Volts::new(5.0), Opp::lowest()).is_none());
+        let tick = GovernorEvent::Tick { t: Seconds::new(1.0), vc: Volts::new(5.0), load: 1.0 };
+        assert!(g.on_event(&tick, Opp::lowest()).is_none());
+        assert!(g.tick_period().is_none());
+        assert!(!g.uses_threshold_interrupts());
+    }
+}

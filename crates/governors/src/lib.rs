@@ -6,6 +6,8 @@
 //! governor against the same [`Governor`](pn_core::events::Governor)
 //! interface the power-neutral controller uses:
 //!
+//! * [`hold`] — pin the starting OPP entirely (the "static"
+//!   comparator of Figs. 3 and 6, no management at all),
 //! * [`performance`] — pin the maximum frequency,
 //! * [`powersave`] — pin the minimum frequency,
 //! * [`userspace`] — pin a user-chosen frequency,
@@ -23,6 +25,7 @@
 //! seconds).
 
 pub mod conservative;
+pub mod hold;
 pub mod interactive;
 pub mod ondemand;
 pub mod performance;
@@ -30,6 +33,7 @@ pub mod powersave;
 pub mod userspace;
 
 pub use conservative::Conservative;
+pub use hold::Hold;
 pub use interactive::Interactive;
 pub use ondemand::Ondemand;
 pub use performance::Performance;

@@ -3,8 +3,11 @@
 //! §V-B of the paper reports "testing was performed for over 20 hours
 //! in a variety of weather conditions (full-sun, partial-sun, cloud,
 //! and hail)". [`Weather`] captures those four conditions as cloud-field
-//! parameterisations over the clear-sky envelope, and [`DayProfile`]
-//! renders a complete, seeded irradiance trace for a day.
+//! parameterisations over the clear-sky envelope — plus two harsher
+//! campaign-matrix conditions ([`Weather::Stormy`] and
+//! [`Weather::Winter`]) that push a governor well below the paper's
+//! tested envelope — and [`DayProfile`] renders a complete, seeded
+//! irradiance trace for a day.
 
 use crate::clearsky::ClearSky;
 use crate::clouds::{CloudField, CloudParams};
@@ -13,7 +16,8 @@ use crate::HarvestError;
 use pn_units::Seconds;
 use std::fmt;
 
-/// The four weather conditions the paper tested under.
+/// The four weather conditions the paper tested under, plus two
+/// harsher synthetic conditions for campaign matrices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Weather {
     /// Clear day with only occasional shallow clouds.
@@ -24,11 +28,29 @@ pub enum Weather {
     Cloudy,
     /// Storm/hail: heavy attenuation with violent bursts.
     Hail,
+    /// Severe storm front: near-continuous deep occlusion under a dark
+    /// overcast — harsher than the paper's hail condition.
+    Stormy,
+    /// Deep winter overcast: a very dark, slow-moving cloud deck with
+    /// long embedded cells; the darkest condition of the matrix.
+    Winter,
 }
 
 impl Weather {
-    /// All four conditions.
-    pub fn all() -> [Weather; 4] {
+    /// Every condition, brightest first.
+    pub fn all() -> [Weather; 6] {
+        [
+            Weather::FullSun,
+            Weather::PartialSun,
+            Weather::Cloudy,
+            Weather::Hail,
+            Weather::Stormy,
+            Weather::Winter,
+        ]
+    }
+
+    /// The four conditions §V-B of the paper reports testing under.
+    pub fn paper_conditions() -> [Weather; 4] {
         [Weather::FullSun, Weather::PartialSun, Weather::Cloudy, Weather::Hail]
     }
 
@@ -63,6 +85,24 @@ impl Weather {
                 ramp: Seconds::new(2.0),
                 overcast_transmittance: 0.30,
             },
+            // Expected cloud attenuation exp(−μ·E[depth]) with
+            // μ = events/h · duration / 3600 concurrent events keeps
+            // the brightest-first ordering of `all()` well separated:
+            // hail ≈ 0.15, stormy ≈ 0.09, winter ≈ 0.05 of clear sky.
+            Weather::Stormy => CloudParams {
+                events_per_hour: 30.0,
+                mean_duration: Seconds::new(150.0),
+                depth_range: (0.50, 0.90),
+                ramp: Seconds::new(2.0),
+                overcast_transmittance: 0.22,
+            },
+            Weather::Winter => CloudParams {
+                events_per_hour: 8.0,
+                mean_duration: Seconds::new(420.0),
+                depth_range: (0.40, 0.80),
+                ramp: Seconds::new(15.0),
+                overcast_transmittance: 0.08,
+            },
         }
     }
 }
@@ -74,6 +114,8 @@ impl fmt::Display for Weather {
             Weather::PartialSun => write!(f, "partial sun"),
             Weather::Cloudy => write!(f, "cloud"),
             Weather::Hail => write!(f, "hail"),
+            Weather::Stormy => write!(f, "storm"),
+            Weather::Winter => write!(f, "winter"),
         }
     }
 }
@@ -210,6 +252,31 @@ mod tests {
     fn display_names() {
         assert_eq!(Weather::FullSun.to_string(), "full sun");
         assert_eq!(Weather::Hail.to_string(), "hail");
+        assert_eq!(Weather::Stormy.to_string(), "storm");
+        assert_eq!(Weather::Winter.to_string(), "winter");
+    }
+
+    #[test]
+    fn campaign_conditions_extend_the_paper_set() {
+        assert_eq!(Weather::all().len(), 6);
+        assert_eq!(Weather::paper_conditions().len(), 4);
+        for w in Weather::paper_conditions() {
+            assert!(Weather::all().contains(&w));
+        }
+    }
+
+    #[test]
+    fn harsh_conditions_are_darker_than_hail() {
+        // Averaged across seeds, the two campaign extensions harvest
+        // less than every paper condition.
+        let avg = |w: Weather| (0..5).map(|s| mean_over_daylight(w, s)).sum::<f64>() / 5.0;
+        let hail = avg(Weather::Hail);
+        let stormy = avg(Weather::Stormy);
+        let winter = avg(Weather::Winter);
+        assert!(hail > stormy, "hail {hail} vs stormy {stormy}");
+        assert!(stormy > winter, "stormy {stormy} vs winter {winter}");
+        // Even the darkest day still harvests something at noon.
+        assert!(winter > 0.0);
     }
 
     #[test]

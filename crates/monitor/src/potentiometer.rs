@@ -153,5 +153,16 @@ mod tests {
             // Full scale + 2 wiper resistances.
             prop_assert!((total - (100e3 + 150.0)).abs() < 1e-6);
         }
+
+        #[test]
+        fn tap_round_trips_through_wiper_fraction(tap in 0u16..129) {
+            // tap → fraction → tap is lossless: the wiper grid is the
+            // quantization authority for the whole threshold channel.
+            let mut pot = Mcp4131::new_100k().unwrap();
+            pot.set_tap(tap).unwrap();
+            prop_assert_eq!(pot.tap(), tap);
+            let back = (pot.wiper_fraction() * f64::from(MCP4131_TAPS - 1)).round() as u16;
+            prop_assert_eq!(back, tap);
+        }
     }
 }

@@ -234,5 +234,31 @@ mod tests {
             let high = ch.set_threshold(Volts::new((a + d).min(5.85))).unwrap();
             prop_assert!(high >= low);
         }
+
+        #[test]
+        fn quantized_threshold_is_within_one_lsb(target in 4.2f64..5.8) {
+            // Rounding to the nearest tap leaves at most half the local
+            // grid pitch of error, which stays under one nominal LSB
+            // (`quantization_step`) across the whole achievable range.
+            let mut ch = ThresholdChannel::paper_channel().unwrap();
+            let achieved = ch.set_threshold(Volts::new(target)).unwrap();
+            prop_assert!(
+                (achieved.value() - target).abs() <= ch.quantization_step().value(),
+                "target {} achieved {}", target, achieved
+            );
+        }
+
+        #[test]
+        fn requantizing_an_achieved_threshold_is_a_fixed_point(target in 4.2f64..5.8) {
+            // Quantization round-trip: once a request has been snapped
+            // to the grid, re-requesting the snapped value must not
+            // move the wiper again.
+            let mut ch = ThresholdChannel::paper_channel().unwrap();
+            let achieved = ch.set_threshold(Volts::new(target)).unwrap();
+            let tap = ch.pot.tap();
+            let again = ch.set_threshold(achieved).unwrap();
+            prop_assert_eq!(ch.pot.tap(), tap);
+            prop_assert!((again - achieved).abs() < Volts::new(1e-12));
+        }
     }
 }

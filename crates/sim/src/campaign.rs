@@ -1,0 +1,607 @@
+//! Batch campaigns: a cartesian scenario matrix simulated in parallel.
+//!
+//! The paper evaluates its governor on a handful of hand-picked
+//! conditions. A [`CampaignSpec`] instead enumerates a full
+//! (weather × seed × buffer × governor × control-params) matrix of
+//! [`CampaignCell`]s, [`run_campaign`] evaluates every cell on the
+//! shared work-stealing [`Executor`](crate::executor::Executor), and
+//! the aggregated [`CampaignReport`] answers fleet-level questions —
+//! brownout counts, `VC` stability and work done per weather condition
+//! or per governor — rather than single-trace ones.
+//!
+//! Campaigns are deterministic: cells are enumerated in a fixed order,
+//! every cell is seeded, and the executor returns results in item
+//! order, so a report is bitwise-identical across repeated runs and
+//! across thread counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use pn_sim::campaign::{run_campaign, CampaignSpec};
+//! use pn_sim::executor::Executor;
+//!
+//! # fn main() -> Result<(), pn_sim::SimError> {
+//! let spec = CampaignSpec::smoke();
+//! let report = run_campaign(&spec, &Executor::sequential())?;
+//! assert_eq!(report.len(), spec.cell_count());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::executor::Executor;
+use crate::scenario::{self, Scenario};
+use crate::SimError;
+use pn_analysis::metrics::{fraction_within_band, time_integral};
+use pn_analysis::summary::Aggregate;
+use pn_circuit::capacitor::Supercapacitor;
+use pn_core::params::ControlParams;
+use pn_governors::{Conservative, Interactive, Ondemand, Performance, Powersave, Userspace};
+use pn_harvest::weather::Weather;
+use pn_soc::opp::Opp;
+use pn_units::{Farads, Ohms, Seconds};
+
+/// Which power-management policy drives a campaign cell.
+///
+/// Cells must be enumerable up front and shipped across worker
+/// threads, so governors are described by value here and instantiated
+/// inside the worker that runs the cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GovernorSpec {
+    /// The paper's threshold-interrupt-driven power-neutral governor
+    /// (uses the cell's [`ControlParams`]).
+    PowerNeutral,
+    /// Linux `performance`: pin the maximum frequency.
+    Performance,
+    /// Linux `powersave`: pin the minimum frequency.
+    Powersave,
+    /// Linux `userspace` pinned to a frequency-level index.
+    Userspace(usize),
+    /// Linux `ondemand` load sampling.
+    Ondemand,
+    /// Linux `conservative` gradual stepping.
+    Conservative,
+    /// Android-style `interactive` bursting.
+    Interactive,
+    /// No management at all: hold the given OPP (the "static"
+    /// comparator).
+    Hold(Opp),
+}
+
+impl GovernorSpec {
+    /// Scheme label used in reports (matches `SimReport::governor`
+    /// names).
+    pub fn label(&self) -> String {
+        match self {
+            GovernorSpec::PowerNeutral => "power-neutral".into(),
+            GovernorSpec::Performance => "performance".into(),
+            GovernorSpec::Powersave => "powersave".into(),
+            GovernorSpec::Userspace(level) => format!("userspace@{level}"),
+            GovernorSpec::Ondemand => "ondemand".into(),
+            GovernorSpec::Conservative => "conservative".into(),
+            GovernorSpec::Interactive => "interactive".into(),
+            GovernorSpec::Hold(_) => "static".into(),
+        }
+    }
+
+    /// Runs `scenario` under this policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn run(&self, scenario: &Scenario) -> Result<crate::engine::SimReport, SimError> {
+        let table = scenario.platform().frequencies();
+        match self {
+            GovernorSpec::PowerNeutral => scenario.run_power_neutral(),
+            GovernorSpec::Performance => scenario.run_governor(Box::new(Performance::new())),
+            GovernorSpec::Powersave => scenario.run_governor(Box::new(Powersave::new())),
+            GovernorSpec::Userspace(level) => {
+                scenario.run_governor(Box::new(Userspace::pinned(*level)))
+            }
+            GovernorSpec::Ondemand => scenario.run_governor(Box::new(Ondemand::new(table.clone()))),
+            GovernorSpec::Conservative => {
+                scenario.run_governor(Box::new(Conservative::new(table.clone())))
+            }
+            GovernorSpec::Interactive => {
+                scenario.run_governor(Box::new(Interactive::new(table.clone())))
+            }
+            GovernorSpec::Hold(opp) => scenario.run_static(*opp),
+        }
+    }
+}
+
+/// A cartesian scenario matrix.
+///
+/// Each axis is a list; [`CampaignSpec::cells`] enumerates the full
+/// product in a fixed (weather-major, params-minor) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Day-profile weather conditions.
+    pub weathers: Vec<Weather>,
+    /// RNG seeds for the cloud field (one full day each).
+    pub seeds: Vec<u64>,
+    /// Buffer capacitances in millifarads (paper rig: 47 mF).
+    pub buffers_mf: Vec<f64>,
+    /// Policies to drive each scenario with.
+    pub governors: Vec<GovernorSpec>,
+    /// Control-parameter sets. Only power-neutral cells consume these,
+    /// so the axis multiplies power-neutral cells only; baseline
+    /// governors run once per (weather, seed, buffer) point under the
+    /// first entry.
+    pub params: Vec<ControlParams>,
+    /// Simulated window per cell, measured from the day profile's
+    /// start (10:30).
+    pub duration: Seconds,
+}
+
+impl CampaignSpec {
+    /// A one-axis-each spec at the paper's operating point; extend the
+    /// axes builder-style.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the preset constants.
+    pub fn new() -> Result<Self, SimError> {
+        Ok(Self {
+            weathers: vec![Weather::FullSun],
+            seeds: vec![1],
+            buffers_mf: vec![47.0],
+            governors: vec![GovernorSpec::PowerNeutral],
+            params: vec![ControlParams::paper_optimal()?],
+            duration: Seconds::new(60.0),
+        })
+    }
+
+    /// The tiny 2×2 (weather × governor) smoke matrix used by CI.
+    pub fn smoke() -> Self {
+        let mut spec = Self::new().expect("paper preset valid");
+        spec.weathers = vec![Weather::FullSun, Weather::Cloudy];
+        spec.governors = vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave];
+        spec.duration = Seconds::new(30.0);
+        spec
+    }
+
+    /// A diverse 24-cell matrix: every weather condition × two buffer
+    /// sizes × {power-neutral, powersave}.
+    pub fn diverse() -> Self {
+        let mut spec = Self::new().expect("paper preset valid");
+        spec.weathers = Weather::all().to_vec();
+        spec.buffers_mf = vec![47.0, 150.0];
+        spec.governors = vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave];
+        spec.duration = Seconds::new(45.0);
+        spec
+    }
+
+    /// Replaces the weather axis (builder style).
+    pub fn with_weathers(mut self, weathers: Vec<Weather>) -> Self {
+        self.weathers = weathers;
+        self
+    }
+
+    /// Replaces the seed axis (builder style).
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Replaces the buffer axis (builder style).
+    pub fn with_buffers_mf(mut self, buffers_mf: Vec<f64>) -> Self {
+        self.buffers_mf = buffers_mf;
+        self
+    }
+
+    /// Replaces the governor axis (builder style).
+    pub fn with_governors(mut self, governors: Vec<GovernorSpec>) -> Self {
+        self.governors = governors;
+        self
+    }
+
+    /// Replaces the control-parameter axis (builder style).
+    pub fn with_params(mut self, params: Vec<ControlParams>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the per-cell simulated window (builder style).
+    pub fn with_duration(mut self, duration: Seconds) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Number of cells the matrix enumerates.
+    ///
+    /// Only the power-neutral governor consumes [`ControlParams`], so
+    /// the params axis multiplies power-neutral cells only; every
+    /// baseline governor contributes one cell per
+    /// (weather, seed, buffer) point regardless of how many parameter
+    /// sets are listed.
+    pub fn cell_count(&self) -> usize {
+        if self.params.is_empty() {
+            return 0;
+        }
+        let per_point: usize = self
+            .governors
+            .iter()
+            .map(|g| if matches!(g, GovernorSpec::PowerNeutral) { self.params.len() } else { 1 })
+            .sum();
+        self.weathers.len() * self.seeds.len() * self.buffers_mf.len() * per_point
+    }
+
+    /// Enumerates every cell of the matrix in a fixed order (see
+    /// [`CampaignSpec::cell_count`] for how the params axis applies).
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        let Some(first_params) = self.params.first() else { return out };
+        for &weather in &self.weathers {
+            for &seed in &self.seeds {
+                for &buffer_mf in &self.buffers_mf {
+                    for &governor in &self.governors {
+                        let params_axis = if matches!(governor, GovernorSpec::PowerNeutral) {
+                            self.params.as_slice()
+                        } else {
+                            std::slice::from_ref(first_params)
+                        };
+                        for &params in params_axis {
+                            out.push(CampaignCell {
+                                weather,
+                                seed,
+                                buffer_mf,
+                                governor,
+                                params,
+                                duration: self.duration,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One fully resolved cell of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignCell {
+    /// Weather condition of the day profile.
+    pub weather: Weather,
+    /// Cloud-field seed.
+    pub seed: u64,
+    /// Buffer capacitance in millifarads.
+    pub buffer_mf: f64,
+    /// Driving policy.
+    pub governor: GovernorSpec,
+    /// Control parameters (used by the power-neutral policy).
+    pub params: ControlParams,
+    /// Simulated window.
+    pub duration: Seconds,
+}
+
+impl CampaignCell {
+    /// Human-readable cell label.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/seed{}/{:.0}mF/{}",
+            self.weather,
+            self.seed,
+            self.buffer_mf,
+            self.governor.label()
+        )
+    }
+
+    /// Builds the runnable scenario for this cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a non-positive buffer
+    /// capacitance or duration.
+    pub fn scenario(&self) -> Result<Scenario, SimError> {
+        if !(self.duration.value() > 0.0) {
+            return Err(SimError::InvalidConfig("cell duration must be positive"));
+        }
+        // Paper-typical ESR and leakage; only the capacitance is swept.
+        let buffer = Supercapacitor::new(
+            Farads::from_millifarads(self.buffer_mf),
+            Ohms::new(0.025),
+            Ohms::new(40_000.0),
+        )?;
+        Ok(scenario::weather_day(self.weather, self.seed)
+            .with_duration(self.duration)
+            .with_buffer(buffer)
+            .with_params(self.params))
+    }
+
+    /// Runs the cell and reduces the report to a [`CellOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and analysis failures.
+    pub fn evaluate(&self) -> Result<CellOutcome, SimError> {
+        let scenario = self.scenario()?;
+        let target = scenario.platform().target_voltage();
+        let report = self.governor.run(&scenario)?;
+        let alive = report.lifetime_or_duration();
+        let recorder = report.recorder();
+        let vc_stability = fraction_within_band(recorder.vc(), target.value(), 0.05)?;
+        let energy_in_joules = time_integral(recorder.power_in())?;
+        let energy_out_joules = time_integral(recorder.power_out())?;
+        Ok(CellOutcome {
+            cell: *self,
+            survived: report.survived(),
+            lifetime_seconds: alive.value(),
+            vc_stability,
+            instructions_billions: report.work().instructions_billions(),
+            renders_per_minute: report.work().renders_per_minute(alive.value().max(1e-9)),
+            energy_in_joules,
+            energy_out_joules,
+            transitions: report.transitions(),
+            final_vc: report.final_vc().value(),
+        })
+    }
+}
+
+/// The reduced verdict of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellOutcome {
+    /// The cell that produced this outcome.
+    pub cell: CampaignCell,
+    /// Whether the board survived the whole window.
+    pub survived: bool,
+    /// Lifetime (or full window) in seconds.
+    pub lifetime_seconds: f64,
+    /// Fraction of time `VC` stayed within ±5 % of the target voltage.
+    pub vc_stability: f64,
+    /// Completed instructions, billions.
+    pub instructions_billions: f64,
+    /// Average renders per minute while alive.
+    pub renders_per_minute: f64,
+    /// Harvested energy over the window, joules.
+    pub energy_in_joules: f64,
+    /// Consumed energy over the window, joules.
+    pub energy_out_joules: f64,
+    /// OPP transitions performed.
+    pub transitions: u64,
+    /// Final capacitor voltage, volts.
+    pub final_vc: f64,
+}
+
+/// Aggregated statistics for one group of cells (a weather condition,
+/// a governor, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// Group label.
+    pub label: String,
+    /// Number of cells in the group.
+    pub cells: usize,
+    /// Number of cells that browned out.
+    pub brownouts: usize,
+    /// `VC` stability across the group.
+    pub vc_stability: Aggregate,
+    /// Completed instructions (billions) across the group.
+    pub instructions_billions: Aggregate,
+    /// Harvested-energy utilisation (consumed / harvested) across the
+    /// group.
+    pub energy_utilisation: Aggregate,
+}
+
+/// Aggregated verdicts of a whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    cells: Vec<CellOutcome>,
+}
+
+impl CampaignReport {
+    /// Per-cell outcomes, in matrix order.
+    pub fn cells(&self) -> &[CellOutcome] {
+        &self.cells
+    }
+
+    /// Number of evaluated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the campaign had no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of cells that browned out.
+    pub fn brownout_count(&self) -> usize {
+        self.cells.iter().filter(|c| !c.survived).count()
+    }
+
+    /// Fraction of cells that survived their whole window.
+    pub fn survival_rate(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.brownout_count() as f64 / self.cells.len() as f64
+    }
+
+    /// Total completed instructions across the campaign, billions.
+    pub fn total_instructions_billions(&self) -> f64 {
+        self.cells.iter().map(|c| c.instructions_billions).sum()
+    }
+
+    /// Group statistics per weather condition, in first-seen order.
+    pub fn by_weather(&self) -> Vec<GroupSummary> {
+        self.grouped(|c| c.cell.weather.to_string())
+    }
+
+    /// Group statistics per governor, in first-seen order.
+    pub fn by_governor(&self) -> Vec<GroupSummary> {
+        self.grouped(|c| c.cell.governor.label())
+    }
+
+    fn grouped(&self, key: impl Fn(&CellOutcome) -> String) -> Vec<GroupSummary> {
+        let mut groups: Vec<GroupSummary> = Vec::new();
+        for outcome in &self.cells {
+            let label = key(outcome);
+            let group = match groups.iter_mut().find(|g| g.label == label) {
+                Some(g) => g,
+                None => {
+                    groups.push(GroupSummary {
+                        label,
+                        cells: 0,
+                        brownouts: 0,
+                        vc_stability: Aggregate::new(),
+                        instructions_billions: Aggregate::new(),
+                        energy_utilisation: Aggregate::new(),
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            group.cells += 1;
+            if !outcome.survived {
+                group.brownouts += 1;
+            }
+            group.vc_stability.push(outcome.vc_stability);
+            group.instructions_billions.push(outcome.instructions_billions);
+            if outcome.energy_in_joules > 0.0 {
+                group.energy_utilisation.push(outcome.energy_out_joules / outcome.energy_in_joules);
+            }
+        }
+        groups
+    }
+}
+
+/// Runs every cell of `spec` on `executor` and aggregates the
+/// verdicts.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an empty matrix and
+/// propagates the first engine failure in matrix order.
+pub fn run_campaign(spec: &CampaignSpec, executor: &Executor) -> Result<CampaignReport, SimError> {
+    let cells = spec.cells();
+    if cells.is_empty() {
+        return Err(SimError::InvalidConfig("campaign matrix is empty"));
+    }
+    let outcomes = executor.map(&cells, |_, cell| cell.evaluate());
+    let mut reduced = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        reduced.push(outcome?);
+    }
+    Ok(CampaignReport { cells: reduced })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_enumerates_the_full_product() {
+        let spec = CampaignSpec::new()
+            .unwrap()
+            .with_weathers(vec![Weather::FullSun, Weather::Hail, Weather::Winter])
+            .with_seeds(vec![1, 2])
+            .with_buffers_mf(vec![47.0, 150.0])
+            .with_governors(vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave]);
+        assert_eq!(spec.cell_count(), 3 * 2 * 2 * 2);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), spec.cell_count());
+        // Fixed enumeration order: weather-major.
+        assert_eq!(cells[0].weather, Weather::FullSun);
+        assert_eq!(cells.last().unwrap().weather, Weather::Winter);
+    }
+
+    #[test]
+    fn params_axis_multiplies_power_neutral_cells_only() {
+        // Two parameter sets must not duplicate baseline simulations.
+        let fig6 = ControlParams::fig6_simulation().unwrap();
+        let spec = CampaignSpec::new()
+            .unwrap()
+            .with_governors(vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave])
+            .with_params(vec![ControlParams::paper_optimal().unwrap(), fig6]);
+        // 1 weather × 1 seed × 1 buffer × (2 params for PN + 1 powersave).
+        assert_eq!(spec.cell_count(), 3);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3);
+        let powersave: Vec<_> = cells
+            .iter()
+            .filter(|c| c.governor == GovernorSpec::Powersave)
+            .collect();
+        assert_eq!(powersave.len(), 1, "baseline cells must not fan out over params");
+        // An empty params axis yields an empty (rejected) matrix.
+        assert_eq!(CampaignSpec::smoke().with_params(Vec::new()).cell_count(), 0);
+    }
+
+    #[test]
+    fn governor_labels_are_unique() {
+        let specs = [
+            GovernorSpec::PowerNeutral,
+            GovernorSpec::Performance,
+            GovernorSpec::Powersave,
+            GovernorSpec::Userspace(3),
+            GovernorSpec::Ondemand,
+            GovernorSpec::Conservative,
+            GovernorSpec::Interactive,
+            GovernorSpec::Hold(Opp::lowest()),
+        ];
+        let mut labels: Vec<String> = specs.iter().map(|g| g.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), specs.len());
+    }
+
+    #[test]
+    fn smoke_campaign_runs_and_aggregates() {
+        let spec = CampaignSpec::smoke();
+        let report = run_campaign(&spec, &Executor::new(2)).unwrap();
+        assert_eq!(report.len(), 4);
+        assert!(report.survival_rate() >= 0.0 && report.survival_rate() <= 1.0);
+        // Two weather groups of two cells each; two governor groups.
+        let weathers = report.by_weather();
+        assert_eq!(weathers.len(), 2);
+        assert!(weathers.iter().all(|g| g.cells == 2));
+        let governors = report.by_governor();
+        assert_eq!(governors.len(), 2);
+        for g in &governors {
+            assert_eq!(g.vc_stability.count(), 2);
+            assert!(g.brownouts <= g.cells);
+        }
+        // Full sun at midday must let the power-neutral cell survive
+        // and do work.
+        let pn_full_sun = &report.cells()[0];
+        assert_eq!(pn_full_sun.cell.governor, GovernorSpec::PowerNeutral);
+        assert!(pn_full_sun.instructions_billions > 0.0);
+        assert!(pn_full_sun.energy_in_joules > 0.0);
+    }
+
+    #[test]
+    fn invalid_cells_are_rejected() {
+        let mut spec = CampaignSpec::smoke();
+        spec.buffers_mf = vec![-1.0];
+        assert!(run_campaign(&spec, &Executor::sequential()).is_err());
+        spec = CampaignSpec::smoke().with_governors(Vec::new());
+        assert!(matches!(
+            run_campaign(&spec, &Executor::sequential()),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let bad_duration = CampaignCell {
+            weather: Weather::FullSun,
+            seed: 1,
+            buffer_mf: 47.0,
+            governor: GovernorSpec::Powersave,
+            params: ControlParams::paper_optimal().unwrap(),
+            duration: Seconds::ZERO,
+        };
+        assert!(bad_duration.scenario().is_err());
+    }
+
+    #[test]
+    fn cell_labels_name_all_axes() {
+        let cell = CampaignCell {
+            weather: Weather::Stormy,
+            seed: 9,
+            buffer_mf: 150.0,
+            governor: GovernorSpec::PowerNeutral,
+            params: ControlParams::paper_optimal().unwrap(),
+            duration: Seconds::new(10.0),
+        };
+        let label = cell.label();
+        assert!(label.contains("storm"));
+        assert!(label.contains("seed9"));
+        assert!(label.contains("150mF"));
+        assert!(label.contains("power-neutral"));
+    }
+}

@@ -84,7 +84,10 @@ impl SimOptions {
 }
 
 /// Outcome of a completed simulation.
-#[derive(Debug, Clone)]
+///
+/// Reports compare by value — including the full recorded traces — so
+/// two runs of the same scenario can be checked for bitwise identity.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     governor: String,
     recorder: Recorder,

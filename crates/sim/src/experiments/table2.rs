@@ -1,12 +1,10 @@
 //! Table II — performance of power-management schemes over a
 //! 60-minute PV-powered test.
 
+use crate::campaign::GovernorSpec;
+use crate::executor::Executor;
 use crate::scenario::{self, Scenario};
 use crate::SimError;
-use pn_core::events::Governor;
-use pn_core::governor::PowerNeutralGovernor;
-use pn_core::params::ControlParams;
-use pn_governors::{Conservative, Interactive, Ondemand, Performance, Powersave};
 use pn_units::Seconds;
 
 /// One row of Table II.
@@ -59,33 +57,33 @@ pub fn run(seed: u64) -> Result<Table2, SimError> {
 }
 
 /// Shortened variant for tests: the comparison window is `duration`
-/// (rates are normalised per minute either way).
+/// (rates are normalised per minute either way). The six schemes are
+/// evaluated in parallel on the shared executor.
 ///
 /// # Errors
 ///
 /// Propagates engine failures.
 pub fn run_with_duration(seed: u64, duration: Seconds) -> Result<Table2, SimError> {
     let base = scenario::table2_hour(seed).with_duration(duration);
-    let governors: Vec<Box<dyn Governor>> = vec![
-        Box::new(Performance::new()),
-        Box::new(Ondemand::new(base.platform().frequencies().clone())),
-        Box::new(Interactive::new(base.platform().frequencies().clone())),
-        Box::new(Conservative::new(base.platform().frequencies().clone())),
-        Box::new(Powersave::new()),
-        Box::new(PowerNeutralGovernor::new(
-            ControlParams::paper_optimal()?,
-            base.platform(),
-        )?),
+    // The paper's order: baselines first, proposed approach last.
+    let schemes = [
+        GovernorSpec::Performance,
+        GovernorSpec::Ondemand,
+        GovernorSpec::Interactive,
+        GovernorSpec::Conservative,
+        GovernorSpec::Powersave,
+        GovernorSpec::PowerNeutral,
     ];
-    let mut rows = Vec::new();
-    for governor in governors {
-        rows.push(evaluate(&base, governor)?);
+    let outcomes = Executor::default().map(&schemes, |_, scheme| evaluate(&base, *scheme));
+    let mut rows = Vec::with_capacity(schemes.len());
+    for outcome in outcomes {
+        rows.push(outcome?);
     }
     Ok(Table2 { rows })
 }
 
-fn evaluate(scenario: &Scenario, governor: Box<dyn Governor>) -> Result<Table2Row, SimError> {
-    let report = scenario.run_governor(governor)?;
+fn evaluate(scenario: &Scenario, scheme: GovernorSpec) -> Result<Table2Row, SimError> {
+    let report = scheme.run(scenario)?;
     let alive = report.lifetime_or_duration();
     Ok(Table2Row {
         scheme: report.governor().to_string(),

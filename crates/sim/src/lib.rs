@@ -16,7 +16,9 @@
 //!   (adaptive RK23 between events, bisection event location, interrupt
 //!   masking during transitions),
 //! * [`scenario`] — canned scenarios for each paper experiment,
+//! * [`executor`] — the shared work-stealing batch executor,
 //! * [`sweep`] — the §III parameter sweep,
+//! * [`campaign`] — batch campaigns over a cartesian scenario matrix,
 //! * [`experiments`] — one module per paper figure/table, producing the
 //!   rows/series the paper reports.
 //!
@@ -37,7 +39,9 @@
 //! # }
 //! ```
 
+pub mod campaign;
 pub mod engine;
+pub mod executor;
 pub mod experiments;
 pub mod recorder;
 pub mod runtime;

@@ -31,7 +31,10 @@ pub struct Snapshot {
 /// Samples arriving at non-increasing times (e.g. an event snapshot at
 /// the same instant as a grid snapshot) are silently dropped — the
 /// first snapshot at an instant wins.
-#[derive(Debug, Clone)]
+///
+/// Recorders compare by value (every series, sample for sample), which
+/// is what the golden-trace determinism tests rely on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recorder {
     vc: TimeSeries,
     frequency_ghz: TimeSeries,

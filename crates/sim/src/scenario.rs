@@ -9,10 +9,10 @@ use crate::supply::{Supply, VoltageWaveform};
 use crate::SimError;
 use pn_circuit::capacitor::Supercapacitor;
 use pn_circuit::solar::SolarCell;
-use pn_core::events::{Governor, GovernorAction, GovernorEvent};
+use pn_core::events::Governor;
 use pn_core::governor::PowerNeutralGovernor;
 use pn_core::params::ControlParams;
-use pn_governors::Powersave;
+use pn_governors::{Hold, Powersave};
 use pn_harvest::clearsky::ClearSky;
 use pn_harvest::irradiance::IrradianceTrace;
 use pn_harvest::weather::{DayProfile, Weather};
@@ -20,34 +20,6 @@ use pn_soc::cores::CoreConfig;
 use pn_soc::opp::Opp;
 use pn_soc::platform::Platform;
 use pn_units::{Seconds, Volts, WattsPerSquareMeter};
-
-/// A governor that pins whatever OPP it is given and never reacts —
-/// the "static performance" comparator of the paper's Figs. 3 and 6.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct HoldGovernor {
-    _private: (),
-}
-
-impl HoldGovernor {
-    /// Creates the governor.
-    pub fn new() -> Self {
-        Self { _private: () }
-    }
-}
-
-impl Governor for HoldGovernor {
-    fn name(&self) -> &str {
-        "static"
-    }
-
-    fn start(&mut self, _t: Seconds, _vc: Volts, _current: Opp) -> GovernorAction {
-        GovernorAction::none()
-    }
-
-    fn on_event(&mut self, _event: &GovernorEvent, _current: Opp) -> GovernorAction {
-        GovernorAction::none()
-    }
-}
 
 /// A runnable experiment configuration.
 #[derive(Debug, Clone)]
@@ -176,7 +148,7 @@ impl Scenario {
             self.supply.clone(),
             self.buffer,
             pn_monitor::monitor::VoltageMonitor::paper_board()?,
-            Box::new(HoldGovernor::new()),
+            Box::new(Hold::new()),
             opp,
             self.initial_vc,
             self.options,

@@ -7,6 +7,7 @@
 //! [`run_sweep`] reproduces the procedure on a scenario of this
 //! workspace, evaluating candidates in parallel.
 
+use crate::executor::Executor;
 use crate::scenario::Scenario;
 use crate::SimError;
 use pn_analysis::metrics::fraction_within_band;
@@ -61,7 +62,7 @@ impl SweepGrid {
 }
 
 /// One scored sweep candidate.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepResult {
     /// The candidate parameters.
     pub params: ControlParams,
@@ -71,9 +72,9 @@ pub struct SweepResult {
     pub survived: bool,
 }
 
-/// Runs the sweep over `scenario`, scoring each candidate by ±5 %
-/// band residency around `target`. Results are sorted best-first
-/// (survivors before casualties, then by stability).
+/// Runs the sweep over `scenario` on the default executor, scoring
+/// each candidate by ±5 % band residency around `target`. Results are
+/// sorted best-first (survivors before casualties, then by stability).
 ///
 /// # Errors
 ///
@@ -83,30 +84,26 @@ pub fn run_sweep(
     grid: &SweepGrid,
     target: Volts,
 ) -> Result<Vec<SweepResult>, SimError> {
+    run_sweep_on(scenario, grid, target, &Executor::default())
+}
+
+/// [`run_sweep`] with an explicit executor (thread-count control for
+/// benches and determinism tests).
+///
+/// # Errors
+///
+/// Propagates engine failures from individual runs.
+pub fn run_sweep_on(
+    scenario: &Scenario,
+    grid: &SweepGrid,
+    target: Volts,
+    executor: &Executor,
+) -> Result<Vec<SweepResult>, SimError> {
     let candidates = grid.candidates();
-    let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-    let mut results: Vec<Option<Result<SweepResult, SimError>>> =
-        (0..candidates.len()).map(|_| None).collect();
-
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= candidates.len() {
-                    break;
-                }
-                let params = candidates[idx];
-                let outcome = evaluate(scenario, params, target);
-                results_mutex.lock().expect("results mutex poisoned")[idx] = Some(outcome);
-            });
-        }
-    });
-
+    let outcomes = executor.map(&candidates, |_, &params| evaluate(scenario, params, target));
     let mut scored = Vec::with_capacity(candidates.len());
-    for slot in results {
-        scored.push(slot.expect("all candidates evaluated")?);
+    for outcome in outcomes {
+        scored.push(outcome?);
     }
     scored.sort_by(|a, b| {
         b.survived
@@ -157,5 +154,9 @@ mod tests {
         for r in &results {
             assert!((0.0..=1.0).contains(&r.stability));
         }
+        // The sweep is deterministic across executor widths.
+        let sequential =
+            run_sweep_on(&scenario, &grid, Volts::new(5.3), &Executor::sequential()).unwrap();
+        assert_eq!(results, sequential);
     }
 }

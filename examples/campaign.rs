@@ -1,0 +1,53 @@
+//! Batch campaign quickstart: sweep the governor across every weather
+//! condition in parallel and compare survival and work done.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! ```
+
+use power_neutral::harvest::weather::Weather;
+use power_neutral::sim::campaign::{run_campaign, CampaignSpec, GovernorSpec};
+use power_neutral::sim::executor::Executor;
+use power_neutral::units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = CampaignSpec::new()?
+        .with_weathers(Weather::all().to_vec())
+        .with_governors(vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave])
+        .with_duration(Seconds::new(30.0));
+
+    let executor = Executor::default();
+    println!(
+        "running {} scenario cells on {} threads…",
+        spec.cell_count(),
+        executor.threads()
+    );
+    let report = run_campaign(&spec, &executor)?;
+
+    println!("\n  {:<32} {:<6} {:>9} {:>10}", "cell", "alive", "VC ±5%", "instr (G)");
+    println!("  {}", "-".repeat(60));
+    for c in report.cells() {
+        println!(
+            "  {:<32} {:<6} {:>9.3} {:>10.2}",
+            c.cell.label(),
+            if c.survived { "yes" } else { "NO" },
+            c.vc_stability,
+            c.instructions_billions
+        );
+    }
+    println!(
+        "\n  survival rate {:.0} % ({} brownouts in {} cells)",
+        report.survival_rate() * 100.0,
+        report.brownout_count(),
+        report.len()
+    );
+    for g in report.by_governor() {
+        println!(
+            "  {:<14} mean VC stability {:.3}, total {:.2} G instructions",
+            g.label,
+            g.vc_stability.mean().unwrap_or(0.0),
+            g.instructions_billions.sum()
+        );
+    }
+    Ok(())
+}

@@ -1,7 +1,10 @@
 //! Table II semantics across the whole governor zoo.
 
 use power_neutral::sim::experiments::table2;
-use power_neutral::units::Seconds;
+use power_neutral::sim::scenario;
+use power_neutral::soc::cores::CoreConfig;
+use power_neutral::soc::opp::Opp;
+use power_neutral::units::{Seconds, WattsPerSquareMeter};
 
 #[test]
 fn table2_ordering_holds() {
@@ -42,6 +45,70 @@ fn renders_per_minute_magnitudes_match_the_paper() {
     let proposed = t.row("power-neutral").expect("row").renders_per_minute;
     assert!((0.05..0.4).contains(&powersave), "powersave {powersave} r/min");
     assert!((0.1..0.6).contains(&proposed), "proposed {proposed} r/min");
+}
+
+#[test]
+fn table2_cells_are_internally_consistent() {
+    let duration = Seconds::from_minutes(2.0);
+    let t = table2::run_with_duration(12, duration).expect("table runs");
+
+    for row in &t.rows {
+        // A lifetime can never exceed the observation window, and the
+        // survival flag is exactly "lived the whole window".
+        assert!(
+            row.lifetime_seconds <= duration.value() + 1e-6,
+            "{} lived {} s in a {} s window",
+            row.scheme,
+            row.lifetime_seconds,
+            duration.value()
+        );
+        assert_eq!(
+            row.survived,
+            (row.lifetime_seconds - duration.value()).abs() < 1e-6,
+            "{}: survived flag inconsistent with lifetime",
+            row.scheme
+        );
+        // The formatted lifetime agrees with the numeric one.
+        assert_eq!(row.lifetime, Seconds::new(row.lifetime_seconds).to_mmss(), "{}", row.scheme);
+        // Work columns are consistent: both are non-negative, and a
+        // scheme that completed renders must have executed instructions.
+        assert!(row.instructions_billions >= 0.0);
+        assert!(row.renders_per_minute >= 0.0);
+        if row.renders_per_minute > 0.0 {
+            assert!(row.instructions_billions > 0.0, "{}: renders without instructions", row.scheme);
+        }
+    }
+
+    // Powersave draws the least of any live scheme, so it can never
+    // brown out before the power-neutral governor.
+    let powersave = t.row("powersave").expect("row");
+    let proposed = t.row("power-neutral").expect("row");
+    assert!(
+        powersave.lifetime_seconds >= proposed.lifetime_seconds - 1e-6,
+        "powersave ({} s) browned out before power-neutral ({} s)",
+        powersave.lifetime_seconds,
+        proposed.lifetime_seconds
+    );
+}
+
+#[test]
+fn static_work_is_monotone_in_average_opp() {
+    // One LITTLE core pinned at increasing frequency levels under
+    // constant sun: every run survives and a higher OPP must complete
+    // strictly more work.
+    let sun = scenario::constant_sun(WattsPerSquareMeter::new(560.0), Seconds::new(20.0));
+    let config = CoreConfig::new(1, 0).expect("one LITTLE core");
+    let mut last = -1.0;
+    for level in [0usize, 2, 4, 7] {
+        let report = sun.run_static(Opp::new(config, level)).expect("static run");
+        assert!(report.survived(), "one LITTLE core at level {level} must survive");
+        let instructions = report.work().instructions();
+        assert!(
+            instructions > last,
+            "work not monotone in OPP: level {level} did {instructions} after {last}"
+        );
+        last = instructions;
+    }
 }
 
 #[test]
