@@ -1,7 +1,8 @@
-//! CSV export for recorded series.
+//! CSV export for recorded series and campaign verdicts.
 
 use crate::series::TimeSeries;
 use crate::AnalysisError;
+use serde::{Deserialize, Serialize};
 use std::io::Write;
 
 /// Writes aligned series as CSV: a `time` column followed by one
@@ -63,6 +64,93 @@ pub fn write_csv<W: Write>(writer: &mut W, series: &[&TimeSeries]) -> Result<(),
     Ok(())
 }
 
+/// One campaign cell, reduced to plain labels and scalars so the
+/// writer stays independent of the simulation crates (pn-sim's
+/// `persist` module does the reduction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// Weather-condition token (machine-readable slug).
+    pub weather: String,
+    /// Cloud-field seed.
+    pub seed: u64,
+    /// Buffer capacitance, millifarads.
+    pub buffer_mf: f64,
+    /// Governor token (machine-readable slug).
+    pub governor: String,
+    /// Whether the board survived the whole window.
+    pub survived: bool,
+    /// Lifetime (or full window), seconds.
+    pub lifetime_seconds: f64,
+    /// Fraction of time `VC` stayed within the ±5 % band.
+    pub vc_stability: f64,
+    /// Completed instructions, billions.
+    pub instructions_billions: f64,
+    /// Average renders per minute while alive.
+    pub renders_per_minute: f64,
+    /// Harvested energy integral, joules.
+    pub energy_in_joules: f64,
+    /// Consumed energy integral, joules.
+    pub energy_out_joules: f64,
+    /// OPP transitions performed.
+    pub transitions: u64,
+    /// Final capacitor voltage, volts.
+    pub final_vc: f64,
+}
+
+/// Header row of the campaign CSV document. Pinned: golden-file tests
+/// and downstream plots depend on these column names and their order.
+pub const CAMPAIGN_CSV_HEADER: &str = "weather,seed,buffer_mf,governor,survived,lifetime_s,\
+vc_stability,instructions_g,renders_per_min,energy_in_j,energy_out_j,transitions,final_vc";
+
+/// Writes campaign verdicts as CSV, one row per cell under
+/// [`CAMPAIGN_CSV_HEADER`]. Floats use Rust's shortest-round-trip
+/// formatting, so the document is deterministic across build profiles
+/// and parses back to the exact values.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Io`] on write failures. An empty row set
+/// is legal (an empty campaign shard exports a header-only document).
+///
+/// # Examples
+///
+/// ```
+/// use pn_analysis::csv::{write_campaign_csv, CampaignRow, CAMPAIGN_CSV_HEADER};
+///
+/// # fn main() -> Result<(), pn_analysis::AnalysisError> {
+/// let mut out = Vec::new();
+/// write_campaign_csv(&mut out, &[])?;
+/// assert_eq!(String::from_utf8(out).unwrap(), format!("{CAMPAIGN_CSV_HEADER}\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_campaign_csv<W: Write>(
+    writer: &mut W,
+    rows: &[CampaignRow],
+) -> Result<(), AnalysisError> {
+    writeln!(writer, "{CAMPAIGN_CSV_HEADER}")?;
+    for r in rows {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.weather,
+            r.seed,
+            r.buffer_mf,
+            r.governor,
+            u8::from(r.survived),
+            r.lifetime_seconds,
+            r.vc_stability,
+            r.instructions_billions,
+            r.renders_per_minute,
+            r.energy_in_joules,
+            r.energy_out_joules,
+            r.transitions,
+            r.final_vc,
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +175,35 @@ mod tests {
         assert!(write_csv(&mut out, &[]).is_err());
         let empty = TimeSeries::new("e");
         assert!(write_csv(&mut out, &[&empty]).is_err());
+    }
+
+    #[test]
+    fn campaign_rows_are_exact_and_ordered() {
+        let row = CampaignRow {
+            weather: "partial-sun".into(),
+            seed: 7,
+            buffer_mf: 47.0,
+            governor: "power-neutral".into(),
+            survived: true,
+            lifetime_seconds: 0.1 + 0.2, // 0.30000000000000004: must survive the trip
+            vc_stability: 0.925,
+            instructions_billions: 1.5,
+            renders_per_minute: 12.0,
+            energy_in_joules: 30.25,
+            energy_out_joules: 15.125,
+            transitions: 9,
+            final_vc: 5.3,
+        };
+        let mut out = Vec::new();
+        write_campaign_csv(&mut out, std::slice::from_ref(&row)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], CAMPAIGN_CSV_HEADER);
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields[0], "partial-sun");
+        assert_eq!(fields[4], "1", "survived encodes as 1/0");
+        // Shortest-round-trip float formatting parses back bitwise.
+        assert_eq!(fields[5].parse::<f64>().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
     }
 }

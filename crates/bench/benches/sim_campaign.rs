@@ -1,4 +1,5 @@
-//! Criterion bench: campaign throughput versus executor width.
+//! Criterion bench: campaign throughput versus executor width, and
+//! the shared-trace-cache win.
 //!
 //! Runs the same fixed 12-cell matrix on 1, 2 and 4 worker threads.
 //! The cells are independent simulations, so wall time should fall
@@ -6,9 +7,15 @@
 //! cores; comparing the three lines makes scaling regressions in the
 //! executor (or accidental serialisation in the campaign layer)
 //! visible.
+//!
+//! The `trace_cache` group runs the matrix with and without the
+//! per-(weather, seed) day-profile cache. The 12 cells share only
+//! 6 distinct days, and each short cell is dominated by rendering its
+//! 6-hour irradiance trace, so the cached line must sit well below the
+//! uncached one — a regression here means the cache stopped being hit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pn_sim::campaign::{run_campaign, CampaignSpec, GovernorSpec};
+use pn_sim::campaign::{run_campaign, run_campaign_with, CampaignSpec, GovernorSpec};
 use pn_sim::executor::Executor;
 use pn_units::Seconds;
 use std::hint::black_box;
@@ -43,5 +50,27 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign);
+fn bench_trace_cache(c: &mut Criterion) {
+    let spec = matrix();
+    let executor = Executor::new(2);
+    let mut group = c.benchmark_group("trace_cache");
+    group.sample_size(10);
+    group.bench_function("12_cells_uncached", |b| {
+        b.iter(|| {
+            let report = run_campaign_with(&spec, &executor, None).unwrap();
+            black_box(report.brownout_count())
+        })
+    });
+    // A fresh cache per iteration: exactly what one campaign start-up
+    // pays (6 renders instead of 12).
+    group.bench_function("12_cells_cached", |b| {
+        b.iter(|| {
+            let report = run_campaign(&spec, &executor).unwrap();
+            black_box(report.brownout_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_trace_cache);
 criterion_main!(benches);

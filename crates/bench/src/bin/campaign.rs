@@ -1,54 +1,142 @@
 //! Campaign runner: simulate a (weather × seed × buffer × governor)
 //! scenario matrix in parallel and print the aggregated verdicts.
 //!
+//! Supports sharded runs (disjoint chunks of the matrix for separate
+//! machines), persisted reports that merge bitwise back into the
+//! unsharded report, and CSV export:
+//!
 //! ```sh
 //! cargo run --release -p pn-bench --bin campaign              # 24-cell diverse matrix
 //! cargo run --release -p pn-bench --bin campaign -- --smoke   # tiny 2×2 CI matrix
 //! cargo run --release -p pn-bench --bin campaign -- --threads 4 --seeds 3
+//! cargo run --release -p pn-bench --bin campaign -- --out report.csv
+//!
+//! # run shard 2 of 4 and persist its partial report…
+//! cargo run --release -p pn-bench --bin campaign -- --shard 2/4 --save shard2.pnc
+//! # …then recompose all four partial reports into the full one:
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --merge shard1.pnc shard2.pnc shard3.pnc shard4.pnc --out report.csv
 //! ```
 
 use pn_bench::{banner, print_table};
-use pn_sim::campaign::{run_campaign, CampaignSpec};
+use pn_sim::campaign::{run_campaign, CampaignReport, CampaignSpec};
 use pn_sim::executor::Executor;
+use pn_sim::persist;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+struct Cli {
+    smoke: bool,
+    threads: usize, // 0 → default parallelism
+    seeds: Option<u64>,
+    shard: Option<(usize, usize)>, // 1-based (index, count)
+    save: Option<String>,
+    out: Option<String>,
+    merge: Vec<String>,
+}
+
+fn parse_shard(arg: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("--shard wants I/N (e.g. 2/4), got {arg:?}");
+    let (i, n) = arg.split_once('/').ok_or_else(bad)?;
+    let (i, n): (usize, usize) =
+        (i.parse().map_err(|_| bad())?, n.parse().map_err(|_| bad())?);
+    if i == 0 || n == 0 || i > n {
+        return Err(format!("--shard index out of range: {i}/{n}"));
+    }
+    Ok((i, n))
+}
+
+fn parse_cli() -> Result<Cli, String> {
     // Parse every flag first, then assemble the spec, so flag order
     // cannot silently change the campaign (`--seeds 3 --smoke` and
     // `--smoke --seeds 3` must mean the same thing).
-    let mut smoke = false;
-    let mut threads = 0usize; // 0 → default parallelism
-    let mut seeds: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        smoke: false,
+        threads: 0,
+        seeds: None,
+        shard: None,
+        save: None,
+        out: None,
+        merge: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
+                 flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => smoke = true,
+            "--smoke" => cli.smoke = true,
             "--threads" => {
-                threads = args.next().ok_or("--threads needs a value")?.parse()?;
+                cli.threads = value(&mut args, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
             }
             "--seeds" => {
-                seeds = Some(args.next().ok_or("--seeds needs a value")?.parse()?);
+                cli.seeds = Some(
+                    value(&mut args, "--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+                );
             }
-            other => return Err(format!("unknown argument: {other}").into()),
+            "--shard" => cli.shard = Some(parse_shard(&value(&mut args, "--shard")?)?),
+            "--save" => cli.save = Some(value(&mut args, "--save")?),
+            "--out" => cli.out = Some(value(&mut args, "--out")?),
+            "--merge" => {
+                while let Some(path) = args.peek() {
+                    if path.starts_with("--") {
+                        break;
+                    }
+                    cli.merge.push(args.next().expect("peeked"));
+                }
+                if cli.merge.is_empty() {
+                    return Err("--merge needs at least one report file".into());
+                }
+            }
+            other => return Err(format!("unknown argument: {other}")),
         }
     }
-    let mut spec = if smoke { CampaignSpec::smoke() } else { CampaignSpec::diverse() };
-    if let Some(n) = seeds {
-        spec.seeds = (1..=n.max(1)).collect();
+    if !cli.merge.is_empty()
+        && (cli.shard.is_some() || cli.smoke || cli.seeds.is_some() || cli.threads != 0)
+    {
+        return Err(
+            "--merge recomposes saved reports without simulating; it cannot be combined \
+             with --shard, --smoke, --seeds or --threads"
+                .into(),
+        );
     }
+    Ok(cli)
+}
 
-    let executor = Executor::new(threads);
-    banner(
-        "campaign",
-        &format!(
-            "{} scenario cells on {} worker threads",
-            spec.cell_count(),
-            executor.threads()
-        ),
-    );
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = parse_cli()?;
 
-    let t0 = std::time::Instant::now();
-    let report = run_campaign(&spec, &executor)?;
-    let wall = t0.elapsed();
+    let (report, ran) = if cli.merge.is_empty() {
+        let mut spec = if cli.smoke { CampaignSpec::smoke() } else { CampaignSpec::diverse() };
+        if let Some(n) = cli.seeds {
+            spec.seeds = (1..=n.max(1)).collect();
+        }
+        let executor = Executor::new(cli.threads);
+        let shard = cli.shard.map(|(i, n)| spec.shard(n).swap_remove(i - 1));
+        let what = match &shard {
+            Some(s) => {
+                format!("shard {}/{} ({} cells)", s.index() + 1, s.count(), s.cells().len())
+            }
+            None => format!("{} scenario cells", spec.cell_count()),
+        };
+        banner("campaign", &format!("{what} on {} worker threads", executor.threads()));
+        let t0 = std::time::Instant::now();
+        let report = match &shard {
+            Some(s) => s.run(&executor)?,
+            None => run_campaign(&spec, &executor)?,
+        };
+        (report, Some(t0.elapsed()))
+    } else {
+        banner("campaign", &format!("merging {} saved shard reports", cli.merge.len()));
+        let mut parts = Vec::with_capacity(cli.merge.len());
+        for path in &cli.merge {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            parts.push(persist::report_from_str(&text).map_err(|e| format!("{path}: {e}"))?);
+        }
+        (CampaignReport::merge(parts)?, None)
+    };
 
     let rows: Vec<Vec<String>> = report
         .cells()
@@ -109,11 +197,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &group_rows(&report.by_governor()),
     );
 
-    println!();
-    println!(
-        "  simulated {:.0} scenario-seconds in {:.2} s of wall time",
-        report.cells().iter().map(|c| c.cell.duration.value()).sum::<f64>(),
-        wall.as_secs_f64()
-    );
+    if let Some(path) = &cli.save {
+        std::fs::write(path, persist::report_to_string(&report))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!();
+        println!("  saved report ({} cells, offset {}) to {path}", report.len(), report.start());
+    }
+    if let Some(path) = &cli.out {
+        std::fs::write(path, persist::report_csv_string(&report)?)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!();
+        println!("  wrote campaign CSV ({} rows) to {path}", report.len());
+    }
+
+    if let Some(wall) = ran {
+        println!();
+        println!(
+            "  simulated {:.0} scenario-seconds in {:.2} s of wall time",
+            report.cells().iter().map(|c| c.cell.duration.value()).sum::<f64>(),
+            wall.as_secs_f64()
+        );
+    }
     Ok(())
 }

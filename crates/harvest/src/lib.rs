@@ -13,6 +13,8 @@
 //! * [`clouds`] — a seeded stochastic occlusion field (micro),
 //! * [`weather`] — presets for the four conditions the paper tested
 //!   (full sun, partial sun, cloud, hail) and the day-profile builder,
+//! * [`cache`] — a shared (weather, seed) → trace cache so campaign
+//!   matrices render each distinct day once,
 //! * [`estimator`] — the open-circuit-voltage-based available-power
 //!   estimator used to draw Fig. 14.
 //!
@@ -30,6 +32,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod clearsky;
 pub mod clouds;
 pub mod estimator;

@@ -38,6 +38,14 @@ pub enum Weather {
 
 impl Weather {
     /// Every condition, brightest first.
+    ///
+    /// The ordering is a contract: conditions are listed by decreasing
+    /// expected harvest, the first four entries are exactly
+    /// [`Weather::paper_conditions`] (in the same order), and the
+    /// trailing [`Weather::Stormy`] / [`Weather::Winter`] pair are
+    /// campaign-only extensions that the paper never tested. Campaign
+    /// matrices, persisted reports and plots all rely on this order
+    /// staying stable.
     pub fn all() -> [Weather; 6] {
         [
             Weather::FullSun,
@@ -49,9 +57,31 @@ impl Weather {
         ]
     }
 
-    /// The four conditions §V-B of the paper reports testing under.
+    /// The four conditions §V-B of the paper reports testing under —
+    /// exactly the first four entries of [`Weather::all`], brightest
+    /// first. [`Weather::Stormy`] and [`Weather::Winter`] are *not*
+    /// part of this set: they are synthetic campaign-matrix extensions.
     pub fn paper_conditions() -> [Weather; 4] {
         [Weather::FullSun, Weather::PartialSun, Weather::Cloudy, Weather::Hail]
+    }
+
+    /// Stable machine-readable token for persistence and CSV export
+    /// (the [`fmt::Display`] names contain spaces and are meant for
+    /// humans). Round-trips through [`Weather::from_slug`].
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Weather::FullSun => "full-sun",
+            Weather::PartialSun => "partial-sun",
+            Weather::Cloudy => "cloudy",
+            Weather::Hail => "hail",
+            Weather::Stormy => "stormy",
+            Weather::Winter => "winter",
+        }
+    }
+
+    /// Parses a [`Weather::slug`] token back into a condition.
+    pub fn from_slug(slug: &str) -> Option<Weather> {
+        Weather::all().into_iter().find(|w| w.slug() == slug)
     }
 
     /// Cloud-field parameters characterising this condition.
@@ -260,9 +290,24 @@ mod tests {
     fn campaign_conditions_extend_the_paper_set() {
         assert_eq!(Weather::all().len(), 6);
         assert_eq!(Weather::paper_conditions().len(), 4);
-        for w in Weather::paper_conditions() {
-            assert!(Weather::all().contains(&w));
+        // Ordering contract: the paper set is exactly the brightest
+        // four, in order, and the campaign-only extensions trail it.
+        assert_eq!(Weather::all()[..4], Weather::paper_conditions());
+        assert_eq!(Weather::all()[4..], [Weather::Stormy, Weather::Winter]);
+        assert!(!Weather::paper_conditions().contains(&Weather::Stormy));
+        assert!(!Weather::paper_conditions().contains(&Weather::Winter));
+    }
+
+    #[test]
+    fn slugs_round_trip_and_stay_machine_readable() {
+        for w in Weather::all() {
+            assert_eq!(Weather::from_slug(w.slug()), Some(w), "{w}");
+            assert!(!w.slug().contains([' ', ',']), "slug {:?} not CSV-safe", w.slug());
         }
+        assert_eq!(Weather::from_slug("monsoon"), None);
+        // Pinned spellings: persisted reports depend on them.
+        assert_eq!(Weather::FullSun.slug(), "full-sun");
+        assert_eq!(Weather::Winter.slug(), "winter");
     }
 
     #[test]

@@ -36,16 +36,19 @@ use pn_analysis::summary::Aggregate;
 use pn_circuit::capacitor::Supercapacitor;
 use pn_core::params::ControlParams;
 use pn_governors::{Conservative, Interactive, Ondemand, Performance, Powersave, Userspace};
+use pn_harvest::cache::TraceCache;
 use pn_harvest::weather::Weather;
+use pn_soc::cores::CoreConfig;
 use pn_soc::opp::Opp;
 use pn_units::{Farads, Ohms, Seconds};
+use serde::{Deserialize, Serialize};
 
 /// Which power-management policy drives a campaign cell.
 ///
 /// Cells must be enumerable up front and shipped across worker
 /// threads, so governors are described by value here and instantiated
 /// inside the worker that runs the cell.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum GovernorSpec {
     /// The paper's threshold-interrupt-driven power-neutral governor
     /// (uses the cell's [`ControlParams`]).
@@ -83,6 +86,45 @@ impl GovernorSpec {
         }
     }
 
+    /// Stable, lossless machine token for persistence (unlike
+    /// [`GovernorSpec::label`], which collapses every `Hold` to
+    /// `"static"`). Round-trips through [`GovernorSpec::from_slug`].
+    pub fn slug(&self) -> String {
+        match self {
+            GovernorSpec::PowerNeutral => "power-neutral".into(),
+            GovernorSpec::Performance => "performance".into(),
+            GovernorSpec::Powersave => "powersave".into(),
+            GovernorSpec::Userspace(level) => format!("userspace:{level}"),
+            GovernorSpec::Ondemand => "ondemand".into(),
+            GovernorSpec::Conservative => "conservative".into(),
+            GovernorSpec::Interactive => "interactive".into(),
+            GovernorSpec::Hold(opp) => {
+                format!("hold:{}+{}@{}", opp.config().little(), opp.config().big(), opp.level())
+            }
+        }
+    }
+
+    /// Parses a [`GovernorSpec::slug`] token.
+    pub fn from_slug(slug: &str) -> Option<GovernorSpec> {
+        match slug {
+            "power-neutral" => return Some(GovernorSpec::PowerNeutral),
+            "performance" => return Some(GovernorSpec::Performance),
+            "powersave" => return Some(GovernorSpec::Powersave),
+            "ondemand" => return Some(GovernorSpec::Ondemand),
+            "conservative" => return Some(GovernorSpec::Conservative),
+            "interactive" => return Some(GovernorSpec::Interactive),
+            _ => {}
+        }
+        if let Some(level) = slug.strip_prefix("userspace:") {
+            return level.parse().ok().map(GovernorSpec::Userspace);
+        }
+        let rest = slug.strip_prefix("hold:")?;
+        let (cores, level) = rest.split_once('@')?;
+        let (little, big) = cores.split_once('+')?;
+        let config = CoreConfig::new(little.parse().ok()?, big.parse().ok()?).ok()?;
+        Some(GovernorSpec::Hold(Opp::new(config, level.parse().ok()?)))
+    }
+
     /// Runs `scenario` under this policy.
     ///
     /// # Errors
@@ -113,7 +155,7 @@ impl GovernorSpec {
 ///
 /// Each axis is a list; [`CampaignSpec::cells`] enumerates the full
 /// product in a fixed (weather-major, params-minor) order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
     /// Day-profile weather conditions.
     pub weathers: Vec<Weather>,
@@ -256,10 +298,99 @@ impl CampaignSpec {
         }
         out
     }
+
+    /// Splits the matrix into `count` disjoint, contiguous shards that
+    /// can run on separate machines; merging their reports with
+    /// [`CampaignReport::merge`] reproduces the unsharded run bitwise.
+    ///
+    /// Every cell lands in exactly one shard for any `count ≥ 1`
+    /// (counts above the cell count yield trailing empty shards, which
+    /// run and merge as empty reports). `count == 0` is treated as 1.
+    pub fn shard(&self, count: usize) -> Vec<CampaignShard> {
+        let count = count.max(1);
+        let cells = self.cells();
+        let n = cells.len();
+        (0..count)
+            .map(|i| {
+                let start = n * i / count;
+                let end = n * (i + 1) / count;
+                CampaignShard {
+                    index: i,
+                    count,
+                    start,
+                    cells: cells[start..end].to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One contiguous chunk of a sharded campaign matrix.
+///
+/// Produced by [`CampaignSpec::shard`]; carries enough position
+/// metadata (`start`) for [`CampaignReport::merge`] to verify that the
+/// shard reports it is recomposing are disjoint and complete.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignShard {
+    index: usize,
+    count: usize,
+    start: usize,
+    cells: Vec<CampaignCell>,
+}
+
+impl CampaignShard {
+    /// This shard's position in the split (`0..count`).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the split.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Global matrix index of this shard's first cell (its offset even
+    /// when the shard itself is empty).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The cells of this shard, in matrix order.
+    pub fn cells(&self) -> &[CampaignCell] {
+        &self.cells
+    }
+
+    /// Runs this shard's cells on `executor` (with a private trace
+    /// cache) and returns a partial report positioned for
+    /// [`CampaignReport::merge`]. Unlike [`run_campaign`], an empty
+    /// shard is legal and yields an empty report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine failure in matrix order.
+    pub fn run(&self, executor: &Executor) -> Result<CampaignReport, SimError> {
+        let cache = TraceCache::new();
+        self.run_with(executor, Some(&cache))
+    }
+
+    /// [`CampaignShard::run`] with an explicit (possibly shared, or
+    /// absent) trace cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine failure in matrix order.
+    pub fn run_with(
+        &self,
+        executor: &Executor,
+        cache: Option<&TraceCache>,
+    ) -> Result<CampaignReport, SimError> {
+        let outcomes = evaluate_cells(&self.cells, executor, cache)?;
+        Ok(CampaignReport { start: self.start, cells: outcomes })
+    }
 }
 
 /// One fully resolved cell of the matrix.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignCell {
     /// Weather condition of the day profile.
     pub weather: Weather,
@@ -294,6 +425,19 @@ impl CampaignCell {
     /// Returns [`SimError::InvalidConfig`] for a non-positive buffer
     /// capacitance or duration.
     pub fn scenario(&self) -> Result<Scenario, SimError> {
+        self.scenario_with(None)
+    }
+
+    /// [`CampaignCell::scenario`], sourcing the day's irradiance trace
+    /// from `cache` when one is given. Cache hits are bitwise-identical
+    /// to the trace [`scenario::weather_day`] would render, so cached
+    /// and uncached scenarios replay identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a non-positive buffer
+    /// capacitance or duration.
+    pub fn scenario_with(&self, cache: Option<&TraceCache>) -> Result<Scenario, SimError> {
         if !(self.duration.value() > 0.0) {
             return Err(SimError::InvalidConfig("cell duration must be positive"));
         }
@@ -303,10 +447,16 @@ impl CampaignCell {
             Ohms::new(0.025),
             Ohms::new(40_000.0),
         )?;
-        Ok(scenario::weather_day(self.weather, self.seed)
-            .with_duration(self.duration)
-            .with_buffer(buffer)
-            .with_params(self.params))
+        let day = match cache {
+            Some(cache) => {
+                let shared = cache.get_or_build(self.weather, self.seed, || {
+                    Ok(scenario::weather_day_trace(self.weather, self.seed))
+                })?;
+                scenario::weather_day_with_trace((*shared).clone())
+            }
+            None => scenario::weather_day(self.weather, self.seed),
+        };
+        Ok(day.with_duration(self.duration).with_buffer(buffer).with_params(self.params))
     }
 
     /// Runs the cell and reduces the report to a [`CellOutcome`].
@@ -315,7 +465,16 @@ impl CampaignCell {
     ///
     /// Propagates engine and analysis failures.
     pub fn evaluate(&self) -> Result<CellOutcome, SimError> {
-        let scenario = self.scenario()?;
+        self.evaluate_with(None)
+    }
+
+    /// [`CampaignCell::evaluate`] with an optional shared trace cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and analysis failures.
+    pub fn evaluate_with(&self, cache: Option<&TraceCache>) -> Result<CellOutcome, SimError> {
+        let scenario = self.scenario_with(cache)?;
         let target = scenario.platform().target_voltage();
         let report = self.governor.run(&scenario)?;
         let alive = report.lifetime_or_duration();
@@ -339,7 +498,7 @@ impl CampaignCell {
 }
 
 /// The reduced verdict of one cell.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CellOutcome {
     /// The cell that produced this outcome.
     pub cell: CampaignCell,
@@ -382,13 +541,65 @@ pub struct GroupSummary {
     pub energy_utilisation: Aggregate,
 }
 
-/// Aggregated verdicts of a whole campaign.
-#[derive(Debug, Clone, PartialEq)]
+/// Aggregated verdicts of a whole campaign (or, after
+/// [`CampaignShard::run`], of one shard of it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
+    /// Global matrix index of the first cell (0 for a full run).
+    start: usize,
     cells: Vec<CellOutcome>,
 }
 
 impl CampaignReport {
+    /// Reassembles a report from its position and outcomes — the
+    /// decoding half of the persistence layer ([`crate::persist`]).
+    /// The outcomes are trusted as-is; whether they describe real
+    /// simulations is on the caller.
+    pub fn from_parts(start: usize, cells: Vec<CellOutcome>) -> Self {
+        Self { start, cells }
+    }
+
+    /// Global matrix index of this report's first cell: 0 for a full
+    /// (or fully merged) campaign, the shard offset for a partial one.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Recomposes shard reports into the report of the unsharded run.
+    ///
+    /// Parts may arrive in any order (they are sorted by their shard
+    /// offset), empty shards are legal, and the operation is
+    /// associative: merging adjacent sub-merges yields exactly the
+    /// same report as merging all parts at once, bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when no parts are given, or
+    /// when the parts overlap or leave a gap (e.g. a shard report was
+    /// merged twice, or one is missing).
+    pub fn merge(parts: impl IntoIterator<Item = CampaignReport>) -> Result<Self, SimError> {
+        let mut parts: Vec<CampaignReport> = parts.into_iter().collect();
+        if parts.is_empty() {
+            return Err(SimError::InvalidConfig("no shard reports to merge"));
+        }
+        // An empty shard shares its start offset with the non-empty
+        // shard that begins there; order empties first so the
+        // contiguity scan below accepts them at that position
+        // regardless of arrival order.
+        parts.sort_by_key(|p| (p.start, p.cells.len()));
+        let start = parts[0].start;
+        let mut cells = Vec::with_capacity(parts.iter().map(|p| p.cells.len()).sum());
+        for part in parts {
+            if part.start != start + cells.len() {
+                return Err(SimError::InvalidConfig(
+                    "shard reports overlap or leave a gap in the matrix",
+                ));
+            }
+            cells.extend(part.cells);
+        }
+        Ok(Self { start, cells })
+    }
+
     /// Per-cell outcomes, in matrix order.
     pub fn cells(&self) -> &[CellOutcome] {
         &self.cells
@@ -465,23 +676,53 @@ impl CampaignReport {
 }
 
 /// Runs every cell of `spec` on `executor` and aggregates the
-/// verdicts.
+/// verdicts. Each distinct (weather, seed) day profile is rendered
+/// once and shared across the matrix through a campaign-local
+/// [`TraceCache`]; the report is bitwise-identical to an uncached run
+/// ([`run_campaign_with`] with `None` opts out, for benchmarking).
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] for an empty matrix and
 /// propagates the first engine failure in matrix order.
 pub fn run_campaign(spec: &CampaignSpec, executor: &Executor) -> Result<CampaignReport, SimError> {
+    let cache = TraceCache::new();
+    run_campaign_with(spec, executor, Some(&cache))
+}
+
+/// [`run_campaign`] with an explicit trace cache (or none). Passing a
+/// longer-lived cache lets consecutive campaigns over the same
+/// (weather, seed) days skip rendering entirely.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an empty matrix and
+/// propagates the first engine failure in matrix order.
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    executor: &Executor,
+    cache: Option<&TraceCache>,
+) -> Result<CampaignReport, SimError> {
     let cells = spec.cells();
     if cells.is_empty() {
         return Err(SimError::InvalidConfig("campaign matrix is empty"));
     }
-    let outcomes = executor.map(&cells, |_, cell| cell.evaluate());
+    Ok(CampaignReport { start: 0, cells: evaluate_cells(&cells, executor, cache)? })
+}
+
+/// Evaluates a slice of cells on the executor, failing on the first
+/// engine error in matrix order.
+fn evaluate_cells(
+    cells: &[CampaignCell],
+    executor: &Executor,
+    cache: Option<&TraceCache>,
+) -> Result<Vec<CellOutcome>, SimError> {
+    let outcomes = executor.map(cells, |_, cell| cell.evaluate_with(cache));
     let mut reduced = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         reduced.push(outcome?);
     }
-    Ok(CampaignReport { cells: reduced })
+    Ok(reduced)
 }
 
 #[cfg(test)]
@@ -586,6 +827,124 @@ mod tests {
             duration: Seconds::ZERO,
         };
         assert!(bad_duration.scenario().is_err());
+    }
+
+    fn outcome(cell: CampaignCell, work: f64) -> CellOutcome {
+        CellOutcome {
+            cell,
+            survived: true,
+            lifetime_seconds: cell.duration.value(),
+            vc_stability: 0.9,
+            instructions_billions: work,
+            renders_per_minute: 1.0,
+            energy_in_joules: 2.0,
+            energy_out_joules: 1.0,
+            transitions: 3,
+            final_vc: 5.3,
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_matrix() {
+        let spec = CampaignSpec::smoke().with_seeds(vec![1, 2]); // 8 cells
+        let all = spec.cells();
+        for count in [1usize, 2, 3, 5, 8, 13] {
+            let shards = spec.shard(count);
+            assert_eq!(shards.len(), count);
+            let mut seen = Vec::new();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.index(), i);
+                assert_eq!(s.count(), count);
+                assert_eq!(s.start(), seen.len());
+                seen.extend_from_slice(s.cells());
+            }
+            assert_eq!(seen, all, "shard({count}) lost or duplicated cells");
+        }
+        // count == 0 degrades to a single shard.
+        assert_eq!(spec.shard(0).len(), 1);
+    }
+
+    #[test]
+    fn merge_recomposes_permuted_shards() {
+        let spec = CampaignSpec::smoke().with_seeds(vec![1, 2]);
+        let parts: Vec<CampaignReport> = spec
+            .shard(3)
+            .iter()
+            .map(|s| {
+                CampaignReport::from_parts(
+                    s.start(),
+                    s.cells().iter().map(|&c| outcome(c, s.start() as f64)).collect(),
+                )
+            })
+            .collect();
+        let full = CampaignReport::merge(parts.clone()).unwrap();
+        assert_eq!(full.len(), spec.cell_count());
+        assert_eq!(full.start(), 0);
+        // Any order of parts merges to the same report…
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        assert_eq!(CampaignReport::merge(reversed).unwrap(), full);
+        // …and merging is associative over adjacent sub-merges.
+        let left = CampaignReport::merge(parts[..2].to_vec()).unwrap();
+        let grouped = CampaignReport::merge([left, parts[2].clone()]).unwrap();
+        assert_eq!(grouped, full);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_nothing() {
+        let spec = CampaignSpec::smoke();
+        let parts: Vec<CampaignReport> = spec
+            .shard(4)
+            .iter()
+            .map(|s| {
+                CampaignReport::from_parts(
+                    s.start(),
+                    s.cells().iter().map(|&c| outcome(c, 1.0)).collect(),
+                )
+            })
+            .collect();
+        assert!(CampaignReport::merge([]).is_err());
+        // Missing shard → gap.
+        assert!(CampaignReport::merge([parts[0].clone(), parts[2].clone()]).is_err());
+        // Same shard twice → overlap.
+        assert!(CampaignReport::merge([parts[1].clone(), parts[1].clone()]).is_err());
+    }
+
+    #[test]
+    fn governor_slugs_round_trip_losslessly() {
+        let specs = [
+            GovernorSpec::PowerNeutral,
+            GovernorSpec::Performance,
+            GovernorSpec::Powersave,
+            GovernorSpec::Userspace(3),
+            GovernorSpec::Ondemand,
+            GovernorSpec::Conservative,
+            GovernorSpec::Interactive,
+            GovernorSpec::Hold(Opp::new(CoreConfig::new(4, 2).unwrap(), 5)),
+        ];
+        for g in specs {
+            assert_eq!(GovernorSpec::from_slug(&g.slug()), Some(g), "slug {:?}", g.slug());
+            assert!(!g.slug().contains([' ', ',']), "slug {:?} not CSV-safe", g.slug());
+        }
+        assert_eq!(GovernorSpec::from_slug("turbo"), None);
+        assert_eq!(GovernorSpec::from_slug("hold:4@x"), None);
+    }
+
+    #[test]
+    fn cached_and_uncached_cells_agree() {
+        let cell = CampaignCell {
+            weather: Weather::Cloudy,
+            seed: 4,
+            buffer_mf: 47.0,
+            governor: GovernorSpec::PowerNeutral,
+            params: ControlParams::paper_optimal().unwrap(),
+            duration: Seconds::new(8.0),
+        };
+        let cache = TraceCache::new();
+        let cached = cell.evaluate_with(Some(&cache)).unwrap();
+        let uncached = cell.evaluate().unwrap();
+        assert_eq!(cached, uncached);
+        assert_eq!(cache.misses(), 1);
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum SimError {
     Harvest(pn_harvest::HarvestError),
     /// Trace analysis failed.
     Analysis(pn_analysis::AnalysisError),
+    /// A persisted campaign artifact could not be decoded.
+    Persist(String),
 }
 
 impl fmt::Display for SimError {
@@ -33,6 +35,7 @@ impl fmt::Display for SimError {
             SimError::Monitor(e) => write!(f, "monitor error: {e}"),
             SimError::Harvest(e) => write!(f, "harvest error: {e}"),
             SimError::Analysis(e) => write!(f, "analysis error: {e}"),
+            SimError::Persist(why) => write!(f, "persist error: {why}"),
         }
     }
 }
@@ -47,6 +50,7 @@ impl Error for SimError {
             SimError::Monitor(e) => Some(e),
             SimError::Harvest(e) => Some(e),
             SimError::Analysis(e) => Some(e),
+            SimError::Persist(_) => None,
         }
     }
 }

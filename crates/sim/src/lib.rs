@@ -19,6 +19,9 @@
 //! * [`executor`] — the shared work-stealing batch executor,
 //! * [`sweep`] — the §III parameter sweep,
 //! * [`campaign`] — batch campaigns over a cartesian scenario matrix,
+//!   including sharded runs whose reports merge bitwise,
+//! * [`persist`] — serialized campaign specs/reports and the campaign
+//!   CSV export,
 //! * [`experiments`] — one module per paper figure/table, producing the
 //!   rows/series the paper reports.
 //!
@@ -43,6 +46,7 @@ pub mod campaign;
 pub mod engine;
 pub mod executor;
 pub mod experiments;
+pub mod persist;
 pub mod recorder;
 pub mod runtime;
 pub mod scenario;

@@ -1,0 +1,446 @@
+//! Campaign persistence: serialized specs and reports, and the
+//! campaign CSV export.
+//!
+//! A campaign verdict only matters if it can leave the process: shard
+//! reports computed on different machines must recompose
+//! ([`CampaignReport::merge`]), and analysts need one diffable,
+//! plottable row per cell. This module provides both halves:
+//!
+//! * a versioned, line-oriented wire format for [`CampaignSpec`] and
+//!   [`CampaignReport`] ([`spec_to_string`] / [`spec_from_str`],
+//!   [`report_to_string`] / [`report_from_str`]). Floats are written
+//!   with Rust's shortest-round-trip formatting, so decoding
+//!   reproduces every `f64` bitwise and a decode–encode cycle is the
+//!   identity;
+//! * the campaign CSV bridge ([`campaign_rows`] /
+//!   [`report_csv_string`]) onto
+//!   [`pn_analysis::csv::write_campaign_csv`].
+//!
+//! The in-memory types additionally carry (shim) `serde` derives, so
+//! swapping this hand-rolled format for a serde wire format later is a
+//! manifest-only change.
+//!
+//! # Examples
+//!
+//! ```
+//! use pn_sim::campaign::{run_campaign, CampaignSpec};
+//! use pn_sim::executor::Executor;
+//! use pn_sim::persist;
+//!
+//! # fn main() -> Result<(), pn_sim::SimError> {
+//! let spec = CampaignSpec::smoke().with_duration(pn_units::Seconds::new(2.0));
+//! let report = run_campaign(&spec, &Executor::sequential())?;
+//! let wire = persist::report_to_string(&report);
+//! assert_eq!(persist::report_from_str(&wire)?, report);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::campaign::{CampaignCell, CampaignReport, CampaignSpec, CellOutcome, GovernorSpec};
+use crate::SimError;
+use pn_analysis::csv::{write_campaign_csv, CampaignRow};
+use pn_core::params::ControlParams;
+use pn_harvest::weather::Weather;
+use pn_units::{Seconds, Volts};
+use std::fmt::Write as _;
+
+const SPEC_HEADER: &str = "pn-campaign-spec v1";
+const REPORT_HEADER: &str = "pn-campaign-report v1";
+
+/// Serializes a campaign spec to the v1 wire format.
+pub fn spec_to_string(spec: &CampaignSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{SPEC_HEADER}");
+    let _ = writeln!(
+        out,
+        "weathers {}",
+        spec.weathers.iter().map(|w| w.slug()).collect::<Vec<_>>().join(" ")
+    );
+    let _ = writeln!(out, "seeds {}", join_display(&spec.seeds));
+    let _ = writeln!(out, "buffers {}", join_display(&spec.buffers_mf));
+    let _ = writeln!(
+        out,
+        "governors {}",
+        spec.governors.iter().map(GovernorSpec::slug).collect::<Vec<_>>().join(" ")
+    );
+    for p in &spec.params {
+        let _ = writeln!(
+            out,
+            "params {} {} {} {}",
+            p.v_width().value(),
+            p.v_q().value(),
+            p.alpha(),
+            p.beta()
+        );
+    }
+    let _ = writeln!(out, "duration {}", spec.duration.value());
+    out.push_str("end\n");
+    out
+}
+
+/// Decodes a campaign spec from the v1 wire format.
+///
+/// # Errors
+///
+/// Returns [`SimError::Persist`] for a malformed document and
+/// propagates [`ControlParams`] validation.
+pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
+    let mut lines = Lines::new(text);
+    lines.expect_header(SPEC_HEADER)?;
+    let mut spec = CampaignSpec {
+        weathers: Vec::new(),
+        seeds: Vec::new(),
+        buffers_mf: Vec::new(),
+        governors: Vec::new(),
+        params: Vec::new(),
+        duration: Seconds::ZERO,
+    };
+    loop {
+        let (no, line) = lines.next_line()?;
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "end" => break,
+            "weathers" => {
+                spec.weathers = rest
+                    .split_whitespace()
+                    .map(|s| {
+                        Weather::from_slug(s)
+                            .ok_or_else(|| persist_err(no, format!("unknown weather {s:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "seeds" => spec.seeds = parse_list(no, rest)?,
+            "buffers" => spec.buffers_mf = parse_list(no, rest)?,
+            "governors" => {
+                spec.governors = rest
+                    .split_whitespace()
+                    .map(|s| {
+                        GovernorSpec::from_slug(s)
+                            .ok_or_else(|| persist_err(no, format!("unknown governor {s:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "params" => {
+                let [vw, vq, alpha, beta] = parse_array(no, rest)?;
+                spec.params.push(ControlParams::new(Volts::new(vw), Volts::new(vq), alpha, beta)?);
+            }
+            "duration" => {
+                let [d] = parse_array(no, rest)?;
+                spec.duration = Seconds::new(d);
+            }
+            other => return Err(persist_err(no, format!("unknown spec key {other:?}"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// Serializes a (full or shard) campaign report to the v1 wire format.
+pub fn report_to_string(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{REPORT_HEADER}");
+    let _ = writeln!(out, "start {}", report.start());
+    let _ = writeln!(out, "cells {}", report.len());
+    for c in report.cells() {
+        let _ = writeln!(
+            out,
+            "cell {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            c.cell.weather.slug(),
+            c.cell.seed,
+            c.cell.buffer_mf,
+            c.cell.governor.slug(),
+            c.cell.params.v_width().value(),
+            c.cell.params.v_q().value(),
+            c.cell.params.alpha(),
+            c.cell.params.beta(),
+            c.cell.duration.value(),
+            u8::from(c.survived),
+            c.lifetime_seconds,
+            c.vc_stability,
+            c.instructions_billions,
+            c.renders_per_minute,
+            c.energy_in_joules,
+            c.energy_out_joules,
+            c.transitions,
+            c.final_vc,
+        );
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Decodes a campaign report from the v1 wire format. Every `f64` is
+/// reproduced bitwise, so `report_from_str(&report_to_string(r)) == r`
+/// exactly.
+///
+/// # Errors
+///
+/// Returns [`SimError::Persist`] for a malformed document (bad header,
+/// wrong cell count, undecodable token).
+pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
+    let mut lines = Lines::new(text);
+    lines.expect_header(REPORT_HEADER)?;
+    let (no, line) = lines.next_line()?;
+    let start: usize = parse_keyed(no, line, "start")?;
+    let (no, line) = lines.next_line()?;
+    let count: usize = parse_keyed(no, line, "cells")?;
+    let mut cells = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (no, line) = lines.next_line()?;
+        cells.push(parse_cell_line(no, line)?);
+    }
+    let (no, line) = lines.next_line()?;
+    if line != "end" {
+        return Err(persist_err(no, format!("expected end marker, found {line:?}")));
+    }
+    Ok(CampaignReport::from_parts(start, cells))
+}
+
+fn parse_cell_line(no: usize, line: &str) -> Result<CellOutcome, SimError> {
+    let mut tok = line.split_whitespace();
+    if tok.next() != Some("cell") {
+        return Err(persist_err(no, "expected a cell line".into()));
+    }
+    let mut next = |what: &str| {
+        tok.next().ok_or_else(|| persist_err(no, format!("cell line missing {what}")))
+    };
+    let weather = {
+        let s = next("weather")?;
+        Weather::from_slug(s).ok_or_else(|| persist_err(no, format!("unknown weather {s:?}")))?
+    };
+    let seed = parse_token(no, next("seed")?)?;
+    let buffer_mf = parse_token(no, next("buffer")?)?;
+    let governor = {
+        let s = next("governor")?;
+        GovernorSpec::from_slug(s)
+            .ok_or_else(|| persist_err(no, format!("unknown governor {s:?}")))?
+    };
+    let params = ControlParams::new(
+        Volts::new(parse_token(no, next("v_width")?)?),
+        Volts::new(parse_token(no, next("v_q")?)?),
+        parse_token(no, next("alpha")?)?,
+        parse_token(no, next("beta")?)?,
+    )?;
+    let duration = Seconds::new(parse_token(no, next("duration")?)?);
+    let survived = match next("survived")? {
+        "1" => true,
+        "0" => false,
+        other => return Err(persist_err(no, format!("bad survived flag {other:?}"))),
+    };
+    let outcome = CellOutcome {
+        cell: CampaignCell { weather, seed, buffer_mf, governor, params, duration },
+        survived,
+        lifetime_seconds: parse_token(no, next("lifetime")?)?,
+        vc_stability: parse_token(no, next("vc_stability")?)?,
+        instructions_billions: parse_token(no, next("instructions")?)?,
+        renders_per_minute: parse_token(no, next("renders")?)?,
+        energy_in_joules: parse_token(no, next("energy_in")?)?,
+        energy_out_joules: parse_token(no, next("energy_out")?)?,
+        transitions: parse_token(no, next("transitions")?)?,
+        final_vc: parse_token(no, next("final_vc")?)?,
+    };
+    if tok.next().is_some() {
+        return Err(persist_err(no, "trailing tokens on cell line".into()));
+    }
+    Ok(outcome)
+}
+
+/// Reduces a report to plain CSV rows (one per cell, matrix order),
+/// using the stable [`Weather::slug`] / [`GovernorSpec::slug`] tokens.
+pub fn campaign_rows(report: &CampaignReport) -> Vec<CampaignRow> {
+    report
+        .cells()
+        .iter()
+        .map(|c| CampaignRow {
+            weather: c.cell.weather.slug().to_string(),
+            seed: c.cell.seed,
+            buffer_mf: c.cell.buffer_mf,
+            governor: c.cell.governor.slug(),
+            survived: c.survived,
+            lifetime_seconds: c.lifetime_seconds,
+            vc_stability: c.vc_stability,
+            instructions_billions: c.instructions_billions,
+            renders_per_minute: c.renders_per_minute,
+            energy_in_joules: c.energy_in_joules,
+            energy_out_joules: c.energy_out_joules,
+            transitions: c.transitions,
+            final_vc: c.final_vc,
+        })
+        .collect()
+}
+
+/// The report's campaign CSV document (header plus one row per cell).
+///
+/// # Errors
+///
+/// Propagates CSV-writer failures.
+pub fn report_csv_string(report: &CampaignReport) -> Result<String, SimError> {
+    let mut out = Vec::new();
+    write_campaign_csv(&mut out, &campaign_rows(report))?;
+    String::from_utf8(out).map_err(|_| SimError::Persist("campaign CSV was not UTF-8".into()))
+}
+
+fn persist_err(line: usize, why: String) -> SimError {
+    SimError::Persist(format!("line {line}: {why}"))
+}
+
+fn join_display<T: std::fmt::Display>(items: &[T]) -> String {
+    items.iter().map(T::to_string).collect::<Vec<_>>().join(" ")
+}
+
+fn parse_token<T: std::str::FromStr>(no: usize, token: &str) -> Result<T, SimError> {
+    token.parse().map_err(|_| persist_err(no, format!("undecodable token {token:?}")))
+}
+
+fn parse_list<T: std::str::FromStr>(no: usize, rest: &str) -> Result<Vec<T>, SimError> {
+    rest.split_whitespace().map(|t| parse_token(no, t)).collect()
+}
+
+fn parse_array<const N: usize>(no: usize, rest: &str) -> Result<[f64; N], SimError> {
+    let values: Vec<f64> = parse_list(no, rest)?;
+    values
+        .try_into()
+        .map_err(|v: Vec<f64>| persist_err(no, format!("expected {N} values, found {}", v.len())))
+}
+
+fn parse_keyed<T: std::str::FromStr>(no: usize, line: &str, key: &str) -> Result<T, SimError> {
+    let value = line
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| persist_err(no, format!("expected {key:?} line, found {line:?}")))?;
+    parse_token(no, value.trim())
+}
+
+/// Line cursor that skips blanks and `#` comments and tracks 1-based
+/// line numbers for error messages.
+struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { iter: text.lines().enumerate() }
+    }
+
+    fn next_line(&mut self) -> Result<(usize, &'a str), SimError> {
+        for (i, raw) in self.iter.by_ref() {
+            let line = raw.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                return Ok((i + 1, line));
+            }
+        }
+        Err(SimError::Persist("unexpected end of document".into()))
+    }
+
+    fn expect_header(&mut self, header: &str) -> Result<(), SimError> {
+        let (no, line) = self.next_line()?;
+        if line != header {
+            return Err(persist_err(no, format!("expected {header:?}, found {line:?}")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CampaignReport {
+        let spec = CampaignSpec::smoke().with_seeds(vec![1, 2]);
+        let cells: Vec<CellOutcome> = spec
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, &cell)| CellOutcome {
+                cell,
+                survived: i % 3 != 0,
+                // Deliberately awkward values: exact decimals are the
+                // easy case, these exercise shortest-round-trip output.
+                lifetime_seconds: 29.999999999999996 + i as f64,
+                vc_stability: 1.0 / 3.0 + i as f64 * 1e-17,
+                instructions_billions: i as f64 * 0.1,
+                renders_per_minute: f64::from_bits(0x3FF5_5555_5555_5555 + i as u64),
+                energy_in_joules: 12.5,
+                energy_out_joules: 6.25,
+                transitions: 41 + i as u64,
+                final_vc: 5.3,
+            })
+            .collect();
+        CampaignReport::from_parts(0, cells)
+    }
+
+    #[test]
+    fn report_round_trips_bitwise() {
+        let report = sample_report();
+        let wire = report_to_string(&report);
+        let decoded = report_from_str(&wire).unwrap();
+        assert_eq!(decoded, report);
+        // Encode–decode–encode is the identity on the document too.
+        assert_eq!(report_to_string(&decoded), wire);
+    }
+
+    #[test]
+    fn shard_report_round_trips_with_its_offset() {
+        let full = sample_report();
+        let tail = CampaignReport::from_parts(5, full.cells()[5..].to_vec());
+        let decoded = report_from_str(&report_to_string(&tail)).unwrap();
+        assert_eq!(decoded.start(), 5);
+        assert_eq!(decoded, tail);
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = CampaignSpec::diverse()
+            .with_seeds(vec![1, 9, 1u64 << 60])
+            .with_governors(vec![
+                GovernorSpec::PowerNeutral,
+                GovernorSpec::Userspace(3),
+                GovernorSpec::Hold(pn_soc::opp::Opp::lowest()),
+            ])
+            .with_params(vec![
+                ControlParams::paper_optimal().unwrap(),
+                ControlParams::fig6_simulation().unwrap(),
+            ]);
+        let decoded = spec_from_str(&spec_to_string(&spec)).unwrap();
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let wire = report_to_string(&sample_report());
+        let annotated = format!("# produced by a test\n\n{}", wire.replace("start", "\n# offset\nstart"));
+        assert_eq!(report_from_str(&annotated).unwrap(), sample_report());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_line_numbers() {
+        let cases = [
+            ("", "unexpected end"),
+            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v1\""),
+            ("pn-campaign-report v1\nstart 0\ncells 1\nend\n", "expected a cell line"),
+            ("pn-campaign-report v1\nstart 0\ncells 0\nEND\n", "end marker"),
+            ("pn-campaign-report v1\nstart zero\ncells 0\nend\n", "undecodable token"),
+        ];
+        for (doc, needle) in cases {
+            let err = report_from_str(doc).unwrap_err().to_string();
+            assert!(err.contains(needle), "{doc:?} → {err}");
+        }
+        let mut wire = report_to_string(&sample_report());
+        wire = wire.replace("full-sun", "full-moon");
+        let err = report_from_str(&wire).unwrap_err().to_string();
+        assert!(err.contains("unknown weather"), "{err}");
+        assert!(err.contains("line 4"), "line number missing: {err}");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_and_a_stable_header() {
+        let report = sample_report();
+        let csv = report_csv_string(&report).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), report.len() + 1);
+        assert_eq!(lines[0], pn_analysis::csv::CAMPAIGN_CSV_HEADER);
+        assert!(lines[1].starts_with("full-sun,1,47,power-neutral,"));
+        // Governor column uses the lossless slug, not the display label.
+        let rows = campaign_rows(&report);
+        assert!(rows.iter().all(|r| GovernorSpec::from_slug(&r.governor).is_some()));
+    }
+}

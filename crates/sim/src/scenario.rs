@@ -176,14 +176,31 @@ pub fn full_sun_day(seed: u64) -> Scenario {
 
 /// A PV day in the given weather over the paper's test window.
 pub fn weather_day(weather: Weather, seed: u64) -> Scenario {
+    weather_day_with_trace(weather_day_trace(weather, seed))
+}
+
+/// The irradiance trace [`weather_day`] renders: the paper's test
+/// window (10:30–16:30) under the weak autumn sky, sampled every
+/// second. Split out so campaign runs can render each distinct
+/// (weather, seed) day once and share it through a
+/// [`TraceCache`](pn_harvest::cache::TraceCache).
+pub fn weather_day_trace(weather: Weather, seed: u64) -> IrradianceTrace {
     let start = Seconds::from_hours(10.5);
     let end = Seconds::from_hours(16.5);
     let sky = ClearSky::paper_test_day().expect("preset sky valid");
-    let irradiance = DayProfile::new(weather, seed)
+    DayProfile::new(weather, seed)
         .with_sky(sky)
         .with_span(start, end)
         .build(Seconds::new(1.0))
-        .expect("day profile valid");
+        .expect("day profile valid")
+}
+
+/// Assembles the [`weather_day`] scenario around an already-rendered
+/// irradiance trace (the simulated window is the trace's span). The
+/// trace must come from [`weather_day_trace`] — or a cache of it — for
+/// the scenario to match `weather_day` bitwise.
+pub fn weather_day_with_trace(irradiance: IrradianceTrace) -> Scenario {
+    let (start, end) = (irradiance.start(), irradiance.end());
     let supply = Supply::Photovoltaic { cell: SolarCell::odroid_array(), irradiance };
     let options = SimOptions::new(end)
         .with_span(start, end)

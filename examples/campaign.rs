@@ -1,13 +1,16 @@
 //! Batch campaign quickstart: sweep the governor across every weather
-//! condition in parallel and compare survival and work done.
+//! condition in parallel, compare survival and work done, then show
+//! the persistence layer — sharded runs merged bitwise and the CSV
+//! export.
 //!
 //! ```sh
 //! cargo run --release --example campaign
 //! ```
 
 use power_neutral::harvest::weather::Weather;
-use power_neutral::sim::campaign::{run_campaign, CampaignSpec, GovernorSpec};
+use power_neutral::sim::campaign::{run_campaign, CampaignReport, CampaignSpec, GovernorSpec};
 use power_neutral::sim::executor::Executor;
+use power_neutral::sim::persist;
 use power_neutral::units::Seconds;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -49,5 +52,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             g.instructions_billions.sum()
         );
     }
+
+    // The persistence layer: the same matrix run as three shards (as
+    // three machines would), each partial report serialized and
+    // decoded, merges back to the exact report computed above.
+    let parts: Result<Vec<CampaignReport>, _> = spec
+        .shard(3)
+        .iter()
+        .map(|shard| {
+            let partial = shard.run(&executor)?;
+            persist::report_from_str(&persist::report_to_string(&partial))
+        })
+        .collect();
+    let merged = CampaignReport::merge(parts?)?;
+    assert_eq!(merged, report, "shard + persist + merge must be bitwise-lossless");
+    let csv = persist::report_csv_string(&merged)?;
+    println!(
+        "\n  3 shards persisted and merged bitwise; CSV export: {} rows, first:\n  {}",
+        merged.len(),
+        csv.lines().nth(1).unwrap_or("<empty>")
+    );
     Ok(())
 }

@@ -1,9 +1,10 @@
 //! Offline stand-in for the subset of the `serde` crate used by the
 //! `power-neutral` workspace.
 //!
-//! Only `pn-analysis` uses serde, and only for `#[derive(Serialize,
-//! Deserialize)]` markers on its series types (actual persistence goes
-//! through the hand-written CSV layer). The build environment has no
+//! `pn-analysis` and `pn-sim` use serde only for `#[derive(Serialize,
+//! Deserialize)]` markers on their series and campaign types (actual
+//! persistence goes through the hand-written CSV and
+//! `pn_sim::persist` wire formats). The build environment has no
 //! crates.io access, so this shim supplies marker traits and no-op
 //! derive macros with the same names; swapping in real serde later is a
 //! manifest-only change.

@@ -1,0 +1,275 @@
+//! Golden-artifact lockdown of the campaign persistence layer.
+//!
+//! Three families of guarantees are pinned here:
+//!
+//! * **Golden files** — the 2×2 smoke campaign's CSV and wire-format
+//!   documents must match the artifacts checked in under
+//!   `tests/golden/` byte for byte, in both debug and release
+//!   profiles. Regenerate deliberately with
+//!   `PN_BLESS=1 cargo test --test campaign_persist`.
+//! * **Shard/merge** — splitting the matrix into any number of shards
+//!   and merging their reports (including through a serialize/decode
+//!   cycle) reproduces the unsharded [`CampaignReport`] bitwise;
+//!   property tests cover partitioning and merge order-insensitivity.
+//! * **Trace cache** — campaigns that share day-profile traces
+//!   through a [`TraceCache`] replay bitwise-identically to uncached
+//!   runs, and repeated (weather, seed) pairs are served from the
+//!   cache instead of re-rendered.
+
+use power_neutral::core::params::ControlParams;
+use power_neutral::harvest::cache::TraceCache;
+use power_neutral::harvest::weather::Weather;
+use power_neutral::sim::campaign::{
+    run_campaign, run_campaign_with, CampaignCell, CampaignReport, CampaignSpec, CellOutcome,
+    GovernorSpec,
+};
+use power_neutral::sim::executor::Executor;
+use power_neutral::sim::persist;
+use power_neutral::units::Seconds;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The smoke campaign, simulated once and shared across tests.
+fn smoke_report() -> &'static CampaignReport {
+    static REPORT: OnceLock<CampaignReport> = OnceLock::new();
+    REPORT.get_or_init(|| run_campaign(&CampaignSpec::smoke(), &Executor::new(2)).unwrap())
+}
+
+/// A fast variant of the smoke matrix for the multi-run shard tests.
+fn quick_spec() -> CampaignSpec {
+    CampaignSpec::smoke().with_duration(Seconds::new(10.0))
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `produced` to a checked-in golden artifact; `PN_BLESS=1`
+/// rewrites the artifact instead.
+fn assert_matches_golden(name: &str, checked_in: &str, produced: &str) {
+    if std::env::var_os("PN_BLESS").is_some() {
+        std::fs::write(golden_path(name), produced).expect("bless golden file");
+        return;
+    }
+    assert_eq!(
+        produced, checked_in,
+        "{name} drifted from the checked-in artifact; \
+         if the change is intentional, regenerate with PN_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_csv_artifact_is_stable() {
+    let csv = persist::report_csv_string(smoke_report()).unwrap();
+    assert_matches_golden("campaign_smoke.csv", include_str!("golden/campaign_smoke.csv"), &csv);
+}
+
+#[test]
+fn golden_wire_artifact_is_stable_and_decodes() {
+    let wire = persist::report_to_string(smoke_report());
+    assert_matches_golden("campaign_smoke.pnc", include_str!("golden/campaign_smoke.pnc"), &wire);
+    // The checked-in artifact must decode back to today's report
+    // bitwise — serialization never loses precision.
+    if std::env::var_os("PN_BLESS").is_none() {
+        let decoded = persist::report_from_str(include_str!("golden/campaign_smoke.pnc")).unwrap();
+        assert_eq!(&decoded, smoke_report());
+    }
+}
+
+#[test]
+fn shard_and_merge_reproduce_the_unsharded_report_bitwise() {
+    let spec = quick_spec();
+    let executor = Executor::sequential();
+    let full = run_campaign(&spec, &executor).unwrap();
+    let full_csv = persist::report_csv_string(&full).unwrap();
+    // Shard counts from trivial through one-cell-per-shard to more
+    // shards than cells (trailing empties).
+    for count in 1..=4 {
+        let parts: Vec<CampaignReport> =
+            spec.shard(count).iter().map(|s| s.run(&executor).unwrap()).collect();
+        let merged = CampaignReport::merge(parts).unwrap();
+        assert_eq!(merged, full, "shard({count})+merge diverged from the unsharded run");
+        assert_eq!(persist::report_csv_string(&merged).unwrap(), full_csv);
+    }
+    let count = spec.cell_count() + 3;
+    let mut parts: Vec<CampaignReport> =
+        spec.shard(count).iter().map(|s| s.run(&executor).unwrap()).collect();
+    assert_eq!(CampaignReport::merge(parts.clone()).unwrap(), full);
+    // Regression: with more shards than cells, empty shards share
+    // their start offset with non-empty ones; merge must stay
+    // order-insensitive even then (a stable sort on start alone would
+    // spuriously report a gap when the non-empty twin arrives first).
+    parts.reverse();
+    assert_eq!(CampaignReport::merge(parts).unwrap(), full);
+}
+
+#[test]
+fn shard_reports_survive_a_persistence_round_trip_before_merging() {
+    // The distributed workflow: each machine runs one shard, writes
+    // the wire document, and a coordinator decodes + merges.
+    let spec = quick_spec();
+    let executor = Executor::sequential();
+    let full = run_campaign(&spec, &executor).unwrap();
+    let decoded: Vec<CampaignReport> = spec
+        .shard(3)
+        .iter()
+        .map(|s| {
+            let wire = persist::report_to_string(&s.run(&executor).unwrap());
+            persist::report_from_str(&wire).unwrap()
+        })
+        .collect();
+    assert_eq!(CampaignReport::merge(decoded).unwrap(), full);
+}
+
+#[test]
+fn cached_and_uncached_campaigns_replay_bitwise_identically() {
+    let spec = quick_spec();
+    let executor = Executor::new(2);
+    let cached = run_campaign(&spec, &executor).unwrap();
+    let uncached = run_campaign_with(&spec, &executor, None).unwrap();
+    assert_eq!(cached, uncached);
+}
+
+#[test]
+fn cached_cells_record_bitwise_identical_traces() {
+    // Recorder-level clause: CellOutcome equality above could in
+    // principle hide compensating trace differences, so compare the
+    // full recorded traces of a cached and an uncached run.
+    let cell = CampaignCell {
+        weather: Weather::PartialSun,
+        seed: 11,
+        buffer_mf: 47.0,
+        governor: GovernorSpec::PowerNeutral,
+        params: ControlParams::paper_optimal().unwrap(),
+        duration: Seconds::new(10.0),
+    };
+    let cache = TraceCache::new();
+    let cached = cell.governor.run(&cell.scenario_with(Some(&cache)).unwrap()).unwrap();
+    let uncached = cell.governor.run(&cell.scenario().unwrap()).unwrap();
+    assert_eq!(cached.recorder(), uncached.recorder());
+    assert_eq!(cached.recorder().vc().times(), uncached.recorder().vc().times());
+    assert_eq!(cached.recorder().vc().values(), uncached.recorder().vc().values());
+}
+
+#[test]
+fn cache_serves_hits_for_repeated_weather_seed_pairs() {
+    // The smoke matrix is 2 weathers × 1 seed × 2 governors: four
+    // cells over two distinct days. A shared cache must render each
+    // day once and serve the other two lookups from memory.
+    let spec = quick_spec();
+    let cache = TraceCache::new();
+    let _ = run_campaign_with(&spec, &Executor::sequential(), Some(&cache)).unwrap();
+    assert_eq!(cache.misses(), 2, "one render per distinct (weather, seed) day");
+    assert_eq!(cache.hits(), 2, "repeated pairs must hit the cache");
+    assert_eq!(cache.len(), 2);
+    // A second campaign over the same days through the same cache
+    // renders nothing new.
+    let _ = run_campaign_with(&spec, &Executor::sequential(), Some(&cache)).unwrap();
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(cache.hits(), 6);
+}
+
+/// Fabricates a cheap, distinctive outcome for merge property tests
+/// (no simulation involved).
+fn fake_outcome(cell: CampaignCell, salt: f64) -> CellOutcome {
+    CellOutcome {
+        cell,
+        survived: salt < 0.5,
+        lifetime_seconds: cell.duration.value() * salt,
+        vc_stability: salt,
+        instructions_billions: 10.0 * salt,
+        renders_per_minute: 60.0 * salt,
+        energy_in_joules: 2.0 + salt,
+        energy_out_joules: 1.0 + salt,
+        transitions: (salt * 100.0) as u64,
+        final_vc: 5.0 + salt,
+    }
+}
+
+/// A property-test spec big enough (24 cells) that shard boundaries
+/// land in interesting places.
+fn prop_spec() -> CampaignSpec {
+    CampaignSpec::smoke().with_seeds(vec![1, 2, 3]).with_buffers_mf(vec![47.0, 150.0])
+}
+
+proptest! {
+    #[test]
+    fn every_cell_lands_in_exactly_one_shard(count in 1usize..=40) {
+        let spec = prop_spec();
+        let shards = spec.shard(count);
+        prop_assert_eq!(shards.len(), count);
+        let mut recomposed = Vec::new();
+        for shard in &shards {
+            prop_assert_eq!(shard.start(), recomposed.len());
+            recomposed.extend_from_slice(shard.cells());
+        }
+        prop_assert_eq!(recomposed, spec.cells());
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_and_associative(
+        count in 1usize..=10,
+        keys in proptest::collection::vec(0u64..u64::MAX, 10..11),
+        split in 1usize..=9,
+    ) {
+        let spec = prop_spec();
+        let parts: Vec<CampaignReport> = spec
+            .shard(count)
+            .iter()
+            .map(|s| CampaignReport::from_parts(
+                s.start(),
+                s.cells()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| fake_outcome(c, ((s.start() + i) as f64) / 24.0))
+                    .collect(),
+            ))
+            .collect();
+        let reference = CampaignReport::merge(parts.clone()).unwrap();
+        prop_assert_eq!(reference.len(), spec.cell_count());
+
+        // Order-insensitivity: merge under a sampled permutation.
+        let mut permuted: Vec<(u64, CampaignReport)> =
+            keys.iter().copied().zip(parts.iter().cloned()).collect();
+        permuted.sort_by_key(|(k, _)| *k);
+        let shuffled: Vec<CampaignReport> = permuted.into_iter().map(|(_, p)| p).collect();
+        prop_assert_eq!(CampaignReport::merge(shuffled).unwrap(), reference.clone());
+
+        // Associativity: merging adjacent sub-merges equals merging
+        // all parts at once.
+        if count > 1 {
+            let at = 1 + split % (count - 1).max(1);
+            let left = CampaignReport::merge(parts[..at].to_vec()).unwrap();
+            let right = CampaignReport::merge(parts[at..].to_vec()).unwrap();
+            prop_assert_eq!(CampaignReport::merge([left, right]).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_recompositions(count in 2usize..=6, drop in 0usize..6) {
+        let spec = prop_spec();
+        let mut parts: Vec<CampaignReport> = spec
+            .shard(count)
+            .iter()
+            .map(|s| CampaignReport::from_parts(
+                s.start(),
+                s.cells().iter().map(|&c| fake_outcome(c, 0.25)).collect(),
+            ))
+            .collect();
+        // Dropping an interior shard must be detected as a gap.
+        // Dropping the first or last shard legally yields a partial
+        // (offset or prefix) report — the distributed workflow merges
+        // whatever contiguous run it has so far.
+        let victim = drop % count;
+        let removed = parts.remove(victim);
+        let merged = CampaignReport::merge(parts.clone());
+        if victim == 0 || victim == count - 1 {
+            let merged = merged.unwrap();
+            let expected_start = if victim == 0 { removed.len() } else { 0 };
+            prop_assert_eq!(merged.start(), expected_start);
+            prop_assert_eq!(merged.len(), spec.cell_count() - removed.len());
+        } else {
+            prop_assert!(merged.is_err(), "gap after shard {} went undetected", victim);
+        }
+    }
+}
