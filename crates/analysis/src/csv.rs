@@ -151,6 +151,82 @@ pub fn write_campaign_csv<W: Write>(
     Ok(())
 }
 
+/// One campaign group (a weather condition or a governor), reduced to
+/// plain labels and scalars for the summary-only CSV (pn-sim's
+/// `persist` module does the reduction from `GroupSummary`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// Grouping axis the row belongs to (`weather` or `governor`).
+    pub group: String,
+    /// Group label (a weather condition or governor name).
+    pub label: String,
+    /// Number of cells in the group.
+    pub cells: u64,
+    /// Number of cells that browned out.
+    pub brownouts: u64,
+    /// Mean fraction of time `VC` stayed within the ±5 % band.
+    pub vc_stability_mean: f64,
+    /// Worst per-cell `VC` stability in the group.
+    pub vc_stability_min: f64,
+    /// Best per-cell `VC` stability in the group.
+    pub vc_stability_max: f64,
+    /// Total completed instructions across the group, billions.
+    pub instructions_billions: f64,
+    /// Mean harvested-energy utilisation (consumed / harvested).
+    pub energy_utilisation_mean: f64,
+}
+
+/// Header row of the summary-only CSV document. Pinned: golden-file
+/// tests and downstream plots depend on these column names and their
+/// order.
+pub const SUMMARY_CSV_HEADER: &str = "group,label,cells,brownouts,vc_stability_mean,\
+vc_stability_min,vc_stability_max,instructions_g,energy_utilisation_mean";
+
+/// Writes campaign group summaries as CSV, one row per group under
+/// [`SUMMARY_CSV_HEADER`]. Floats use Rust's shortest-round-trip
+/// formatting, so the document is deterministic across build profiles
+/// and parses back to the exact values.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Io`] on write failures. An empty row set is
+/// legal (an empty campaign exports a header-only document).
+///
+/// # Examples
+///
+/// ```
+/// use pn_analysis::csv::{write_summary_csv, SUMMARY_CSV_HEADER};
+///
+/// # fn main() -> Result<(), pn_analysis::AnalysisError> {
+/// let mut out = Vec::new();
+/// write_summary_csv(&mut out, &[])?;
+/// assert_eq!(String::from_utf8(out).unwrap(), format!("{SUMMARY_CSV_HEADER}\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_summary_csv<W: Write>(
+    writer: &mut W,
+    rows: &[SummaryRow],
+) -> Result<(), AnalysisError> {
+    writeln!(writer, "{SUMMARY_CSV_HEADER}")?;
+    for r in rows {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{},{},{}",
+            r.group,
+            r.label,
+            r.cells,
+            r.brownouts,
+            r.vc_stability_mean,
+            r.vc_stability_min,
+            r.vc_stability_max,
+            r.instructions_billions,
+            r.energy_utilisation_mean,
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +281,30 @@ mod tests {
         assert_eq!(fields[4], "1", "survived encodes as 1/0");
         // Shortest-round-trip float formatting parses back bitwise.
         assert_eq!(fields[5].parse::<f64>().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+    }
+
+    #[test]
+    fn summary_rows_are_exact_and_ordered() {
+        let row = SummaryRow {
+            group: "weather".into(),
+            label: "partial sun".into(),
+            cells: 4,
+            brownouts: 1,
+            vc_stability_mean: 1.0 / 3.0, // must survive the round trip
+            vc_stability_min: 0.25,
+            vc_stability_max: 0.5,
+            instructions_billions: 12.75,
+            energy_utilisation_mean: 0.875,
+        };
+        let mut out = Vec::new();
+        write_summary_csv(&mut out, std::slice::from_ref(&row)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], SUMMARY_CSV_HEADER);
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields[0], "weather");
+        assert_eq!(fields[1], "partial sun");
+        assert_eq!(fields[4].parse::<f64>().unwrap().to_bits(), (1.0f64 / 3.0).to_bits());
     }
 }

@@ -46,6 +46,18 @@ impl Aggregate {
         acc
     }
 
+    /// Reassembles an accumulator from its raw statistics — the
+    /// decoding half of persisted campaign summaries. A zero `count`
+    /// yields the empty accumulator regardless of the other fields, so
+    /// `from_parts(count, sum, min?, max?)` round-trips every
+    /// accumulator this crate can produce bitwise.
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return Self::default();
+        }
+        Self { count, sum, min, max }
+    }
+
     /// Folds another accumulator's observations into this one, as if
     /// every observation had been [`Aggregate::push`]ed here — the
     /// reducer campaign shards use to recompose group statistics.
@@ -218,6 +230,20 @@ mod tests {
         let acc = Aggregate::of([5.5]);
         assert_eq!(acc.mean(), Some(5.5));
         assert_eq!(acc.min(), acc.max());
+    }
+
+    #[test]
+    fn from_parts_round_trips_any_accumulator() {
+        let acc = Aggregate::of([3.0, -1.0, 7.0]);
+        let rebuilt = Aggregate::from_parts(
+            acc.count(),
+            acc.sum(),
+            acc.min().unwrap(),
+            acc.max().unwrap(),
+        );
+        assert_eq!(rebuilt, acc);
+        // A zero count ignores the scalar fields entirely.
+        assert_eq!(Aggregate::from_parts(0, 99.0, 1.0, 2.0), Aggregate::new());
     }
 
     #[test]

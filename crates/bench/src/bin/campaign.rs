@@ -3,7 +3,8 @@
 //!
 //! Supports sharded runs (disjoint chunks of the matrix for separate
 //! machines), persisted reports that merge bitwise back into the
-//! unsharded report, and CSV export:
+//! unsharded report, shard-aware resume of interrupted runs, adaptive
+//! brown-out boundary refinement, and CSV export:
 //!
 //! ```sh
 //! cargo run --release -p pn-bench --bin campaign              # 24-cell diverse matrix
@@ -16,12 +17,23 @@
 //! # …then recompose all four partial reports into the full one:
 //! cargo run --release -p pn-bench --bin campaign -- \
 //!     --merge shard1.pnc shard2.pnc shard3.pnc shard4.pnc --out report.csv
+//!
+//! # resume an interrupted run: skip the cells a saved partial report
+//! # already carries, simulate only the rest, merge bitwise:
+//! cargo run --release -p pn-bench --bin campaign -- --resume shard2.pnc --out report.csv
+//!
+//! # bisect each (weather, governor) group's buffer capacitance to the
+//! # brown-out boundary, steering every round from the previous one:
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --smoke --adapt --tolerance 8 --max-rounds 16 --summary-out summary.csv
 //! ```
 
 use pn_bench::{banner, print_table};
-use pn_sim::campaign::{run_campaign, CampaignReport, CampaignSpec};
+use pn_sim::adaptive::{AdaptiveCampaign, AdaptiveConfig};
+use pn_sim::campaign::{resume_campaign, run_campaign, CampaignReport, CampaignSpec};
 use pn_sim::executor::Executor;
 use pn_sim::persist;
+use pn_harvest::cache::TraceCache;
 
 struct Cli {
     smoke: bool,
@@ -30,7 +42,12 @@ struct Cli {
     shard: Option<(usize, usize)>, // 1-based (index, count)
     save: Option<String>,
     out: Option<String>,
+    summary_out: Option<String>,
     merge: Vec<String>,
+    resume: Option<String>,
+    adapt: bool,
+    tolerance: Option<f64>,
+    max_rounds: Option<usize>,
 }
 
 fn parse_shard(arg: &str) -> Result<(usize, usize), String> {
@@ -55,7 +72,12 @@ fn parse_cli() -> Result<Cli, String> {
         shard: None,
         save: None,
         out: None,
+        summary_out: None,
         merge: Vec::new(),
+        resume: None,
+        adapt: false,
+        tolerance: None,
+        max_rounds: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
@@ -78,6 +100,23 @@ fn parse_cli() -> Result<Cli, String> {
             "--shard" => cli.shard = Some(parse_shard(&value(&mut args, "--shard")?)?),
             "--save" => cli.save = Some(value(&mut args, "--save")?),
             "--out" => cli.out = Some(value(&mut args, "--out")?),
+            "--summary-out" => cli.summary_out = Some(value(&mut args, "--summary-out")?),
+            "--resume" => cli.resume = Some(value(&mut args, "--resume")?),
+            "--adapt" => cli.adapt = true,
+            "--tolerance" => {
+                cli.tolerance = Some(
+                    value(&mut args, "--tolerance")?
+                        .parse()
+                        .map_err(|e| format!("--tolerance: {e}"))?,
+                );
+            }
+            "--max-rounds" => {
+                cli.max_rounds = Some(
+                    value(&mut args, "--max-rounds")?
+                        .parse()
+                        .map_err(|e| format!("--max-rounds: {e}"))?,
+                );
+            }
             "--merge" => {
                 while let Some(path) = args.peek() {
                     if path.starts_with("--") {
@@ -93,38 +132,76 @@ fn parse_cli() -> Result<Cli, String> {
         }
     }
     if !cli.merge.is_empty()
-        && (cli.shard.is_some() || cli.smoke || cli.seeds.is_some() || cli.threads != 0)
+        && (cli.shard.is_some()
+            || cli.smoke
+            || cli.seeds.is_some()
+            || cli.threads != 0
+            || cli.resume.is_some()
+            || cli.adapt)
     {
         return Err(
             "--merge recomposes saved reports without simulating; it cannot be combined \
-             with --shard, --smoke, --seeds or --threads"
+             with --shard, --smoke, --seeds, --threads, --resume or --adapt"
                 .into(),
         );
+    }
+    if cli.resume.is_some() && cli.shard.is_some() {
+        return Err("--resume completes a saved partial report; it cannot be combined \
+                    with --shard (the saved report already pins the missing cells)"
+            .into());
+    }
+    if cli.adapt && cli.shard.is_some() {
+        return Err("--adapt needs the full matrix report; run the shards, --merge them, \
+                    or --resume the saved partial report first"
+            .into());
+    }
+    if (cli.tolerance.is_some() || cli.max_rounds.is_some()) && !cli.adapt {
+        return Err("--tolerance and --max-rounds only apply to --adapt".into());
     }
     Ok(cli)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cli = parse_cli()?;
+    let executor = Executor::new(cli.threads);
 
     let (report, ran) = if cli.merge.is_empty() {
         let mut spec = if cli.smoke { CampaignSpec::smoke() } else { CampaignSpec::diverse() };
         if let Some(n) = cli.seeds {
             spec.seeds = (1..=n.max(1)).collect();
         }
-        let executor = Executor::new(cli.threads);
-        let shard = cli.shard.map(|(i, n)| spec.shard(n).swap_remove(i - 1));
-        let what = match &shard {
-            Some(s) => {
-                format!("shard {}/{} ({} cells)", s.index() + 1, s.count(), s.cells().len())
-            }
-            None => format!("{} scenario cells", spec.cell_count()),
-        };
-        banner("campaign", &format!("{what} on {} worker threads", executor.threads()));
         let t0 = std::time::Instant::now();
-        let report = match &shard {
-            Some(s) => s.run(&executor)?,
-            None => run_campaign(&spec, &executor)?,
+        let report = if let Some(path) = &cli.resume {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let saved = persist::report_from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            banner(
+                "campaign",
+                &format!(
+                    "resuming {} of {} cells (saved report carries {}) on {} worker threads",
+                    // Saturate: a saved report larger than the matrix is
+                    // rejected by resume_campaign just below.
+                    spec.cell_count().saturating_sub(saved.len()),
+                    spec.cell_count(),
+                    saved.len(),
+                    executor.threads()
+                ),
+            );
+            let cache = TraceCache::new();
+            resume_campaign(&spec, &saved, &executor, Some(&cache))?
+        } else {
+            let shard = cli.shard.map(|(i, n)| spec.shard(n).swap_remove(i - 1));
+            let what = match &shard {
+                Some(s) => {
+                    format!("shard {}/{} ({} cells)", s.index() + 1, s.count(), s.cells().len())
+                }
+                None => format!("{} scenario cells", spec.cell_count()),
+            };
+            banner("campaign", &format!("{what} on {} worker threads", executor.threads()));
+            match &shard {
+                Some(s) => s.run(&executor)?,
+                None => run_campaign(&spec, &executor)?,
+            }
         };
         (report, Some(t0.elapsed()))
     } else {
@@ -197,6 +274,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &group_rows(&report.by_governor()),
     );
 
+    // The adaptive refinement loop: bisect each (weather, governor)
+    // group's buffer capacitance to the brown-out boundary, emitting
+    // every round as an ordinary campaign on the same executor.
+    let summary_source = if cli.adapt {
+        let config = AdaptiveConfig {
+            tolerance_mf: cli.tolerance.unwrap_or(AdaptiveConfig::default().tolerance_mf),
+            max_rounds: cli.max_rounds.unwrap_or(AdaptiveConfig::default().max_rounds),
+            ..AdaptiveConfig::default()
+        };
+        let mut adaptive = AdaptiveCampaign::from_report(&report, config)?;
+        let cache = TraceCache::new();
+        let t0 = std::time::Instant::now();
+        let brackets = adaptive.run(&executor, Some(&cache))?;
+        let fmt_mf = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
+        let bracket_rows: Vec<Vec<String>> = brackets
+            .iter()
+            .map(|b| {
+                vec![
+                    format!("{}", b.weather),
+                    b.governor.label(),
+                    fmt_mf(b.lo_mf),
+                    fmt_mf(b.hi_mf),
+                    fmt_mf(b.width_mf()),
+                    fmt_mf(b.boundary_estimate_mf()),
+                    b.status.to_string(),
+                    format!("{}", b.probes),
+                ]
+            })
+            .collect();
+        println!();
+        println!(
+            "  brown-out boundary brackets (tolerance {} mF, {} rounds, {} probe cells, {:.2} s):",
+            config.tolerance_mf,
+            adaptive.rounds(),
+            adaptive.history().len() - report.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        print_table(
+            &[
+                "weather",
+                "governor",
+                "browns out ≤ (mF)",
+                "survives ≥ (mF)",
+                "width",
+                "estimate",
+                "status",
+                "probes",
+            ],
+            &bracket_rows,
+        );
+        Some(adaptive.probe_report())
+    } else {
+        None
+    };
+
     if let Some(path) = &cli.save {
         std::fs::write(path, persist::report_to_string(&report))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -208,6 +340,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!();
         println!("  wrote campaign CSV ({} rows) to {path}", report.len());
+    }
+    if let Some(path) = &cli.summary_out {
+        // With --adapt the summary covers every probed cell, so the
+        // boundary search is part of the exported statistics.
+        let summarised = summary_source.as_ref().unwrap_or(&report);
+        std::fs::write(path, persist::report_summary_csv_string(summarised)?)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!();
+        println!(
+            "  wrote summary CSV ({} groups over {} cells) to {path}",
+            persist::summary_rows(summarised).len(),
+            summarised.len()
+        );
     }
 
     if let Some(wall) = ran {

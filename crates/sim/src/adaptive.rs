@@ -1,0 +1,681 @@
+//! Adaptive campaigns: bisect the brown-out capacitance boundary.
+//!
+//! A brute-force [`CampaignSpec`] answers "which of these cells
+//! browned out"; the paper's central sizing question is sharper: *at
+//! what buffer capacitance does each harvesting condition stop
+//! sustaining power-neutral operation?* [`AdaptiveCampaign`] answers
+//! it with feedback instead of exhaustion. It consumes a finished
+//! [`CampaignReport`], partitions the outcomes into (weather,
+//! governor) groups, and steers each group's buffer-capacitance axis
+//! toward the survival boundary: expansion (doubling / halving) until
+//! the boundary is bracketed by a browned-out capacitance below and a
+//! surviving capacitance above, then bisection until the bracket is
+//! narrower than the configured tolerance.
+//!
+//! Every refinement round is emitted as a list of ordinary
+//! [`CampaignSpec`]s (one per still-active group), so rounds run on
+//! the existing executor and [`TraceCache`] unchanged — and, like any
+//! campaign, an adaptive run is bitwise-deterministic across thread
+//! counts.
+//!
+//! A capacitance point *browns out* for a group when **any** cell at
+//! that point (across the group's seeds and parameter sets) fails to
+//! survive its window — the boundary found is the worst-case one.
+//!
+//! # Examples
+//!
+//! Drive one refinement round by hand (no simulation involved —
+//! outcomes are fabricated):
+//!
+//! ```
+//! use pn_sim::adaptive::{AdaptiveCampaign, AdaptiveConfig};
+//! use pn_sim::campaign::{CampaignReport, CampaignSpec};
+//!
+//! # fn main() -> Result<(), pn_sim::SimError> {
+//! // A finished 2-cell report: 10 mF browned out, 100 mF survived.
+//! let spec = CampaignSpec::new()?.with_buffers_mf(vec![10.0, 100.0]);
+//! let cells = spec
+//!     .cells()
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, &cell)| pn_sim::campaign::CellOutcome {
+//!         cell,
+//!         survived: i == 1,
+//!         lifetime_seconds: 1.0,
+//!         vc_stability: 0.9,
+//!         instructions_billions: 1.0,
+//!         renders_per_minute: 1.0,
+//!         energy_in_joules: 2.0,
+//!         energy_out_joules: 1.0,
+//!         transitions: 0,
+//!         final_vc: 5.0,
+//!     })
+//!     .collect();
+//! let report = CampaignReport::from_parts(0, cells);
+//!
+//! let mut adaptive = AdaptiveCampaign::from_report(&report, AdaptiveConfig::default())?;
+//! let round = adaptive.next_round().expect("boundary not yet within tolerance");
+//! assert_eq!(round.len(), 1, "one (weather, governor) group");
+//! assert_eq!(round[0].buffers_mf, vec![55.0], "bisects the 10..100 bracket");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::campaign::{CampaignReport, CampaignSpec, CellOutcome, GovernorSpec};
+use crate::executor::Executor;
+use crate::SimError;
+use pn_core::params::ControlParams;
+use pn_harvest::cache::TraceCache;
+use pn_harvest::weather::Weather;
+use pn_units::Seconds;
+use std::fmt;
+
+/// Tuning knobs of the adaptive driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Stop refining a group once its bracket is at most this wide
+    /// (millifarads).
+    pub tolerance_mf: f64,
+    /// Hard cap on refinement rounds; groups still refining when it is
+    /// reached are marked [`BracketStatus::RoundLimit`].
+    pub max_rounds: usize,
+    /// Smallest capacitance the downward expansion probes; a group
+    /// surviving even here is [`BracketStatus::BelowFloor`].
+    pub floor_mf: f64,
+    /// Largest capacitance the upward expansion probes; a group
+    /// browning out even here is [`BracketStatus::AboveCeiling`].
+    pub ceiling_mf: f64,
+}
+
+impl Default for AdaptiveConfig {
+    /// Tolerance 4 mF (under a tenth of the paper's 47 mF rig), 24
+    /// rounds, and an expansion range of 1 mF – 10 F.
+    fn default() -> Self {
+        Self { tolerance_mf: 4.0, max_rounds: 24, floor_mf: 1.0, ceiling_mf: 10_000.0 }
+    }
+}
+
+impl AdaptiveConfig {
+    fn validate(&self) -> Result<(), SimError> {
+        if !(self.tolerance_mf > 0.0) {
+            return Err(SimError::InvalidConfig("adaptive tolerance must be positive"));
+        }
+        if self.max_rounds == 0 {
+            return Err(SimError::InvalidConfig("adaptive max_rounds must be at least 1"));
+        }
+        if !(self.floor_mf > 0.0) {
+            return Err(SimError::InvalidConfig("adaptive floor must be positive"));
+        }
+        if !(self.ceiling_mf > self.floor_mf) {
+            return Err(SimError::InvalidConfig("adaptive ceiling must exceed the floor"));
+        }
+        Ok(())
+    }
+}
+
+/// Where a group's boundary search ended up (or still is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BracketStatus {
+    /// Still refining: the next round will probe this group again.
+    Bisecting,
+    /// The bracket is narrower than the tolerance.
+    Converged,
+    /// The group survives even at the configured floor capacitance —
+    /// the boundary (if any) lies below the probed range.
+    BelowFloor,
+    /// The group browns out even at the configured ceiling capacitance
+    /// — the boundary lies above the probed range.
+    AboveCeiling,
+    /// Observations contradicted the monotone survival assumption
+    /// (a capacitance at or above a surviving one browned out).
+    NonMonotone,
+    /// The round cap was reached before the bracket converged.
+    RoundLimit,
+}
+
+impl BracketStatus {
+    /// `true` once the group needs no further probes.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, BracketStatus::Bisecting)
+    }
+}
+
+impl fmt::Display for BracketStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BracketStatus::Bisecting => "bisecting",
+            BracketStatus::Converged => "converged",
+            BracketStatus::BelowFloor => "below floor",
+            BracketStatus::AboveCeiling => "above ceiling",
+            BracketStatus::NonMonotone => "non-monotone",
+            BracketStatus::RoundLimit => "round limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One group's brown-out boundary bracket, as reported by
+/// [`AdaptiveCampaign::brackets`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryBracket {
+    /// Weather condition of the group.
+    pub weather: Weather,
+    /// Governor of the group.
+    pub governor: GovernorSpec,
+    /// Largest capacitance observed to brown out (millifarads), if
+    /// any.
+    pub lo_mf: Option<f64>,
+    /// Smallest capacitance observed to survive (millifarads), if any.
+    pub hi_mf: Option<f64>,
+    /// Search verdict for the group.
+    pub status: BracketStatus,
+    /// Capacitance points probed for this group (beyond the seed
+    /// report).
+    pub probes: usize,
+}
+
+impl BoundaryBracket {
+    /// Bracket width in millifarads, once both ends are known.
+    pub fn width_mf(&self) -> Option<f64> {
+        match (self.lo_mf, self.hi_mf) {
+            (Some(lo), Some(hi)) => Some(hi - lo),
+            _ => None,
+        }
+    }
+
+    /// Midpoint boundary estimate in millifarads, once both ends are
+    /// known.
+    pub fn boundary_estimate_mf(&self) -> Option<f64> {
+        match (self.lo_mf, self.hi_mf) {
+            (Some(lo), Some(hi)) => Some(lo + (hi - lo) / 2.0),
+            _ => None,
+        }
+    }
+}
+
+/// Internal per-(weather, governor) search state.
+#[derive(Debug, Clone)]
+struct Probe {
+    weather: Weather,
+    governor: GovernorSpec,
+    // Probe cells reuse the axes observed for the group, so refinement
+    // evaluates exactly the population the seed report did.
+    seeds: Vec<u64>,
+    params: Vec<ControlParams>,
+    duration: Seconds,
+    lo_mf: Option<f64>,
+    hi_mf: Option<f64>,
+    status: BracketStatus,
+    probes: usize,
+}
+
+/// What a pending group wants next.
+enum Action {
+    Probe(f64),
+    Finish(BracketStatus),
+}
+
+impl Probe {
+    fn new(weather: Weather, governor: GovernorSpec) -> Self {
+        Self {
+            weather,
+            governor,
+            seeds: Vec::new(),
+            params: Vec::new(),
+            duration: Seconds::ZERO,
+            lo_mf: None,
+            hi_mf: None,
+            status: BracketStatus::Bisecting,
+            probes: 0,
+        }
+    }
+
+    /// Folds one settled capacitance point into the bracket.
+    fn apply(&mut self, buffer_mf: f64, survived: bool) {
+        if survived {
+            self.hi_mf = Some(self.hi_mf.map_or(buffer_mf, |h| h.min(buffer_mf)));
+        } else {
+            self.lo_mf = Some(self.lo_mf.map_or(buffer_mf, |l| l.max(buffer_mf)));
+        }
+        if let (Some(lo), Some(hi)) = (self.lo_mf, self.hi_mf) {
+            if lo >= hi {
+                // A browned-out capacitance at or above a surviving
+                // one: the monotone assumption broke, stop probing.
+                self.status = BracketStatus::NonMonotone;
+            }
+        }
+    }
+
+    fn next_action(&self, config: &AdaptiveConfig) -> Action {
+        match (self.lo_mf, self.hi_mf) {
+            (Some(lo), Some(hi)) => {
+                if hi - lo <= config.tolerance_mf {
+                    Action::Finish(BracketStatus::Converged)
+                } else {
+                    Action::Probe(lo + (hi - lo) / 2.0)
+                }
+            }
+            // Everything browned out so far: expand upward.
+            (Some(lo), None) => {
+                if lo >= config.ceiling_mf {
+                    Action::Finish(BracketStatus::AboveCeiling)
+                } else {
+                    Action::Probe((lo * 2.0).min(config.ceiling_mf))
+                }
+            }
+            // Everything survived so far: expand downward.
+            (None, Some(hi)) => {
+                if hi <= config.floor_mf {
+                    Action::Finish(BracketStatus::BelowFloor)
+                } else {
+                    Action::Probe((hi / 2.0).max(config.floor_mf))
+                }
+            }
+            // Unreachable in practice: a probe only exists once an
+            // outcome was folded into it.
+            (None, None) => Action::Finish(BracketStatus::NonMonotone),
+        }
+    }
+
+    /// The single-group campaign spec probing `buffer_mf`.
+    fn spec_for(&self, buffer_mf: f64) -> CampaignSpec {
+        CampaignSpec {
+            weathers: vec![self.weather],
+            seeds: self.seeds.clone(),
+            buffers_mf: vec![buffer_mf],
+            governors: vec![self.governor],
+            params: self.params.clone(),
+            duration: self.duration,
+        }
+    }
+
+    fn bracket(&self) -> BoundaryBracket {
+        BoundaryBracket {
+            weather: self.weather,
+            governor: self.governor,
+            lo_mf: self.lo_mf,
+            hi_mf: self.hi_mf,
+            status: self.status,
+            probes: self.probes,
+        }
+    }
+}
+
+/// The adaptive driver: consumes a finished report, then alternates
+/// [`AdaptiveCampaign::next_round`] (emit probe specs) and
+/// [`AdaptiveCampaign::observe`] (fold their reports back in) until
+/// every group's bracket settles. [`AdaptiveCampaign::run`] wraps that
+/// loop over the shared executor.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCampaign {
+    config: AdaptiveConfig,
+    probes: Vec<Probe>,
+    rounds: usize,
+    history: Vec<CellOutcome>,
+}
+
+impl AdaptiveCampaign {
+    /// Builds the driver from a finished campaign report, partitioning
+    /// its outcomes into (weather, governor) groups in first-seen
+    /// order. Each group's seed, parameter and duration axes are taken
+    /// from the report's own cells, so no spec is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty report or an
+    /// invalid configuration (non-positive tolerance or floor, zero
+    /// rounds, ceiling at or below the floor).
+    pub fn from_report(
+        report: &CampaignReport,
+        config: AdaptiveConfig,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        if report.is_empty() {
+            return Err(SimError::InvalidConfig("adaptive campaign needs a non-empty report"));
+        }
+        let mut driver = Self { config, probes: Vec::new(), rounds: 0, history: Vec::new() };
+        driver.observe(report);
+        Ok(driver)
+    }
+
+    /// Folds a finished report (the seed report, or one round's probe
+    /// report) into the per-group brackets. Outcomes are grouped by
+    /// (weather, governor); a capacitance point counts as browned out
+    /// when any of its cells failed to survive.
+    pub fn observe(&mut self, report: &CampaignReport) {
+        self.history.extend_from_slice(report.cells());
+        // Settle each (group, capacitance) point: it survives only if
+        // every cell at it survived.
+        let mut points: Vec<(usize, f64, bool)> = Vec::new();
+        for outcome in report.cells() {
+            let group = self.group_index(outcome);
+            let buffer = outcome.cell.buffer_mf;
+            match points
+                .iter_mut()
+                .find(|(g, b, _)| *g == group && b.to_bits() == buffer.to_bits())
+            {
+                Some((_, _, survived)) => *survived &= outcome.survived,
+                None => points.push((group, buffer, outcome.survived)),
+            }
+        }
+        for (group, buffer, survived) in points {
+            if !self.probes[group].status.is_terminal() {
+                self.probes[group].apply(buffer, survived);
+            }
+        }
+    }
+
+    /// Finds (or creates) the probe group for an outcome and records
+    /// the axes it contributes.
+    fn group_index(&mut self, outcome: &CellOutcome) -> usize {
+        let cell = &outcome.cell;
+        let index = match self
+            .probes
+            .iter()
+            .position(|p| p.weather == cell.weather && p.governor == cell.governor)
+        {
+            Some(i) => i,
+            None => {
+                self.probes.push(Probe::new(cell.weather, cell.governor));
+                self.probes.len() - 1
+            }
+        };
+        let probe = &mut self.probes[index];
+        if !probe.seeds.contains(&cell.seed) {
+            probe.seeds.push(cell.seed);
+        }
+        if !probe.params.contains(&cell.params) {
+            probe.params.push(cell.params);
+        }
+        if probe.duration.value() == 0.0 {
+            probe.duration = cell.duration;
+        }
+        index
+    }
+
+    /// Emits the next refinement round: one single-group
+    /// [`CampaignSpec`] per group still refining, each probing one new
+    /// capacitance point. Returns `None` once every group has settled
+    /// (or the round cap is reached, marking the stragglers
+    /// [`BracketStatus::RoundLimit`]).
+    ///
+    /// Call [`AdaptiveCampaign::observe`] with each spec's report
+    /// before asking for the next round; without fresh observations
+    /// the same round would be emitted again (and still count against
+    /// the cap).
+    pub fn next_round(&mut self) -> Option<Vec<CampaignSpec>> {
+        // Settle statuses first so converged groups emit no probe.
+        let mut targets: Vec<(usize, f64)> = Vec::new();
+        for (i, probe) in self.probes.iter_mut().enumerate() {
+            if probe.status.is_terminal() {
+                continue;
+            }
+            match probe.next_action(&self.config) {
+                Action::Finish(status) => probe.status = status,
+                Action::Probe(buffer) => targets.push((i, buffer)),
+            }
+        }
+        if targets.is_empty() {
+            return None;
+        }
+        if self.rounds >= self.config.max_rounds {
+            for &(i, _) in &targets {
+                self.probes[i].status = BracketStatus::RoundLimit;
+            }
+            return None;
+        }
+        self.rounds += 1;
+        let mut specs = Vec::with_capacity(targets.len());
+        for (i, buffer) in targets {
+            let probe = &mut self.probes[i];
+            probe.probes += 1;
+            specs.push(probe.spec_for(buffer));
+        }
+        Some(specs)
+    }
+
+    /// Runs refinement rounds on `executor` (sharing `cache` across
+    /// rounds) until every bracket settles, and returns the final
+    /// brackets. Each round's probe cells — across all groups — are
+    /// evaluated as one batch, so independent groups refine in
+    /// parallel; cells keep their round order, so the probe history
+    /// stays deterministic across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine failure.
+    pub fn run(
+        &mut self,
+        executor: &Executor,
+        cache: Option<&TraceCache>,
+    ) -> Result<Vec<BoundaryBracket>, SimError> {
+        while let Some(specs) = self.next_round() {
+            let cells: Vec<_> = specs.iter().flat_map(|spec| spec.cells()).collect();
+            let outcomes = crate::campaign::evaluate_cells(&cells, executor, cache)?;
+            self.observe(&CampaignReport::from_parts(0, outcomes));
+        }
+        Ok(self.brackets())
+    }
+
+    /// Current per-group brackets, in first-seen group order.
+    pub fn brackets(&self) -> Vec<BoundaryBracket> {
+        self.probes.iter().map(Probe::bracket).collect()
+    }
+
+    /// Refinement rounds emitted so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// `true` once no group needs further probes.
+    pub fn settled(&self) -> bool {
+        self.probes.iter().all(|p| p.status.is_terminal())
+    }
+
+    /// Every outcome observed so far (seed report first, then each
+    /// probe round in emission order).
+    pub fn history(&self) -> &[CellOutcome] {
+        &self.history
+    }
+
+    /// The observed outcomes as an ordinary [`CampaignReport`] — the
+    /// artifact an adaptive run persists (and the golden tests pin).
+    pub fn probe_report(&self) -> CampaignReport {
+        CampaignReport::from_parts(0, self.history.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignCell;
+
+    /// Fabricates the report a spec would produce under a synthetic
+    /// monotone survival rule: a cell survives iff its buffer is at
+    /// least `threshold_mf`.
+    fn synthetic_report(spec: &CampaignSpec, threshold_mf: f64) -> CampaignReport {
+        let cells = spec
+            .cells()
+            .iter()
+            .map(|&cell| synthetic_outcome(cell, cell.buffer_mf >= threshold_mf))
+            .collect();
+        CampaignReport::from_parts(0, cells)
+    }
+
+    fn synthetic_outcome(cell: CampaignCell, survived: bool) -> CellOutcome {
+        CellOutcome {
+            cell,
+            survived,
+            lifetime_seconds: if survived { cell.duration.value() } else { 0.5 },
+            vc_stability: 0.8,
+            instructions_billions: 1.0,
+            renders_per_minute: 6.0,
+            energy_in_joules: 2.0,
+            energy_out_joules: 1.0,
+            transitions: 2,
+            final_vc: 5.0,
+        }
+    }
+
+    /// Drives the adaptive loop against the synthetic rule without any
+    /// simulation, returning the settled driver.
+    fn drive(seed_spec: &CampaignSpec, threshold_mf: f64, config: AdaptiveConfig) -> AdaptiveCampaign {
+        let seed = synthetic_report(seed_spec, threshold_mf);
+        let mut adaptive = AdaptiveCampaign::from_report(&seed, config).unwrap();
+        while let Some(specs) = adaptive.next_round() {
+            for spec in specs {
+                adaptive.observe(&synthetic_report(&spec, threshold_mf));
+            }
+        }
+        adaptive
+    }
+
+    fn base_spec() -> CampaignSpec {
+        CampaignSpec::new().unwrap().with_buffers_mf(vec![10.0, 640.0])
+    }
+
+    #[test]
+    fn bisection_converges_on_a_bracketed_boundary() {
+        let config = AdaptiveConfig { tolerance_mf: 2.0, ..AdaptiveConfig::default() };
+        let adaptive = drive(&base_spec(), 100.0, config);
+        assert!(adaptive.settled());
+        let brackets = adaptive.brackets();
+        assert_eq!(brackets.len(), 1);
+        let b = &brackets[0];
+        assert_eq!(b.status, BracketStatus::Converged);
+        let (lo, hi) = (b.lo_mf.unwrap(), b.hi_mf.unwrap());
+        assert!(b.width_mf().unwrap() <= 2.0, "width {}", b.width_mf().unwrap());
+        assert!(lo < 100.0 && hi >= 100.0, "bracket [{lo}, {hi}] misses the boundary");
+        // 10..640 halves to ≤2 mF within 9 bisection rounds.
+        assert!(adaptive.rounds() <= 9, "took {} rounds", adaptive.rounds());
+    }
+
+    #[test]
+    fn expansion_finds_a_boundary_outside_the_seed_grid() {
+        // Boundary above every seeded buffer: all cells brown out, the
+        // driver must expand upward before bisecting.
+        let config =
+            AdaptiveConfig { tolerance_mf: 8.0, ceiling_mf: 20_000.0, ..AdaptiveConfig::default() };
+        let adaptive = drive(&base_spec(), 5_000.0, config);
+        let b = &adaptive.brackets()[0];
+        assert_eq!(b.status, BracketStatus::Converged);
+        assert!(b.lo_mf.unwrap() < 5_000.0 && b.hi_mf.unwrap() >= 5_000.0);
+        // Boundary below every seeded buffer: all cells survive, the
+        // driver expands downward.
+        let adaptive = drive(&base_spec(), 3.0, config);
+        let b = &adaptive.brackets()[0];
+        assert_eq!(b.status, BracketStatus::Converged);
+        assert!(b.lo_mf.unwrap() < 3.0 && b.hi_mf.unwrap() >= 3.0);
+    }
+
+    #[test]
+    fn out_of_range_boundaries_are_reported_not_chased() {
+        let config = AdaptiveConfig::default();
+        // Survives even at the floor.
+        let adaptive = drive(&base_spec(), 0.01, config);
+        assert_eq!(adaptive.brackets()[0].status, BracketStatus::BelowFloor);
+        // Browns out even at the ceiling.
+        let adaptive = drive(&base_spec(), 1e9, config);
+        assert_eq!(adaptive.brackets()[0].status, BracketStatus::AboveCeiling);
+    }
+
+    #[test]
+    fn round_cap_halts_an_unconverged_search() {
+        let config = AdaptiveConfig { tolerance_mf: 1e-9, max_rounds: 3, ..Default::default() };
+        let adaptive = drive(&base_spec(), 100.0, config);
+        assert_eq!(adaptive.rounds(), 3);
+        assert_eq!(adaptive.brackets()[0].status, BracketStatus::RoundLimit);
+        assert!(adaptive.settled());
+    }
+
+    #[test]
+    fn groups_are_partitioned_per_weather_and_governor() {
+        let spec = CampaignSpec::smoke().with_buffers_mf(vec![10.0, 640.0]);
+        let adaptive = drive(&spec, 100.0, AdaptiveConfig::default());
+        let brackets = adaptive.brackets();
+        assert_eq!(brackets.len(), 4, "2 weathers × 2 governors");
+        for b in &brackets {
+            assert_eq!(b.status, BracketStatus::Converged, "{}/{}", b.weather, b.governor.label());
+            assert!(b.width_mf().unwrap() <= AdaptiveConfig::default().tolerance_mf);
+            assert!(b.boundary_estimate_mf().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn non_monotone_observations_stop_the_group() {
+        let spec = base_spec();
+        let seed = synthetic_report(&spec, 100.0);
+        let mut adaptive = AdaptiveCampaign::from_report(&seed, AdaptiveConfig::default()).unwrap();
+        // Fabricate a contradiction: a brown-out above the surviving
+        // 640 mF point.
+        let contradiction = CampaignSpec::new().unwrap().with_buffers_mf(vec![700.0]);
+        let cells = contradiction
+            .cells()
+            .iter()
+            .map(|&cell| synthetic_outcome(cell, false))
+            .collect();
+        adaptive.observe(&CampaignReport::from_parts(0, cells));
+        assert_eq!(adaptive.brackets()[0].status, BracketStatus::NonMonotone);
+        assert!(adaptive.next_round().is_none());
+    }
+
+    #[test]
+    fn mixed_seed_outcomes_count_as_a_brown_out() {
+        // Two seeds at the same buffer, one browns out → the point
+        // browns out (worst case governs the boundary).
+        let spec = CampaignSpec::new().unwrap().with_seeds(vec![1, 2]);
+        let cells: Vec<CellOutcome> = spec
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, &cell)| synthetic_outcome(cell, i == 0))
+            .collect();
+        let report = CampaignReport::from_parts(0, cells);
+        let adaptive = AdaptiveCampaign::from_report(&report, AdaptiveConfig::default()).unwrap();
+        let b = &adaptive.brackets()[0];
+        assert_eq!(b.lo_mf, Some(47.0), "mixed point must land on the browned-out side");
+        assert_eq!(b.hi_mf, None);
+    }
+
+    #[test]
+    fn probe_specs_reuse_the_group_axes() {
+        let spec = CampaignSpec::new()
+            .unwrap()
+            .with_seeds(vec![3, 4])
+            .with_buffers_mf(vec![10.0, 640.0]);
+        let seed = synthetic_report(&spec, 100.0);
+        let mut adaptive = AdaptiveCampaign::from_report(&seed, AdaptiveConfig::default()).unwrap();
+        let round = adaptive.next_round().unwrap();
+        assert_eq!(round.len(), 1);
+        assert_eq!(round[0].seeds, vec![3, 4]);
+        assert_eq!(round[0].weathers, spec.weathers);
+        assert_eq!(round[0].governors, spec.governors);
+        assert_eq!(round[0].duration, spec.duration);
+        assert_eq!(round[0].buffers_mf.len(), 1);
+        // The probe history accumulates every observed outcome.
+        assert_eq!(adaptive.history().len(), 4);
+        assert_eq!(adaptive.probe_report().len(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_and_empty_reports_are_rejected() {
+        let report = synthetic_report(&base_spec(), 100.0);
+        let bad = [
+            AdaptiveConfig { tolerance_mf: 0.0, ..Default::default() },
+            AdaptiveConfig { max_rounds: 0, ..Default::default() },
+            AdaptiveConfig { floor_mf: -1.0, ..Default::default() },
+            AdaptiveConfig { ceiling_mf: 0.5, ..Default::default() },
+        ];
+        for config in bad {
+            assert!(
+                matches!(
+                    AdaptiveCampaign::from_report(&report, config),
+                    Err(SimError::InvalidConfig(_))
+                ),
+                "{config:?} accepted"
+            );
+        }
+        let empty = CampaignReport::from_parts(0, Vec::new());
+        assert!(AdaptiveCampaign::from_report(&empty, AdaptiveConfig::default()).is_err());
+    }
+}

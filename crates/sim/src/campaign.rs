@@ -541,6 +541,32 @@ pub struct GroupSummary {
     pub energy_utilisation: Aggregate,
 }
 
+impl GroupSummary {
+    /// Folds another shard's statistics for the *same* group into this
+    /// one (via [`Aggregate::merge`]), as if every cell had been
+    /// aggregated here — the reducer that recomposes per-group
+    /// statistics from shard reports without touching the cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Campaign`] when the labels differ (the
+    /// summaries describe different groups).
+    pub fn merge(&mut self, other: &GroupSummary) -> Result<(), SimError> {
+        if self.label != other.label {
+            return Err(SimError::Campaign(format!(
+                "cannot merge group summary {:?} into {:?}: different groups",
+                other.label, self.label,
+            )));
+        }
+        self.cells += other.cells;
+        self.brownouts += other.brownouts;
+        self.vc_stability.merge(&other.vc_stability);
+        self.instructions_billions.merge(&other.instructions_billions);
+        self.energy_utilisation.merge(&other.energy_utilisation);
+        Ok(())
+    }
+}
+
 /// Aggregated verdicts of a whole campaign (or, after
 /// [`CampaignShard::run`], of one shard of it).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -574,9 +600,11 @@ impl CampaignReport {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidConfig`] when no parts are given, or
-    /// when the parts overlap or leave a gap (e.g. a shard report was
-    /// merged twice, or one is missing).
+    /// Returns [`SimError::InvalidConfig`] when no parts are given, and
+    /// [`SimError::Campaign`] when the parts overlap (naming the first
+    /// duplicated cell — e.g. a shard report merged twice, or a resumed
+    /// run re-simulating a cell its saved report already carries) or
+    /// leave a gap (a shard report is missing).
     pub fn merge(parts: impl IntoIterator<Item = CampaignReport>) -> Result<Self, SimError> {
         let mut parts: Vec<CampaignReport> = parts.into_iter().collect();
         if parts.is_empty() {
@@ -590,12 +618,32 @@ impl CampaignReport {
         let start = parts[0].start;
         let mut cells = Vec::with_capacity(parts.iter().map(|p| p.cells.len()).sum());
         for part in parts {
-            if part.start != start + cells.len() {
-                return Err(SimError::InvalidConfig(
-                    "shard reports overlap or leave a gap in the matrix",
-                ));
+            let expected = start + cells.len();
+            match part.start.cmp(&expected) {
+                std::cmp::Ordering::Equal => cells.extend(part.cells),
+                std::cmp::Ordering::Less => {
+                    return Err(match part.cells.first() {
+                        Some(dup) => SimError::Campaign(format!(
+                            "duplicate cell {} (matrix index {}): present in more than one \
+                             merged report",
+                            dup.cell.label(),
+                            part.start,
+                        )),
+                        None => SimError::Campaign(format!(
+                            "empty shard report at offset {} overlaps cells already merged \
+                             up to index {expected}",
+                            part.start,
+                        )),
+                    });
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(SimError::Campaign(format!(
+                        "shard reports leave a gap in the matrix: index {expected} is missing \
+                         (next report starts at {})",
+                        part.start,
+                    )));
+                }
             }
-            cells.extend(part.cells);
         }
         Ok(Self { start, cells })
     }
@@ -710,9 +758,69 @@ pub fn run_campaign_with(
     Ok(CampaignReport { start: 0, cells: evaluate_cells(&cells, executor, cache)? })
 }
 
+/// Resumes an interrupted campaign from a saved partial report: cells
+/// whose outcomes `saved` already carries are skipped, only the
+/// remaining cells of `spec` are simulated, and the parts are merged —
+/// the result is bitwise-identical to an uninterrupted [`run_campaign`]
+/// over the same spec.
+///
+/// `saved` may be any contiguous slice of the matrix (a prefix saved
+/// before an interruption, or one shard of a sharded run); the cells
+/// before and after it are evaluated and [`CampaignReport::merge`]
+/// recomposes the full report.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an empty matrix,
+/// [`SimError::Campaign`] when the saved outcomes do not line up with
+/// the spec's cells (naming the first mismatching cell), and
+/// propagates the first engine failure in matrix order.
+pub fn resume_campaign(
+    spec: &CampaignSpec,
+    saved: &CampaignReport,
+    executor: &Executor,
+    cache: Option<&TraceCache>,
+) -> Result<CampaignReport, SimError> {
+    let cells = spec.cells();
+    if cells.is_empty() {
+        return Err(SimError::InvalidConfig("campaign matrix is empty"));
+    }
+    let start = saved.start();
+    let end = start + saved.len();
+    if end > cells.len() {
+        return Err(SimError::Campaign(format!(
+            "saved report covers matrix indices {start}..{end} but the spec enumerates only \
+             {} cells",
+            cells.len(),
+        )));
+    }
+    for (i, outcome) in saved.cells().iter().enumerate() {
+        if outcome.cell != cells[start + i] {
+            return Err(SimError::Campaign(format!(
+                "saved report does not match the campaign spec: cell {} at matrix index {} \
+                 (expected {})",
+                outcome.cell.label(),
+                start + i,
+                cells[start + i].label(),
+            )));
+        }
+    }
+    let mut parts = vec![saved.clone()];
+    if start > 0 {
+        let head = evaluate_cells(&cells[..start], executor, cache)?;
+        parts.push(CampaignReport { start: 0, cells: head });
+    }
+    if end < cells.len() {
+        let tail = evaluate_cells(&cells[end..], executor, cache)?;
+        parts.push(CampaignReport { start: end, cells: tail });
+    }
+    CampaignReport::merge(parts)
+}
+
 /// Evaluates a slice of cells on the executor, failing on the first
-/// engine error in matrix order.
-fn evaluate_cells(
+/// engine error in matrix order. Shared with the adaptive driver,
+/// which batches each refinement round's probe cells through it.
+pub(crate) fn evaluate_cells(
     cells: &[CampaignCell],
     executor: &Executor,
     cache: Option<&TraceCache>,
@@ -904,10 +1012,98 @@ mod tests {
             })
             .collect();
         assert!(CampaignReport::merge([]).is_err());
-        // Missing shard → gap.
-        assert!(CampaignReport::merge([parts[0].clone(), parts[2].clone()]).is_err());
-        // Same shard twice → overlap.
-        assert!(CampaignReport::merge([parts[1].clone(), parts[1].clone()]).is_err());
+        // Missing shard → gap, naming the missing index.
+        let gap = CampaignReport::merge([parts[0].clone(), parts[2].clone()]).unwrap_err();
+        assert!(matches!(gap, SimError::Campaign(_)), "{gap}");
+        assert!(gap.to_string().contains("gap"), "{gap}");
+        // Same shard twice → duplicate, naming the duplicated cell.
+        let dup = CampaignReport::merge([parts[1].clone(), parts[1].clone()]).unwrap_err();
+        assert!(matches!(dup, SimError::Campaign(_)), "{dup}");
+        let msg = dup.to_string();
+        let label = parts[1].cells()[0].cell.label();
+        assert!(msg.contains("duplicate cell"), "{msg}");
+        assert!(msg.contains(&label), "message {msg:?} does not name cell {label:?}");
+    }
+
+    #[test]
+    fn group_summaries_merge_across_shards() {
+        let spec = CampaignSpec::smoke().with_seeds(vec![1, 2]);
+        let reports: Vec<CampaignReport> = spec
+            .shard(3)
+            .iter()
+            .map(|s| {
+                CampaignReport::from_parts(
+                    s.start(),
+                    s.cells().iter().map(|&c| outcome(c, s.start() as f64)).collect(),
+                )
+            })
+            .collect();
+        let full = CampaignReport::merge(reports.clone()).unwrap();
+        let check = |full_groups: Vec<GroupSummary>, shard_groups: Vec<Vec<GroupSummary>>| {
+            // Fold each shard's group summaries into one list by label.
+            let mut folded: Vec<GroupSummary> = Vec::new();
+            for groups in shard_groups {
+                for summary in groups {
+                    match folded.iter_mut().find(|g| g.label == summary.label) {
+                        Some(g) => g.merge(&summary).unwrap(),
+                        None => folded.push(summary),
+                    }
+                }
+            }
+            assert_eq!(folded.len(), full_groups.len());
+            for (f, g) in folded.iter().zip(&full_groups) {
+                assert_eq!(f.label, g.label);
+                assert_eq!(f.cells, g.cells);
+                assert_eq!(f.brownouts, g.brownouts);
+                assert_eq!(f.vc_stability.count(), g.vc_stability.count());
+                assert_eq!(f.vc_stability.min(), g.vc_stability.min());
+                assert_eq!(f.vc_stability.max(), g.vc_stability.max());
+                // Sums recompose up to float re-association.
+                let err =
+                    (f.instructions_billions.sum() - g.instructions_billions.sum()).abs();
+                assert!(err < 1e-9, "{}: sum drifted by {err}", f.label);
+            }
+        };
+        check(full.by_weather(), reports.iter().map(|r| r.by_weather()).collect());
+        check(full.by_governor(), reports.iter().map(|r| r.by_governor()).collect());
+        // Merging summaries of different groups is rejected.
+        let mut a = full.by_weather().swap_remove(0);
+        let b = full.by_governor().swap_remove(0);
+        assert!(matches!(a.merge(&b), Err(SimError::Campaign(_))));
+    }
+
+    #[test]
+    fn resume_from_any_contiguous_slice_matches_the_full_run() {
+        let spec = CampaignSpec::smoke().with_duration(Seconds::new(5.0));
+        let executor = Executor::sequential();
+        let full = run_campaign(&spec, &executor).unwrap();
+        let n = full.len();
+        // Every contiguous saved slice, including empty and complete.
+        for start in 0..n {
+            for end in start..=n {
+                let saved =
+                    CampaignReport::from_parts(start, full.cells()[start..end].to_vec());
+                let resumed = resume_campaign(&spec, &saved, &executor, None).unwrap();
+                assert_eq!(resumed, full, "resume from {start}..{end} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_saved_reports() {
+        let spec = CampaignSpec::smoke().with_duration(Seconds::new(5.0));
+        let executor = Executor::sequential();
+        let full = run_campaign(&spec, &executor).unwrap();
+        // A saved report that extends past the matrix.
+        let saved = CampaignReport::from_parts(2, full.cells().to_vec());
+        let err = resume_campaign(&spec, &saved, &executor, None).unwrap_err();
+        assert!(matches!(err, SimError::Campaign(_)), "{err}");
+        // A saved cell that is not the spec's cell at that index.
+        let mut cells = full.cells().to_vec();
+        cells.swap(0, 3);
+        let saved = CampaignReport::from_parts(0, cells);
+        let err = resume_campaign(&spec, &saved, &executor, None).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub enum SimError {
     Analysis(pn_analysis::AnalysisError),
     /// A persisted campaign artifact could not be decoded.
     Persist(String),
+    /// A campaign operation (merge, resume, adaptive refinement) was
+    /// inconsistent — e.g. a cell present in two merged reports, or a
+    /// saved report that does not match the spec being resumed.
+    Campaign(String),
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +40,7 @@ impl fmt::Display for SimError {
             SimError::Harvest(e) => write!(f, "harvest error: {e}"),
             SimError::Analysis(e) => write!(f, "analysis error: {e}"),
             SimError::Persist(why) => write!(f, "persist error: {why}"),
+            SimError::Campaign(why) => write!(f, "campaign error: {why}"),
         }
     }
 }
@@ -51,6 +56,7 @@ impl Error for SimError {
             SimError::Harvest(e) => Some(e),
             SimError::Analysis(e) => Some(e),
             SimError::Persist(_) => None,
+            SimError::Campaign(_) => None,
         }
     }
 }

@@ -19,9 +19,13 @@
 //! * [`executor`] — the shared work-stealing batch executor,
 //! * [`sweep`] — the §III parameter sweep,
 //! * [`campaign`] — batch campaigns over a cartesian scenario matrix,
-//!   including sharded runs whose reports merge bitwise,
-//! * [`persist`] — serialized campaign specs/reports and the campaign
-//!   CSV export,
+//!   including sharded runs whose reports merge bitwise and
+//!   shard-aware resume of interrupted runs,
+//! * [`adaptive`] — the adaptive campaign driver: bisect each
+//!   (weather, governor) group's buffer capacitance to the brown-out
+//!   boundary, steering each round from the previous report,
+//! * [`persist`] — serialized campaign specs/reports (with group
+//!   summaries) and the campaign + summary CSV exports,
 //! * [`experiments`] — one module per paper figure/table, producing the
 //!   rows/series the paper reports.
 //!
@@ -42,6 +46,7 @@
 //! # }
 //! ```
 
+pub mod adaptive;
 pub mod campaign;
 pub mod engine;
 pub mod executor;

@@ -36,16 +36,23 @@
 //! # }
 //! ```
 
-use crate::campaign::{CampaignCell, CampaignReport, CampaignSpec, CellOutcome, GovernorSpec};
+use crate::campaign::{
+    CampaignCell, CampaignReport, CampaignSpec, CellOutcome, GovernorSpec, GroupSummary,
+};
 use crate::SimError;
-use pn_analysis::csv::{write_campaign_csv, CampaignRow};
+use pn_analysis::csv::{write_campaign_csv, write_summary_csv, CampaignRow, SummaryRow};
+use pn_analysis::summary::Aggregate;
 use pn_core::params::ControlParams;
 use pn_harvest::weather::Weather;
 use pn_units::{Seconds, Volts};
 use std::fmt::Write as _;
 
 const SPEC_HEADER: &str = "pn-campaign-spec v1";
-const REPORT_HEADER: &str = "pn-campaign-report v1";
+/// Written header: v2 added the optional `summary` section.
+const REPORT_HEADER: &str = "pn-campaign-report v2";
+/// Still-readable v1 header (documents written before the summary
+/// section existed).
+const REPORT_HEADER_V1: &str = "pn-campaign-report v1";
 
 /// Serializes a campaign spec to the v1 wire format.
 pub fn spec_to_string(spec: &CampaignSpec) -> String {
@@ -82,11 +89,11 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Persist`] for a malformed document and
-/// propagates [`ControlParams`] validation.
+/// Returns [`SimError::Persist`] for a malformed document, including
+/// parameter lines that fail [`ControlParams`] validation.
 pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     let mut lines = Lines::new(text);
-    lines.expect_header(SPEC_HEADER)?;
+    lines.expect_header(&[SPEC_HEADER])?;
     let mut spec = CampaignSpec {
         weathers: Vec::new(),
         seeds: Vec::new(),
@@ -122,7 +129,9 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
             }
             "params" => {
                 let [vw, vq, alpha, beta] = parse_array(no, rest)?;
-                spec.params.push(ControlParams::new(Volts::new(vw), Volts::new(vq), alpha, beta)?);
+                let params = ControlParams::new(Volts::new(vw), Volts::new(vq), alpha, beta)
+                    .map_err(|e| persist_err(no, format!("invalid control parameters: {e}")))?;
+                spec.params.push(params);
             }
             "duration" => {
                 let [d] = parse_array(no, rest)?;
@@ -134,7 +143,13 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     Ok(spec)
 }
 
-/// Serializes a (full or shard) campaign report to the v1 wire format.
+/// Serializes a (full or shard) campaign report to the v2 wire format.
+///
+/// Besides one `cell` line per outcome, the document carries the
+/// report's per-weather and per-governor [`GroupSummary`] aggregates
+/// as `summary` lines, so a consumer can read fleet-level statistics
+/// without re-reducing the cells (the decoder cross-checks them
+/// against the cells it parsed).
 pub fn report_to_string(report: &CampaignReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{REPORT_HEADER}");
@@ -164,21 +179,58 @@ pub fn report_to_string(report: &CampaignReport) -> String {
             c.final_vc,
         );
     }
+    for (kind, groups) in
+        [("weather", report.by_weather()), ("governor", report.by_governor())]
+    {
+        for g in &groups {
+            let _ = writeln!(
+                out,
+                "summary {kind} {} {} {} {} {} {}",
+                g.cells,
+                g.brownouts,
+                aggregate_fields(&g.vc_stability),
+                aggregate_fields(&g.instructions_billions),
+                aggregate_fields(&g.energy_utilisation),
+                g.label,
+            );
+        }
+    }
     out.push_str("end\n");
     out
 }
 
-/// Decodes a campaign report from the v1 wire format. Every `f64` is
+/// The four wire tokens of an [`Aggregate`] (`count sum min max`; an
+/// empty accumulator writes zeros, which [`Aggregate::from_parts`]
+/// maps back to empty).
+fn aggregate_fields(agg: &Aggregate) -> String {
+    format!(
+        "{} {} {} {}",
+        agg.count(),
+        agg.sum(),
+        agg.min().unwrap_or(0.0),
+        agg.max().unwrap_or(0.0)
+    )
+}
+
+/// Decodes a campaign report from the wire format (v2, or v1 written
+/// before the summary section existed). Every `f64` is
 /// reproduced bitwise, so `report_from_str(&report_to_string(r)) == r`
 /// exactly.
 ///
+/// `summary` sections are optional (documents written before they
+/// existed still decode), but when present they must agree with the
+/// summaries recomputed from the decoded cells — a corrupted or
+/// hand-edited summary is rejected rather than silently shadowing the
+/// cells.
+///
 /// # Errors
 ///
-/// Returns [`SimError::Persist`] for a malformed document (bad header,
-/// wrong cell count, undecodable token).
+/// Returns [`SimError::Persist`] for a malformed document (bad header
+/// or version, wrong cell count, undecodable token, unknown or
+/// inconsistent summary section).
 pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
     let mut lines = Lines::new(text);
-    lines.expect_header(REPORT_HEADER)?;
+    lines.expect_header(&[REPORT_HEADER, REPORT_HEADER_V1])?;
     let (no, line) = lines.next_line()?;
     let start: usize = parse_keyed(no, line, "start")?;
     let (no, line) = lines.next_line()?;
@@ -188,11 +240,90 @@ pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
         let (no, line) = lines.next_line()?;
         cells.push(parse_cell_line(no, line)?);
     }
-    let (no, line) = lines.next_line()?;
-    if line != "end" {
-        return Err(persist_err(no, format!("expected end marker, found {line:?}")));
+    let mut by_weather: Vec<GroupSummary> = Vec::new();
+    let mut by_governor: Vec<GroupSummary> = Vec::new();
+    loop {
+        let (no, line) = lines.next_line()?;
+        if line == "end" {
+            break;
+        }
+        let Some(rest) = line.strip_prefix("summary ") else {
+            return Err(persist_err(no, format!("expected summary or end marker, found {line:?}")));
+        };
+        let (kind, summary) = parse_summary_line(no, rest)?;
+        match kind {
+            SummaryKind::Weather => by_weather.push(summary),
+            SummaryKind::Governor => by_governor.push(summary),
+        }
     }
-    Ok(CampaignReport::from_parts(start, cells))
+    let report = CampaignReport::from_parts(start, cells);
+    type Recompute = fn(&CampaignReport) -> Vec<GroupSummary>;
+    let checks: [(&str, Vec<GroupSummary>, Recompute); 2] = [
+        ("weather", by_weather, CampaignReport::by_weather),
+        ("governor", by_governor, CampaignReport::by_governor),
+    ];
+    for (kind, parsed, recompute) in checks {
+        // Recompute lazily: v1 documents (and summary-stripped v2
+        // ones) skip both reductions entirely.
+        if !parsed.is_empty() && parsed != recompute(&report) {
+            return Err(SimError::Persist(format!(
+                "{kind} summary section does not match the cell rows \
+                 (the document was corrupted or hand-edited)"
+            )));
+        }
+    }
+    Ok(report)
+}
+
+/// Which grouping axis a `summary` line belongs to.
+enum SummaryKind {
+    Weather,
+    Governor,
+}
+
+/// Parses the remainder of a `summary` line: kind, the two counters,
+/// three aggregates (four tokens each), and the trailing label (which
+/// may contain spaces).
+fn parse_summary_line(no: usize, rest: &str) -> Result<(SummaryKind, GroupSummary), SimError> {
+    let mut tok = rest.split_whitespace();
+    let kind = match tok.next() {
+        Some("weather") => SummaryKind::Weather,
+        Some("governor") => SummaryKind::Governor,
+        Some(other) => {
+            return Err(persist_err(no, format!("unknown summary section {other:?}")));
+        }
+        None => return Err(persist_err(no, "summary line missing its kind".into())),
+    };
+    let mut next = |what: &str| {
+        tok.next().ok_or_else(|| persist_err(no, format!("summary line missing {what}")))
+    };
+    let cells = parse_token(no, next("cells")?)?;
+    let brownouts = parse_token(no, next("brownouts")?)?;
+    let mut aggregate = |what: &str| -> Result<Aggregate, SimError> {
+        let count = parse_token(no, next(what)?)?;
+        let sum = parse_token(no, next(what)?)?;
+        let min = parse_token(no, next(what)?)?;
+        let max = parse_token(no, next(what)?)?;
+        Ok(Aggregate::from_parts(count, sum, min, max))
+    };
+    let vc_stability = aggregate("vc_stability")?;
+    let instructions_billions = aggregate("instructions")?;
+    let energy_utilisation = aggregate("energy_utilisation")?;
+    let label: Vec<&str> = tok.collect();
+    if label.is_empty() {
+        return Err(persist_err(no, "summary line missing its label".into()));
+    }
+    Ok((
+        kind,
+        GroupSummary {
+            label: label.join(" "),
+            cells,
+            brownouts,
+            vc_stability,
+            instructions_billions,
+            energy_utilisation,
+        },
+    ))
 }
 
 fn parse_cell_line(no: usize, line: &str) -> Result<CellOutcome, SimError> {
@@ -219,7 +350,8 @@ fn parse_cell_line(no: usize, line: &str) -> Result<CellOutcome, SimError> {
         Volts::new(parse_token(no, next("v_q")?)?),
         parse_token(no, next("alpha")?)?,
         parse_token(no, next("beta")?)?,
-    )?;
+    )
+    .map_err(|e| persist_err(no, format!("invalid control parameters: {e}")))?;
     let duration = Seconds::new(parse_token(no, next("duration")?)?);
     let survived = match next("survived")? {
         "1" => true,
@@ -279,6 +411,43 @@ pub fn report_csv_string(report: &CampaignReport) -> Result<String, SimError> {
     String::from_utf8(out).map_err(|_| SimError::Persist("campaign CSV was not UTF-8".into()))
 }
 
+/// Reduces a report's per-weather and per-governor [`GroupSummary`]
+/// aggregates to plain summary rows (weather groups first, each axis
+/// in first-seen order).
+pub fn summary_rows(report: &CampaignReport) -> Vec<SummaryRow> {
+    let reduce = |kind: &str, groups: Vec<GroupSummary>| -> Vec<SummaryRow> {
+        groups
+            .into_iter()
+            .map(|g| SummaryRow {
+                group: kind.to_string(),
+                label: g.label,
+                cells: g.cells as u64,
+                brownouts: g.brownouts as u64,
+                vc_stability_mean: g.vc_stability.mean().unwrap_or(0.0),
+                vc_stability_min: g.vc_stability.min().unwrap_or(0.0),
+                vc_stability_max: g.vc_stability.max().unwrap_or(0.0),
+                instructions_billions: g.instructions_billions.sum(),
+                energy_utilisation_mean: g.energy_utilisation.mean().unwrap_or(0.0),
+            })
+            .collect()
+    };
+    let mut rows = reduce("weather", report.by_weather());
+    rows.extend(reduce("governor", report.by_governor()));
+    rows
+}
+
+/// The report's summary-only CSV document (header plus one row per
+/// weather and governor group).
+///
+/// # Errors
+///
+/// Propagates CSV-writer failures.
+pub fn report_summary_csv_string(report: &CampaignReport) -> Result<String, SimError> {
+    let mut out = Vec::new();
+    write_summary_csv(&mut out, &summary_rows(report))?;
+    String::from_utf8(out).map_err(|_| SimError::Persist("summary CSV was not UTF-8".into()))
+}
+
 fn persist_err(line: usize, why: String) -> SimError {
     SimError::Persist(format!("line {line}: {why}"))
 }
@@ -331,12 +500,23 @@ impl<'a> Lines<'a> {
         Err(SimError::Persist("unexpected end of document".into()))
     }
 
-    fn expect_header(&mut self, header: &str) -> Result<(), SimError> {
+    /// Accepts any of the given headers (current version first).
+    fn expect_header(&mut self, accepted: &[&str]) -> Result<(), SimError> {
         let (no, line) = self.next_line()?;
-        if line != header {
-            return Err(persist_err(no, format!("expected {header:?}, found {line:?}")));
+        if accepted.contains(&line) {
+            return Ok(());
         }
-        Ok(())
+        // Distinguish version skew (right document type, wrong
+        // version) from a wrong document altogether.
+        let current = accepted[0];
+        let stem = current.rsplit_once(" v").map_or(current, |(stem, _)| stem);
+        if let Some(version) = line.strip_prefix(stem).and_then(|r| r.strip_prefix(" v")) {
+            return Err(persist_err(
+                no,
+                format!("unsupported {stem} version {version:?}; this build reads {current:?}"),
+            ));
+        }
+        Err(persist_err(no, format!("expected {current:?}, found {line:?}")))
     }
 }
 
@@ -415,20 +595,132 @@ mod tests {
     fn malformed_documents_are_rejected_with_line_numbers() {
         let cases = [
             ("", "unexpected end"),
-            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v1\""),
+            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v2\""),
             ("pn-campaign-report v1\nstart 0\ncells 1\nend\n", "expected a cell line"),
             ("pn-campaign-report v1\nstart 0\ncells 0\nEND\n", "end marker"),
             ("pn-campaign-report v1\nstart zero\ncells 0\nend\n", "undecodable token"),
         ];
         for (doc, needle) in cases {
-            let err = report_from_str(doc).unwrap_err().to_string();
+            let err = report_from_str(doc).unwrap_err();
+            assert!(matches!(err, SimError::Persist(_)), "{doc:?} → {err}");
+            let err = err.to_string();
             assert!(err.contains(needle), "{doc:?} → {err}");
         }
         let mut wire = report_to_string(&sample_report());
-        wire = wire.replace("full-sun", "full-moon");
+        wire = wire.replacen("full-sun", "full-moon", 1);
         let err = report_from_str(&wire).unwrap_err().to_string();
         assert!(err.contains("unknown weather"), "{err}");
         assert!(err.contains("line 4"), "line number missing: {err}");
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected_not_panicked() {
+        // Cutting the document anywhere before the end marker must
+        // yield SimError::Persist, never a panic or a silently short
+        // report. (Only the final newline itself is optional.)
+        let wire = report_to_string(&sample_report());
+        for cut in 1..wire.len() - 1 {
+            match report_from_str(&wire[..cut]) {
+                Err(SimError::Persist(_)) => {}
+                Ok(_) => panic!("truncation at byte {cut} decoded successfully"),
+                Err(other) => panic!("truncation at byte {cut} → unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_skew_is_reported_as_a_persist_error() {
+        let wire = report_to_string(&sample_report());
+        let skewed = wire.replacen("pn-campaign-report v2", "pn-campaign-report v3", 1);
+        let err = report_from_str(&skewed).unwrap_err();
+        assert!(matches!(err, SimError::Persist(_)), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported"), "{msg}");
+        assert!(msg.contains("v2"), "message {msg:?} does not name the supported version");
+        // Specs skew independently.
+        let spec_doc = spec_to_string(&CampaignSpec::smoke());
+        let skewed = spec_doc.replacen("v1", "v7", 1);
+        let err = spec_from_str(&skewed).unwrap_err();
+        assert!(err.to_string().contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn reports_carry_group_summaries_that_cross_check() {
+        let report = sample_report();
+        let wire = report_to_string(&report);
+        // One summary line per weather group and per governor group.
+        let summary_lines: Vec<&str> =
+            wire.lines().filter(|l| l.starts_with("summary ")).collect();
+        let expected = report.by_weather().len() + report.by_governor().len();
+        assert_eq!(summary_lines.len(), expected);
+        assert!(summary_lines.iter().any(|l| l.ends_with("full sun")));
+        // The document still round-trips bitwise with summaries in it.
+        assert_eq!(report_from_str(&wire).unwrap(), report);
+        // Documents without summaries still decode, both as bare v2
+        // and under the pre-summary v1 header.
+        let stripped: String =
+            wire.lines().filter(|l| !l.starts_with("summary ")).fold(String::new(), |mut s, l| {
+                s.push_str(l);
+                s.push('\n');
+                s
+            });
+        assert_eq!(report_from_str(&stripped).unwrap(), report);
+        let v1 = stripped.replacen("pn-campaign-report v2", "pn-campaign-report v1", 1);
+        assert_eq!(report_from_str(&v1).unwrap(), report);
+    }
+
+    #[test]
+    fn unknown_summary_sections_are_rejected() {
+        let wire = report_to_string(&sample_report());
+        let bad = wire.replacen("summary weather", "summary platform", 1);
+        let err = report_from_str(&bad).unwrap_err();
+        assert!(matches!(err, SimError::Persist(_)), "{err}");
+        assert!(err.to_string().contains("unknown summary section"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_summaries_are_rejected() {
+        let report = sample_report();
+        let wire = report_to_string(&report);
+        // Tamper with a summary counter without touching the cells.
+        let line = wire.lines().find(|l| l.starts_with("summary weather")).unwrap().to_string();
+        let tampered_line = line.replacen("summary weather 4", "summary weather 5", 1);
+        assert_ne!(line, tampered_line, "tamper target not found");
+        let tampered = wire.replacen(&line, &tampered_line, 1);
+        let err = report_from_str(&tampered).unwrap_err();
+        assert!(matches!(err, SimError::Persist(_)), "{err}");
+        assert!(err.to_string().contains("does not match the cell rows"), "{err}");
+        // Dropping one group of a present section is also an
+        // inconsistency (the set no longer matches).
+        let dropped: String =
+            wire.lines().filter(|l| *l != line.as_str()).fold(String::new(), |mut s, l| {
+                s.push_str(l);
+                s.push('\n');
+                s
+            });
+        assert!(report_from_str(&dropped).is_err());
+    }
+
+    #[test]
+    fn summary_csv_has_one_row_per_group() {
+        let report = sample_report();
+        let csv = report_summary_csv_string(&report).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        let expected = report.by_weather().len() + report.by_governor().len();
+        assert_eq!(lines.len(), expected + 1);
+        assert_eq!(lines[0], pn_analysis::csv::SUMMARY_CSV_HEADER);
+        assert!(lines[1].starts_with("weather,"));
+        assert!(lines.last().unwrap().starts_with("governor,"));
+        // Rows mirror the in-memory aggregates bitwise.
+        let rows = summary_rows(&report);
+        assert_eq!(rows.len(), expected);
+        let weather = report.by_weather();
+        assert_eq!(rows[0].label, weather[0].label);
+        assert_eq!(rows[0].cells, weather[0].cells as u64);
+        assert_eq!(
+            rows[0].vc_stability_mean.to_bits(),
+            weather[0].vc_stability.mean().unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! Batch campaign quickstart: sweep the governor across every weather
 //! condition in parallel, compare survival and work done, then show
-//! the persistence layer — sharded runs merged bitwise and the CSV
-//! export.
+//! the persistence layer — sharded runs merged bitwise, shard-aware
+//! resume of an interrupted run, the CSV exports, and the adaptive
+//! driver bisecting each group's brown-out capacitance boundary.
 //!
 //! ```sh
 //! cargo run --release --example campaign
 //! ```
 
+use power_neutral::harvest::cache::TraceCache;
 use power_neutral::harvest::weather::Weather;
-use power_neutral::sim::campaign::{run_campaign, CampaignReport, CampaignSpec, GovernorSpec};
+use power_neutral::sim::adaptive::{AdaptiveCampaign, AdaptiveConfig};
+use power_neutral::sim::campaign::{
+    resume_campaign, run_campaign, CampaignReport, CampaignSpec, GovernorSpec,
+};
 use power_neutral::sim::executor::Executor;
 use power_neutral::sim::persist;
 use power_neutral::units::Seconds;
@@ -72,5 +77,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         merged.len(),
         csv.lines().nth(1).unwrap_or("<empty>")
     );
+
+    // Shard-aware resume: pretend the run died after the first shard.
+    // Resuming from its saved partial report simulates only the
+    // missing cells and recomposes the full report bitwise.
+    let saved = persist::report_from_str(&persist::report_to_string(
+        &spec.shard(3)[0].run(&executor)?,
+    ))?;
+    let resumed = resume_campaign(&spec, &saved, &executor, None)?;
+    assert_eq!(resumed, report, "resume must reproduce the uninterrupted run bitwise");
+    println!(
+        "  resumed the remaining {} cells from a {}-cell saved report — bitwise identical",
+        report.len() - saved.len(),
+        saved.len()
+    );
+
+    // Adaptive refinement: bisect each (weather, governor) group's
+    // buffer capacitance to its brown-out boundary, steering every
+    // round from the previous report.
+    let config = AdaptiveConfig { tolerance_mf: 64.0, max_rounds: 24, ..Default::default() };
+    let mut adaptive = AdaptiveCampaign::from_report(&report, config)?;
+    let cache = TraceCache::new();
+    let brackets = adaptive.run(&executor, Some(&cache))?;
+    println!(
+        "\n  adaptive boundary search: {} rounds, {} probe cells",
+        adaptive.rounds(),
+        adaptive.history().len() - report.len()
+    );
+    for b in &brackets {
+        let bracket = match (b.lo_mf, b.hi_mf) {
+            (Some(lo), Some(hi)) => format!("({lo:.1}, {hi:.1}] mF"),
+            (Some(lo), None) => format!("> {lo:.1} mF"),
+            (None, Some(hi)) => format!("≤ {hi:.1} mF"),
+            (None, None) => "unknown".into(),
+        };
+        println!(
+            "  {:<26} boundary {:<22} [{}]",
+            format!("{}/{}", b.weather, b.governor.label()),
+            bracket,
+            b.status
+        );
+    }
+    // The probe history is an ordinary report: summary CSV export
+    // covers the whole boundary search.
+    let summary = persist::report_summary_csv_string(&adaptive.probe_report())?;
+    println!("\n  summary CSV: {} group rows", summary.lines().count() - 1);
     Ok(())
 }

@@ -20,9 +20,10 @@ use power_neutral::core::params::ControlParams;
 use power_neutral::harvest::cache::TraceCache;
 use power_neutral::harvest::weather::Weather;
 use power_neutral::sim::campaign::{
-    run_campaign, run_campaign_with, CampaignCell, CampaignReport, CampaignSpec, CellOutcome,
-    GovernorSpec,
+    resume_campaign, run_campaign, run_campaign_with, CampaignCell, CampaignReport, CampaignSpec,
+    CellOutcome, GovernorSpec,
 };
+use power_neutral::sim::SimError;
 use power_neutral::sim::executor::Executor;
 use power_neutral::sim::persist;
 use power_neutral::units::Seconds;
@@ -40,23 +41,8 @@ fn quick_spec() -> CampaignSpec {
     CampaignSpec::smoke().with_duration(Seconds::new(10.0))
 }
 
-fn golden_path(name: &str) -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
-}
-
-/// Compares `produced` to a checked-in golden artifact; `PN_BLESS=1`
-/// rewrites the artifact instead.
-fn assert_matches_golden(name: &str, checked_in: &str, produced: &str) {
-    if std::env::var_os("PN_BLESS").is_some() {
-        std::fs::write(golden_path(name), produced).expect("bless golden file");
-        return;
-    }
-    assert_eq!(
-        produced, checked_in,
-        "{name} drifted from the checked-in artifact; \
-         if the change is intentional, regenerate with PN_BLESS=1"
-    );
-}
+mod common;
+use common::assert_matches_golden;
 
 #[test]
 fn golden_csv_artifact_is_stable() {
@@ -119,6 +105,43 @@ fn shard_reports_survive_a_persistence_round_trip_before_merging() {
         })
         .collect();
     assert_eq!(CampaignReport::merge(decoded).unwrap(), full);
+}
+
+#[test]
+fn resuming_a_persisted_partial_report_matches_the_uninterrupted_run() {
+    // The interrupted workflow end to end: a shard runs, its partial
+    // report is persisted, the process dies; a later invocation
+    // decodes the file and resumes — the merged report and its CSV
+    // must be byte-identical to a one-shot run.
+    let spec = quick_spec();
+    let executor = Executor::sequential();
+    let full = run_campaign(&spec, &executor).unwrap();
+    let full_csv = persist::report_csv_string(&full).unwrap();
+    for (i, shard) in spec.shard(3).iter().enumerate() {
+        let wire = persist::report_to_string(&shard.run(&executor).unwrap());
+        let saved = persist::report_from_str(&wire).unwrap();
+        let resumed = resume_campaign(&spec, &saved, &executor, None).unwrap();
+        assert_eq!(resumed, full, "resume from persisted shard {i} diverged");
+        assert_eq!(persist::report_csv_string(&resumed).unwrap(), full_csv);
+    }
+}
+
+#[test]
+fn resume_rejects_duplicate_cells_by_label() {
+    // A saved report that claims cells the resume run would simulate
+    // again must be rejected with the offending cell's label — the
+    // merge names the duplicate, not just an index.
+    let spec = quick_spec();
+    let executor = Executor::sequential();
+    let full = run_campaign(&spec, &executor).unwrap();
+    let prefix = CampaignReport::from_parts(0, full.cells()[..2].to_vec());
+    let overlapping = CampaignReport::from_parts(1, full.cells()[1..3].to_vec());
+    let err = CampaignReport::merge([prefix, overlapping]).unwrap_err();
+    assert!(matches!(err, SimError::Campaign(_)), "{err}");
+    let msg = err.to_string();
+    let label = full.cells()[1].cell.label();
+    assert!(msg.contains("duplicate cell"), "{msg}");
+    assert!(msg.contains(&label), "message {msg:?} does not name cell {label:?}");
 }
 
 #[test]
@@ -243,6 +266,28 @@ proptest! {
             let right = CampaignReport::merge(parts[at..].to_vec()).unwrap();
             prop_assert_eq!(CampaignReport::merge([left, right]).unwrap(), reference);
         }
+    }
+
+    #[test]
+    fn resume_reproduces_the_full_report_from_any_saved_slice(
+        start in 0usize..=8,
+        len in 0usize..=8,
+    ) {
+        // One shared full run + trace cache across all sampled cases.
+        static FULL: OnceLock<(CampaignSpec, CampaignReport, TraceCache)> = OnceLock::new();
+        let (spec, full, cache) = FULL.get_or_init(|| {
+            let spec = quick_spec().with_seeds(vec![1, 2]); // 8 cells
+            let cache = TraceCache::new();
+            let full =
+                run_campaign_with(&spec, &Executor::sequential(), Some(&cache)).unwrap();
+            (spec, full, cache)
+        });
+        let start = start.min(full.len());
+        let len = len.min(full.len() - start);
+        let saved = CampaignReport::from_parts(start, full.cells()[start..start + len].to_vec());
+        let resumed =
+            resume_campaign(spec, &saved, &Executor::sequential(), Some(cache)).unwrap();
+        prop_assert_eq!(&resumed, full, "resume from slice {}..{} diverged", start, start + len);
     }
 
     #[test]

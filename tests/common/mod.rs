@@ -1,0 +1,21 @@
+//! Helpers shared by the integration-test suites (not a test target
+//! itself — cargo only builds `tests/*.rs` files as test crates).
+
+/// Absolute path of a checked-in golden artifact.
+pub fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `produced` to a checked-in golden artifact; `PN_BLESS=1`
+/// rewrites the artifact instead.
+pub fn assert_matches_golden(name: &str, checked_in: &str, produced: &str) {
+    if std::env::var_os("PN_BLESS").is_some() {
+        std::fs::write(golden_path(name), produced).expect("bless golden file");
+        return;
+    }
+    assert_eq!(
+        produced, checked_in,
+        "{name} drifted from the checked-in artifact; \
+         if the change is intentional, regenerate with PN_BLESS=1"
+    );
+}
