@@ -77,6 +77,10 @@ pub struct CampaignRow {
     pub buffer_mf: f64,
     /// Governor token (machine-readable slug).
     pub governor: String,
+    /// Supply-model token (machine-readable slug, e.g. `exact` or
+    /// `interp:0.001`) — keeps merged CSVs from mixed-model shards
+    /// self-describing.
+    pub supply_model: String,
     /// Whether the board survived the whole window.
     pub survived: bool,
     /// Lifetime (or full window), seconds.
@@ -99,8 +103,9 @@ pub struct CampaignRow {
 
 /// Header row of the campaign CSV document. Pinned: golden-file tests
 /// and downstream plots depend on these column names and their order.
-pub const CAMPAIGN_CSV_HEADER: &str = "weather,seed,buffer_mf,governor,survived,lifetime_s,\
-vc_stability,instructions_g,renders_per_min,energy_in_j,energy_out_j,transitions,final_vc";
+pub const CAMPAIGN_CSV_HEADER: &str = "weather,seed,buffer_mf,governor,supply_model,survived,\
+lifetime_s,vc_stability,instructions_g,renders_per_min,energy_in_j,energy_out_j,transitions,\
+final_vc";
 
 /// Writes campaign verdicts as CSV, one row per cell under
 /// [`CAMPAIGN_CSV_HEADER`]. Floats use Rust's shortest-round-trip
@@ -132,11 +137,12 @@ pub fn write_campaign_csv<W: Write>(
     for r in rows {
         writeln!(
             writer,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.weather,
             r.seed,
             r.buffer_mf,
             r.governor,
+            r.supply_model,
             u8::from(r.survived),
             r.lifetime_seconds,
             r.vc_stability,
@@ -260,6 +266,7 @@ mod tests {
             seed: 7,
             buffer_mf: 47.0,
             governor: "power-neutral".into(),
+            supply_model: "interp:0.001".into(),
             survived: true,
             lifetime_seconds: 0.1 + 0.2, // 0.30000000000000004: must survive the trip
             vc_stability: 0.925,
@@ -278,9 +285,10 @@ mod tests {
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
         let fields: Vec<&str> = lines[1].split(',').collect();
         assert_eq!(fields[0], "partial-sun");
-        assert_eq!(fields[4], "1", "survived encodes as 1/0");
+        assert_eq!(fields[4], "interp:0.001", "supply model rides along");
+        assert_eq!(fields[5], "1", "survived encodes as 1/0");
         // Shortest-round-trip float formatting parses back bitwise.
-        assert_eq!(fields[5].parse::<f64>().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(fields[6].parse::<f64>().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
     }
 
     #[test]

@@ -13,10 +13,18 @@
 //! 6 distinct days, and each short cell is dominated by rendering its
 //! 6-hour irradiance trace, so the cached line must sit well below the
 //! uncached one — a regression here means the cache stopped being hit.
+//!
+//! The `supply_model` group is the tentpole comparison: the same
+//! 12-cell matrix over a *pre-warmed* shared trace cache (steady-state
+//! campaign throughput, simulation-dominated) under the exact model
+//! versus the interpolated supply fast path. The interpolated line is
+//! the one the ≥2× target in the README's performance table tracks.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pn_harvest::cache::TraceCache;
 use pn_sim::campaign::{run_campaign, run_campaign_with, CampaignSpec, GovernorSpec};
 use pn_sim::executor::Executor;
+use pn_sim::supply::SupplyModel;
 use pn_units::Seconds;
 use std::hint::black_box;
 
@@ -72,5 +80,32 @@ fn bench_trace_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign, bench_trace_cache);
+fn bench_supply_model(c: &mut Criterion) {
+    let exact = matrix();
+    let interp = matrix().with_supply_model(SupplyModel::interpolated());
+    let executor = Executor::new(2);
+    // Pre-warm: render the 6 distinct day traces into a shared cache
+    // and build the interpolation surface, so both lines time the
+    // simulations themselves (steady-state campaign throughput).
+    let cache = TraceCache::new();
+    run_campaign_with(&exact, &executor, Some(&cache)).unwrap();
+    run_campaign_with(&interp, &executor, Some(&cache)).unwrap();
+    let mut group = c.benchmark_group("supply_model");
+    group.sample_size(10);
+    group.bench_function("12_cells_exact", |b| {
+        b.iter(|| {
+            let report = run_campaign_with(&exact, &executor, Some(&cache)).unwrap();
+            black_box(report.brownout_count())
+        })
+    });
+    group.bench_function("12_cells_interpolated", |b| {
+        b.iter(|| {
+            let report = run_campaign_with(&interp, &executor, Some(&cache)).unwrap();
+            black_box(report.brownout_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_trace_cache, bench_supply_model);
 criterion_main!(benches);

@@ -1,9 +1,12 @@
 //! Criterion bench: end-to-end co-simulation throughput (simulated
 //! seconds per wall-clock second) under the power-neutral governor and
-//! under the powersave baseline.
+//! under the powersave baseline, for both supply models — the
+//! `power_neutral_10s_constant_sun` vs `…_interpolated` pair is the
+//! headline exact-vs-fast-path comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pn_sim::scenario;
+use pn_sim::supply::SupplyModel;
 use pn_units::{Seconds, WattsPerSquareMeter};
 use std::hint::black_box;
 
@@ -14,6 +17,23 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let report =
                 scenario::constant_sun(WattsPerSquareMeter::new(560.0), Seconds::new(10.0))
+                    .run_power_neutral()
+                    .unwrap();
+            black_box(report.transitions())
+        })
+    });
+    // Same scenario on the interpolated supply fast path. Build the
+    // shared surface outside the timed region: campaigns pay it once
+    // per process, not once per cell.
+    let _ = scenario::constant_sun(WattsPerSquareMeter::new(560.0), Seconds::new(0.5))
+        .with_supply_model(SupplyModel::interpolated())
+        .run_power_neutral()
+        .unwrap();
+    group.bench_function("power_neutral_10s_constant_sun_interpolated", |b| {
+        b.iter(|| {
+            let report =
+                scenario::constant_sun(WattsPerSquareMeter::new(560.0), Seconds::new(10.0))
+                    .with_supply_model(SupplyModel::interpolated())
                     .run_power_neutral()
                     .unwrap();
             black_box(report.transitions())

@@ -26,6 +26,11 @@
 //! # brown-out boundary, steering every round from the previous one:
 //! cargo run --release -p pn-bench --bin campaign -- \
 //!     --smoke --adapt --tolerance 8 --max-rounds 16 --summary-out summary.csv
+//!
+//! # run the whole matrix on the interpolated supply fast path
+//! # (--tolerance, in amps, sharpens the surface when given):
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --supply-model interp --tolerance 0.0005 --out report.csv
 //! ```
 
 use pn_bench::{banner, print_table};
@@ -33,6 +38,7 @@ use pn_sim::adaptive::{AdaptiveCampaign, AdaptiveConfig};
 use pn_sim::campaign::{resume_campaign, run_campaign, CampaignReport, CampaignSpec};
 use pn_sim::executor::Executor;
 use pn_sim::persist;
+use pn_sim::supply::SupplyModel;
 use pn_harvest::cache::TraceCache;
 
 struct Cli {
@@ -48,6 +54,7 @@ struct Cli {
     adapt: bool,
     tolerance: Option<f64>,
     max_rounds: Option<usize>,
+    supply_model: Option<SupplyModel>,
 }
 
 fn parse_shard(arg: &str) -> Result<(usize, usize), String> {
@@ -78,6 +85,7 @@ fn parse_cli() -> Result<Cli, String> {
         adapt: false,
         tolerance: None,
         max_rounds: None,
+        supply_model: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
@@ -103,6 +111,14 @@ fn parse_cli() -> Result<Cli, String> {
             "--summary-out" => cli.summary_out = Some(value(&mut args, "--summary-out")?),
             "--resume" => cli.resume = Some(value(&mut args, "--resume")?),
             "--adapt" => cli.adapt = true,
+            "--supply-model" => {
+                let slug = value(&mut args, "--supply-model")?;
+                cli.supply_model = Some(SupplyModel::from_slug(&slug).ok_or_else(|| {
+                    format!(
+                        "--supply-model wants exact, interp or interp:<tol-amps>, got {slug:?}"
+                    )
+                })?);
+            }
             "--tolerance" => {
                 cli.tolerance = Some(
                     value(&mut args, "--tolerance")?
@@ -137,11 +153,12 @@ fn parse_cli() -> Result<Cli, String> {
             || cli.seeds.is_some()
             || cli.threads != 0
             || cli.resume.is_some()
-            || cli.adapt)
+            || cli.adapt
+            || cli.supply_model.is_some())
     {
         return Err(
             "--merge recomposes saved reports without simulating; it cannot be combined \
-             with --shard, --smoke, --seeds, --threads, --resume or --adapt"
+             with --shard, --smoke, --seeds, --threads, --resume, --adapt or --supply-model"
                 .into(),
         );
     }
@@ -155,8 +172,25 @@ fn parse_cli() -> Result<Cli, String> {
                     or --resume the saved partial report first"
             .into());
     }
-    if (cli.tolerance.is_some() || cli.max_rounds.is_some()) && !cli.adapt {
-        return Err("--tolerance and --max-rounds only apply to --adapt".into());
+    if cli.max_rounds.is_some() && !cli.adapt {
+        return Err("--max-rounds only applies to --adapt".into());
+    }
+    let interp = matches!(cli.supply_model, Some(SupplyModel::Interpolated { .. }));
+    if cli.tolerance.is_some() && !cli.adapt && !interp {
+        return Err("--tolerance applies to --adapt (millifarads) or to \
+                    --supply-model interp (amps)"
+            .into());
+    }
+    // `--tolerance` reuse: without --adapt it sharpens the surface
+    // tolerance of `--supply-model interp` (with --adapt it keeps its
+    // bracket-width meaning and the interp tolerance stays as given).
+    if let (false, Some(tol), Some(SupplyModel::Interpolated { .. })) =
+        (cli.adapt, cli.tolerance, cli.supply_model)
+    {
+        if !(tol > 0.0) || !tol.is_finite() {
+            return Err(format!("--tolerance wants a positive surface tolerance, got {tol}"));
+        }
+        cli.supply_model = Some(SupplyModel::Interpolated { tol });
     }
     Ok(cli)
 }
@@ -169,6 +203,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut spec = if cli.smoke { CampaignSpec::smoke() } else { CampaignSpec::diverse() };
         if let Some(n) = cli.seeds {
             spec.seeds = (1..=n.max(1)).collect();
+        }
+        if let Some(model) = cli.supply_model {
+            spec = spec.with_supply_model(model);
+            println!("  supply model: {model}");
         }
         let t0 = std::time::Instant::now();
         let report = if let Some(path) = &cli.resume {

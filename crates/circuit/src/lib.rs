@@ -13,6 +13,9 @@
 //!   (the replacement for Simulink's zero-crossing detection),
 //! * [`solar`] — the paper's Eq. (4) solar-cell equivalent circuit with
 //!   IV/PV curve tooling and maximum-power-point search,
+//! * [`surface`] — a pretabulated, build-time-validated bilinear
+//!   interpolation surface over the single-diode current (the
+//!   engine's supply fast path),
 //! * [`capacitor`] — ideal and supercapacitor (ESR + leakage) buffer
 //!   models.
 //!
@@ -38,6 +41,7 @@ pub mod events;
 pub mod newton;
 pub mod ode;
 pub mod solar;
+pub mod surface;
 
 mod error;
 

@@ -297,6 +297,21 @@ impl Rk23 {
         self.h = self.options.initial_step;
     }
 
+    /// Notifies the controller of a right-hand-side discontinuity at a
+    /// step boundary (an OPP change, a threshold reprogram). Unlike
+    /// [`Rk23::reset_step`], this keeps the learned step estimate —
+    /// the first step after the jump is error-controlled like any
+    /// other and is simply rejected and shrunk if the new dynamics
+    /// need it, which costs one extra derivative sweep instead of the
+    /// four-to-five re-growth steps a full reset forces.
+    pub fn notify_discontinuity(&mut self) {
+        // Trim the estimate slightly: the post-event derivative often
+        // differs enough that a full-size first step would be rejected
+        // outright; half the estimate keeps most of the learned size
+        // while making first-try acceptance the common case.
+        self.h = (0.5 * self.h).clamp(self.options.min_step, self.options.max_step);
+    }
+
     /// Performs one accepted adaptive step from `(t, y)`, never stepping
     /// past `t_limit`.
     ///
@@ -437,6 +452,27 @@ mod tests {
         let y = solver.integrate(&mut f, 0.0, [1.0, 0.0], 20.0 * std::f64::consts::PI).unwrap();
         let energy = y[0] * y[0] + y[1] * y[1];
         assert!((energy - 1.0).abs() < 1e-4, "energy drift {energy}");
+    }
+
+    #[test]
+    fn notify_discontinuity_keeps_the_learned_step() {
+        let mut solver = Rk23::new(AdaptiveOptions::new());
+        // Let the controller grow the step on an easy problem.
+        solver.integrate(&mut exp_decay, 0.0, [1.0], 2.0).unwrap();
+        let learned = solver.current_step();
+        assert!(learned > 10.0 * solver.options().initial_step, "step never grew: {learned}");
+        solver.notify_discontinuity();
+        let kept = solver.current_step();
+        assert!((kept - 0.5 * learned).abs() < 1e-15, "kept {kept} vs learned {learned}");
+        // A full reset still collapses to the initial guess.
+        solver.reset_step();
+        assert_eq!(solver.current_step(), solver.options().initial_step);
+        // And the trimmed estimate stays within the configured bounds.
+        let mut tiny = Rk23::new(AdaptiveOptions::new());
+        for _ in 0..100 {
+            tiny.notify_discontinuity();
+        }
+        assert!(tiny.current_step() >= tiny.options().min_step);
     }
 
     #[test]

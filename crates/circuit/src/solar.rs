@@ -20,7 +20,7 @@
 //! * [`SolarCell::small_cell`] — the 250 cm² cell whose day-long output
 //!   trace appears in Fig. 1 (peak ≈ 1 W).
 
-use crate::newton::{solve_bracketed, NewtonOptions};
+use crate::newton::{solve, solve_bracketed, NewtonOptions};
 use crate::CircuitError;
 use pn_units::{Amps, Ohms, Volts, Watts, WattsPerSquareMeter};
 
@@ -206,6 +206,31 @@ impl SolarCell {
     /// iteration fails (practically unreachable for physical inputs) and
     /// [`CircuitError::InvalidArgument`] for non-finite voltages.
     pub fn current(&self, v: Volts, g: WattsPerSquareMeter) -> Result<Amps, CircuitError> {
+        self.current_seeded(v, g, None)
+    }
+
+    /// [`SolarCell::current`] with an optional warm start: `seed` is
+    /// used as the initial guess for a plain (unbracketed) Newton
+    /// iteration, falling back to the cold bracketed solve when it is
+    /// absent or fails to converge.
+    ///
+    /// The residual is strictly decreasing and concave in `I`, so plain
+    /// Newton converges from essentially any finite seed; seeding with
+    /// the previous engine step's root cuts the iteration count from
+    /// roughly ten to two or three. The path is bitwise-deterministic —
+    /// the same `(v, g, seed)` always produces the same root — but a
+    /// warm root may differ from the cold one in trailing bits (both
+    /// satisfy the same `1e-10` residual tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SolarCell::current`].
+    pub fn current_seeded(
+        &self,
+        v: Volts,
+        g: WattsPerSquareMeter,
+        seed: Option<f64>,
+    ) -> Result<Amps, CircuitError> {
         if !v.is_finite() {
             return Err(CircuitError::InvalidArgument("terminal voltage must be finite"));
         }
@@ -213,7 +238,7 @@ impl SolarCell {
         let il = self.light_current(g).value();
         let (i0, rs, rp, nvt) = (p.i0.value(), p.rs.value(), p.rp.value(), p.n_vt.value());
         let vv = v.value();
-        let residual = |i: f64| {
+        let mut residual = |i: f64| {
             let x = (vv + rs * i) / nvt;
             // Guard the exponential so the bracket endpoints stay finite.
             let e = x.min(120.0).exp();
@@ -221,10 +246,19 @@ impl SolarCell {
             let df = -i0 * (rs / nvt) * e - rs / rp - 1.0;
             (f, df)
         };
+        if let Some(seed) = seed {
+            if seed.is_finite() {
+                if let Ok(sol) = solve(&mut residual, seed, NewtonOptions::new()) {
+                    if sol.root.is_finite() {
+                        return Ok(Amps::new(sol.root));
+                    }
+                }
+            }
+        }
         // Monotone decreasing residual: bracket generously on both sides.
         let hi = il + 1.0;
         let lo = -(20.0 * il.max(0.05) + vv.abs() / rp + 1.0);
-        let sol = solve_bracketed(residual, lo, hi, NewtonOptions::new())?;
+        let sol = solve_bracketed(&mut residual, lo, hi, NewtonOptions::new())?;
         Ok(Amps::new(sol.root))
     }
 
@@ -428,7 +462,41 @@ mod tests {
         assert!((p_half / p_base - 0.5).abs() < 0.02, "ratio {}", p_half / p_base);
     }
 
+    #[test]
+    fn seeded_solve_is_deterministic_and_survives_bad_seeds() {
+        let cell = SolarCell::odroid_array();
+        let v = Volts::new(5.3);
+        let a = cell.current_seeded(v, FULL_SUN, Some(1.0)).unwrap();
+        let b = cell.current_seeded(v, FULL_SUN, Some(1.0)).unwrap();
+        assert_eq!(a.value().to_bits(), b.value().to_bits(), "warm start must be reproducible");
+        // Non-finite and wildly wrong seeds fall back to the cold path.
+        for seed in [f64::NAN, f64::INFINITY, -1e12, 1e12] {
+            let i = cell.current_seeded(v, FULL_SUN, Some(seed)).unwrap();
+            assert!((i.value() - a.value()).abs() < 1e-8, "seed {seed} → {i}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn warm_started_newton_matches_cold_start(
+            v in 0.0f64..6.7, g in 0.0f64..1200.0, dv in -0.3f64..0.3,
+        ) {
+            // Seed with the root of a nearby operating point, exactly
+            // as the engine's previous-step warm start does.
+            let cell = SolarCell::odroid_array();
+            let g = WattsPerSquareMeter::new(g);
+            let seed = cell
+                .current(Volts::new((v + dv).clamp(0.0, 6.7)), g)
+                .unwrap()
+                .value();
+            let cold = cell.current(Volts::new(v), g).unwrap().value();
+            let warm = cell.current_seeded(Volts::new(v), g, Some(seed)).unwrap().value();
+            prop_assert!(
+                (warm - cold).abs() <= 1e-8,
+                "cold {cold} vs warm {warm} (seed {seed})"
+            );
+        }
+
         #[test]
         fn current_monotone_decreasing_in_voltage(
             v1 in 0.0f64..6.5, dv in 0.01f64..0.5, g in 50.0f64..1200.0,

@@ -1,0 +1,402 @@
+//! Pretabulated PV operating surface with bilinear interpolation.
+//!
+//! Solving the implicit single-diode equation (paper Eq. 4) with
+//! safeguarded Newton at every ODE derivative evaluation dominates the
+//! simulation engine's hot path. A [`PanelSurface`] trades that online
+//! re-solve for a table lookup: the terminal current is tabulated once
+//! on a (voltage × irradiance) grid and queries interpolate bilinearly
+//! between the four surrounding nodes.
+//!
+//! The surface is *validated at build time*: the grid is refined until
+//! the interpolant's error against the exact Newton model — measured at
+//! every grid-cell midpoint, where bilinear error peaks — is within the
+//! caller's tolerance, and the measured bound is stored on the surface
+//! ([`PanelSurface::max_error`]). Queries outside the tabulated domain
+//! (voltages past the grid ceiling, irradiance beyond
+//! [`DOMAIN_G_MAX`]) silently fall back to the exact solver, so a
+//! surface is always a *refinement* of [`SolarCell::current`], never a
+//! truncation of its domain.
+//!
+//! Use a surface where throughput matters and amp-level tolerances are
+//! acceptable (campaign sweeps over thousands of cells); keep the exact
+//! model for golden traces and paper-figure reproduction, where bitwise
+//! stability of every sample is the contract.
+//!
+//! # Examples
+//!
+//! ```
+//! use pn_circuit::solar::SolarCell;
+//! use pn_circuit::surface::PanelSurface;
+//! use pn_units::{Amps, Volts, WattsPerSquareMeter};
+//!
+//! # fn main() -> Result<(), pn_circuit::CircuitError> {
+//! let cell = SolarCell::odroid_array();
+//! let surface = PanelSurface::build(&cell, Amps::new(1e-3))?;
+//! let g = WattsPerSquareMeter::new(800.0);
+//! let fast = surface.current(Volts::new(5.0), g)?;
+//! let exact = cell.current(Volts::new(5.0), g)?;
+//! assert!((fast - exact).value().abs() <= 1e-3);
+//! assert!(surface.max_error() <= surface.tolerance());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::solar::SolarCell;
+use crate::CircuitError;
+use pn_units::{Amps, Volts, WattsPerSquareMeter};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Upper edge of the tabulated irradiance axis. Queries above it fall
+/// back to the exact solver; terrestrial irradiance stays below this
+/// even with cloud-edge lensing.
+pub const DOMAIN_G_MAX: f64 = 1200.0;
+
+/// Voltage headroom tabulated above the open-circuit voltage at
+/// [`DOMAIN_G_MAX`], so the negative-current region that pins a
+/// directly-coupled system below `Voc` is still on the fast path.
+const V_HEADROOM: f64 = 0.25;
+
+/// Initial voltage-axis node count (doubled until validation passes).
+const INITIAL_V_NODES: usize = 65;
+/// Initial irradiance-axis node count (doubled until validation passes).
+const INITIAL_G_NODES: usize = 33;
+/// Hard ceiling on nodes per axis; tolerances unreachable within it are
+/// rejected rather than silently degraded.
+const MAX_NODES: usize = 2049;
+
+/// A pretabulated, validated interpolation surface over the
+/// single-diode terminal current `I(V, G)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelSurface {
+    cell: SolarCell,
+    tolerance: f64,
+    max_error: f64,
+    v_max: f64,
+    g_max: f64,
+    nv: usize,
+    ng: usize,
+    dv: f64,
+    dg: f64,
+    /// Row-major `ng × nv` node currents: `table[gi * nv + vi]`.
+    table: Vec<f64>,
+}
+
+impl PanelSurface {
+    /// Tabulates `cell` until bilinear interpolation is within
+    /// `tolerance` amps of the exact Newton solve everywhere on the
+    /// grid (validated at every grid-cell midpoint with a 2× safety
+    /// margin, so off-node queries stay inside the declared bound).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::InvalidArgument`] for a non-positive or
+    ///   non-finite tolerance, or one unreachable within the grid
+    ///   budget,
+    /// * solver errors from the exact model (practically unreachable
+    ///   for the calibrated presets).
+    pub fn build(cell: &SolarCell, tolerance: Amps) -> Result<Self, CircuitError> {
+        let tol = tolerance.value();
+        if !(tol > 0.0) || !tol.is_finite() {
+            return Err(CircuitError::InvalidArgument(
+                "surface tolerance must be positive and finite",
+            ));
+        }
+        let g_max = DOMAIN_G_MAX;
+        let voc = cell.open_circuit_voltage(WattsPerSquareMeter::new(g_max))?;
+        let v_max = voc.value() + V_HEADROOM;
+        let (mut nv, mut ng) = (INITIAL_V_NODES, INITIAL_G_NODES);
+        loop {
+            let mut surface = Self::tabulate(cell, tol, v_max, g_max, nv, ng)?;
+            let error = surface.validate()?;
+            if error <= 0.5 * tol {
+                surface.max_error = error;
+                return Ok(surface);
+            }
+            if nv >= MAX_NODES && ng >= MAX_NODES {
+                return Err(CircuitError::InvalidArgument(
+                    "surface tolerance unreachable within the grid budget",
+                ));
+            }
+            nv = ((nv - 1) * 2 + 1).min(MAX_NODES);
+            ng = ((ng - 1) * 2 + 1).min(MAX_NODES);
+        }
+    }
+
+    /// A process-wide shared surface for `(cell, tolerance)`, built on
+    /// first use and reused afterwards — campaign cells running the
+    /// same panel pay the tabulation cost once per process, not once
+    /// per simulation. The cache key is the exact bit pattern of the
+    /// cell parameters and the tolerance, so distinct panels never
+    /// alias.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PanelSurface::build`] failures.
+    pub fn shared(cell: &SolarCell, tolerance: Amps) -> Result<Arc<PanelSurface>, CircuitError> {
+        /// Bit patterns of the five cell parameters plus the tolerance.
+        type CacheKey = [u64; 6];
+        type Cache = Mutex<Vec<(CacheKey, Arc<PanelSurface>)>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let p = cell.params();
+        let key = [
+            p.il_ref.value().to_bits(),
+            p.i0.value().to_bits(),
+            p.rs.value().to_bits(),
+            p.rp.value().to_bits(),
+            p.n_vt.value().to_bits(),
+            tolerance.value().to_bits(),
+        ];
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        let mut entries = cache.lock().expect("surface cache poisoned");
+        if let Some((_, surface)) = entries.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(surface));
+        }
+        // Build under the lock: concurrent first users of the same key
+        // would otherwise race to duplicate an expensive tabulation.
+        let surface = Arc::new(Self::build(cell, tolerance)?);
+        entries.push((key, Arc::clone(&surface)));
+        Ok(surface)
+    }
+
+    fn tabulate(
+        cell: &SolarCell,
+        tol: f64,
+        v_max: f64,
+        g_max: f64,
+        nv: usize,
+        ng: usize,
+    ) -> Result<Self, CircuitError> {
+        let dv = v_max / (nv - 1) as f64;
+        let dg = g_max / (ng - 1) as f64;
+        let mut table = Vec::with_capacity(nv * ng);
+        for gi in 0..ng {
+            let g = WattsPerSquareMeter::new(gi as f64 * dg);
+            // Warm-start each row from the previous node: the current
+            // varies slowly along the voltage axis.
+            let mut seed = None;
+            for vi in 0..nv {
+                let i = cell.current_seeded(Volts::new(vi as f64 * dv), g, seed)?.value();
+                seed = Some(i);
+                table.push(i);
+            }
+        }
+        Ok(Self {
+            cell: *cell,
+            tolerance: tol,
+            max_error: 0.0,
+            v_max,
+            g_max,
+            nv,
+            ng,
+            dv,
+            dg,
+            table,
+        })
+    }
+
+    /// Measures the worst interpolation error at every grid-cell
+    /// midpoint (the maximum of the bilinear error for a smooth
+    /// surface).
+    fn validate(&self) -> Result<f64, CircuitError> {
+        let mut worst = 0.0f64;
+        for gi in 0..self.ng - 1 {
+            let g = (gi as f64 + 0.5) * self.dg;
+            let mut seed = None;
+            for vi in 0..self.nv - 1 {
+                let v = (vi as f64 + 0.5) * self.dv;
+                let exact = self
+                    .cell
+                    .current_seeded(Volts::new(v), WattsPerSquareMeter::new(g), seed)?
+                    .value();
+                seed = Some(exact);
+                worst = worst.max((self.bilinear(v, g) - exact).abs());
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Bilinear interpolation; caller guarantees `0 ≤ v ≤ v_max` and
+    /// `0 ≤ g ≤ g_max`.
+    fn bilinear(&self, v: f64, g: f64) -> f64 {
+        let x = (v / self.dv).min((self.nv - 1) as f64);
+        let y = (g / self.dg).min((self.ng - 1) as f64);
+        let vi = (x as usize).min(self.nv - 2);
+        let gi = (y as usize).min(self.ng - 2);
+        let tx = x - vi as f64;
+        let ty = y - gi as f64;
+        let base = gi * self.nv + vi;
+        let i00 = self.table[base];
+        let i10 = self.table[base + 1];
+        let i01 = self.table[base + self.nv];
+        let i11 = self.table[base + self.nv + 1];
+        i00 * (1.0 - tx) * (1.0 - ty)
+            + i10 * tx * (1.0 - ty)
+            + i01 * (1.0 - tx) * ty
+            + i11 * tx * ty
+    }
+
+    /// Terminal current at voltage `v` and irradiance `g`: bilinear
+    /// interpolation inside the tabulated domain, the exact Newton
+    /// solve outside it (negative irradiance clamps to dark, exactly
+    /// like [`SolarCell::current`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidArgument`] for non-finite voltages;
+    /// solver errors only on the out-of-domain fallback path.
+    pub fn current(&self, v: Volts, g: WattsPerSquareMeter) -> Result<Amps, CircuitError> {
+        if !v.is_finite() {
+            return Err(CircuitError::InvalidArgument("terminal voltage must be finite"));
+        }
+        let vv = v.value();
+        let gg = g.value().max(0.0);
+        if !(0.0..=self.v_max).contains(&vv) || !(gg <= self.g_max) {
+            return self.cell.current(v, g);
+        }
+        Ok(Amps::new(self.bilinear(vv, gg)))
+    }
+
+    /// Power delivered at voltage `v` and irradiance `g`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`PanelSurface::current`].
+    pub fn power(&self, v: Volts, g: WattsPerSquareMeter) -> Result<pn_units::Watts, CircuitError> {
+        Ok(v * self.current(v, g)?)
+    }
+
+    /// The cell the surface was tabulated from.
+    pub fn cell(&self) -> &SolarCell {
+        &self.cell
+    }
+
+    /// The tolerance the surface was built to honour.
+    pub fn tolerance(&self) -> Amps {
+        Amps::new(self.tolerance)
+    }
+
+    /// The worst interpolation error measured during build-time
+    /// validation (always at most [`PanelSurface::tolerance`]).
+    pub fn max_error(&self) -> Amps {
+        Amps::new(self.max_error)
+    }
+
+    /// Grid node counts as `(voltage, irradiance)`.
+    pub fn nodes(&self) -> (usize, usize) {
+        (self.nv, self.ng)
+    }
+
+    /// Upper edge of the tabulated voltage axis.
+    pub fn v_max(&self) -> Volts {
+        Volts::new(self.v_max)
+    }
+
+    /// Upper edge of the tabulated irradiance axis.
+    pub fn g_max(&self) -> WattsPerSquareMeter {
+        WattsPerSquareMeter::new(self.g_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn surface(tol: f64) -> PanelSurface {
+        PanelSurface::build(&SolarCell::odroid_array(), Amps::new(tol)).unwrap()
+    }
+
+    #[test]
+    fn build_validates_against_the_exact_model() {
+        let s = surface(1e-3);
+        assert!(s.max_error() <= s.tolerance(), "max error {} > tol", s.max_error());
+        assert!(s.max_error().value() > 0.0, "validation must have measured something");
+        let (nv, ng) = s.nodes();
+        assert!(nv >= INITIAL_V_NODES && ng >= INITIAL_G_NODES);
+    }
+
+    #[test]
+    fn tighter_tolerances_refine_the_grid() {
+        let coarse = surface(5e-3);
+        let fine = surface(1e-4);
+        assert!(fine.nodes().0 >= coarse.nodes().0);
+        assert!(fine.max_error() <= fine.tolerance());
+    }
+
+    #[test]
+    fn invalid_tolerances_are_rejected() {
+        let cell = SolarCell::odroid_array();
+        for tol in [0.0, -1e-3, f64::NAN, f64::INFINITY] {
+            assert!(PanelSurface::build(&cell, Amps::new(tol)).is_err(), "tol {tol}");
+        }
+    }
+
+    #[test]
+    fn out_of_domain_queries_fall_back_to_exact() {
+        let s = surface(1e-3);
+        let cell = SolarCell::odroid_array();
+        let cases = [
+            (s.v_max().value() + 0.5, 800.0), // above the voltage ceiling
+            (-0.1, 800.0),                    // below the voltage floor
+            (5.0, DOMAIN_G_MAX + 300.0),      // above the irradiance ceiling
+        ];
+        for (v, g) in cases {
+            let fast = s.current(Volts::new(v), WattsPerSquareMeter::new(g)).unwrap();
+            let exact = cell.current(Volts::new(v), WattsPerSquareMeter::new(g)).unwrap();
+            assert_eq!(
+                fast.value().to_bits(),
+                exact.value().to_bits(),
+                "({v}, {g}) must take the exact path"
+            );
+        }
+        assert!(s.current(Volts::new(f64::NAN), WattsPerSquareMeter::new(500.0)).is_err());
+        // Negative irradiance clamps into the grid's dark column,
+        // exactly as the exact model clamps its light current.
+        let dark_neg = s.current(Volts::new(5.0), WattsPerSquareMeter::new(-20.0)).unwrap();
+        let dark = s.current(Volts::new(5.0), WattsPerSquareMeter::ZERO).unwrap();
+        assert_eq!(dark_neg.value().to_bits(), dark.value().to_bits());
+    }
+
+    #[test]
+    fn shared_surfaces_are_cached_per_cell_and_tolerance() {
+        let cell = SolarCell::odroid_array();
+        let a = PanelSurface::shared(&cell, Amps::new(2e-3)).unwrap();
+        let b = PanelSurface::shared(&cell, Amps::new(2e-3)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one tabulation");
+        let other = PanelSurface::shared(&cell, Amps::new(3e-3)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other), "distinct tolerances must not alias");
+        let small = PanelSurface::shared(&SolarCell::small_cell(), Amps::new(2e-3)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &small), "distinct cells must not alias");
+    }
+
+    proptest! {
+        // The tentpole accuracy contract: everywhere on the paper's
+        // operating domain, for both calibrated presets, the surface
+        // stays within its declared tolerance of the exact solve.
+        #[test]
+        fn odroid_surface_is_within_tolerance(v in 0.0f64..6.8, g in 0.0f64..1200.0) {
+            let s = PanelSurface::shared(&SolarCell::odroid_array(), Amps::new(1e-3)).unwrap();
+            let v = Volts::new(v.min(s.v_max().value()));
+            let g = WattsPerSquareMeter::new(g);
+            let fast = s.current(v, g).unwrap().value();
+            let exact = SolarCell::odroid_array().current(v, g).unwrap().value();
+            prop_assert!(
+                (fast - exact).abs() <= s.tolerance().value(),
+                "|{fast} - {exact}| > {} at ({v}, {g})", s.tolerance()
+            );
+        }
+
+        #[test]
+        fn small_cell_surface_is_within_tolerance(v in 0.0f64..6.8, g in 0.0f64..1200.0) {
+            let s = PanelSurface::shared(&SolarCell::small_cell(), Amps::new(1e-3)).unwrap();
+            let v = Volts::new(v.min(s.v_max().value()));
+            let g = WattsPerSquareMeter::new(g);
+            let fast = s.current(v, g).unwrap().value();
+            let exact = SolarCell::small_cell().current(v, g).unwrap().value();
+            prop_assert!(
+                (fast - exact).abs() <= s.tolerance().value(),
+                "|{fast} - {exact}| > {} at ({v}, {g})", s.tolerance()
+            );
+        }
+    }
+}

@@ -95,20 +95,34 @@ impl IrradianceTrace {
 
     /// Irradiance at time `t` (linear interpolation, clamped to the
     /// first/last sample outside the span).
+    ///
+    /// Random access: every call binary-searches the interior samples.
+    /// For the engine's (mostly) forward-in-time query pattern,
+    /// [`IrradianceTrace::cursor`] answers the same queries in
+    /// amortized O(1) with bitwise-identical results.
     pub fn sample(&self, t: Seconds) -> WattsPerSquareMeter {
         let s = &self.samples;
+        let last = s.len() - 1;
+        // Clamp branches hoisted ahead of the search: boundary queries
+        // (constant traces, spans starting at the first sample time)
+        // never pay for a binary search.
+        if t >= s[last].0 {
+            return s[last].1;
+        }
         if t <= s[0].0 {
             return s[0].1;
         }
-        if t >= s[s.len() - 1].0 {
-            return s[s.len() - 1].1;
-        }
-        // Binary search for the surrounding pair.
-        let idx = s.partition_point(|(ts, _)| *ts <= t);
-        let (t0, g0) = s[idx - 1];
-        let (t1, g1) = s[idx];
-        let alpha = (t - t0) / (t1 - t0);
-        g0 + (g1 - g0) * alpha
+        // Binary search the *interior* samples only — both endpoints
+        // were settled above, so the search never re-scans the head or
+        // tail even when queries sit exactly on the leading timestamps.
+        let idx = 1 + s[1..last].partition_point(|(ts, _)| *ts <= t);
+        interpolate(s[idx - 1], s[idx], t)
+    }
+
+    /// A sequential sampler positioned at the start of this trace (see
+    /// [`IrradianceCursor`]).
+    pub fn cursor(&self) -> IrradianceCursor {
+        IrradianceCursor::new()
     }
 
     /// First sample time.
@@ -169,6 +183,96 @@ impl IrradianceTrace {
     pub fn scaled(&self, factor: f64) -> Self {
         assert!(factor >= 0.0 && factor.is_finite(), "scale factor must be non-negative");
         Self { samples: self.samples.iter().map(|(t, g)| (*t, *g * factor)).collect() }
+    }
+}
+
+/// Linear interpolation on one segment (shared by the random-access
+/// and cursor paths so both produce bit-identical results).
+#[inline]
+fn interpolate(
+    (t0, g0): (Seconds, WattsPerSquareMeter),
+    (t1, g1): (Seconds, WattsPerSquareMeter),
+    t: Seconds,
+) -> WattsPerSquareMeter {
+    let alpha = (t - t0) / (t1 - t0);
+    g0 + (g1 - g0) * alpha
+}
+
+/// Amortized-O(1) sequential sampler over an [`IrradianceTrace`].
+///
+/// The simulation engine queries irradiance at times that advance
+/// monotonically except for short backtracks when the ODE solver
+/// rejects a trial step. A cursor remembers which segment answered the
+/// previous query and walks forward from there, so a whole day of
+/// forward queries costs O(n) total instead of O(n·log n); backward
+/// queries fall back to the same interior binary search
+/// [`IrradianceTrace::sample`] uses. Every query returns a result
+/// bitwise identical to `sample`, in any order.
+///
+/// The cursor holds no reference to the trace — pass the trace to each
+/// [`IrradianceCursor::sample`] call. Positions are only meaningful
+/// against one trace; reuse across traces is safe (the hint is
+/// clamped) but forfeits the O(1) amortization.
+///
+/// # Examples
+///
+/// ```
+/// use pn_harvest::irradiance::IrradianceTrace;
+/// use pn_units::{Seconds, WattsPerSquareMeter};
+///
+/// # fn main() -> Result<(), pn_harvest::HarvestError> {
+/// let trace = IrradianceTrace::new(vec![
+///     (Seconds::new(0.0), WattsPerSquareMeter::new(0.0)),
+///     (Seconds::new(10.0), WattsPerSquareMeter::new(1000.0)),
+/// ])?;
+/// let mut cursor = trace.cursor();
+/// for k in 0..100 {
+///     let t = Seconds::new(k as f64 * 0.1);
+///     assert_eq!(cursor.sample(&trace, t), trace.sample(t));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IrradianceCursor {
+    /// Index `k` of the segment `[t_k, t_{k+1})` that answered the
+    /// previous query.
+    segment: usize,
+}
+
+impl IrradianceCursor {
+    /// A cursor positioned at the start of a trace.
+    pub fn new() -> Self {
+        Self { segment: 0 }
+    }
+
+    /// Irradiance at time `t`, bitwise identical to
+    /// [`IrradianceTrace::sample`] — O(1) amortized for non-decreasing
+    /// query times.
+    pub fn sample(&mut self, trace: &IrradianceTrace, t: Seconds) -> WattsPerSquareMeter {
+        let s = &trace.samples;
+        let last = s.len() - 1;
+        if t >= s[last].0 {
+            self.segment = last.saturating_sub(1);
+            return s[last].1;
+        }
+        if t <= s[0].0 {
+            self.segment = 0;
+            return s[0].1;
+        }
+        // Interior query: locate k with t_k <= t < t_{k+1}.
+        let mut k = self.segment.min(last - 1);
+        if s[k].0 > t {
+            // Backtrack (rejected trial step): re-locate by the same
+            // interior binary search the random-access path uses.
+            k = s[1..last].partition_point(|(ts, _)| *ts <= t);
+        } else {
+            while k + 1 < last && s[k + 1].0 <= t {
+                k += 1;
+            }
+        }
+        self.segment = k;
+        interpolate(s[k], s[k + 1], t)
     }
 }
 
@@ -256,7 +360,88 @@ mod tests {
         assert_eq!(t.peak().value(), 150.0);
     }
 
+    #[test]
+    fn duplicate_leading_timestamps_are_rejected_and_boundaries_resolve_without_search() {
+        // Strictly-increasing validation means a truly duplicated
+        // leading timestamp can never be constructed…
+        assert!(IrradianceTrace::new(vec![
+            (Seconds::new(0.0), WattsPerSquareMeter::new(1.0)),
+            (Seconds::new(0.0), WattsPerSquareMeter::new(2.0)),
+            (Seconds::new(1.0), WattsPerSquareMeter::new(3.0)),
+        ])
+        .is_err());
+        // …so the adversarial case for the hoisted clamps is a leading
+        // pair separated by one ULP, with queries landing exactly on
+        // those (to double precision, "duplicate") timestamps. Both
+        // must resolve from the clamp/interior-search fast path, not by
+        // re-scanning ambiguous equal-key runs.
+        let t0 = 1.0f64;
+        let t1 = f64::from_bits(t0.to_bits() + 1);
+        let trace = IrradianceTrace::new(vec![
+            (Seconds::new(t0), WattsPerSquareMeter::new(100.0)),
+            (Seconds::new(t1), WattsPerSquareMeter::new(200.0)),
+            (Seconds::new(2.0), WattsPerSquareMeter::new(300.0)),
+        ])
+        .unwrap();
+        assert_eq!(trace.sample(Seconds::new(t0)).value(), 100.0);
+        assert_eq!(trace.sample(Seconds::new(t1)).value(), 200.0);
+        assert_eq!(trace.sample(Seconds::new(2.0)).value(), 300.0);
+        let mut cursor = trace.cursor();
+        for t in [t0, t1, 1.5, t1, t0, 2.0, 5.0] {
+            assert_eq!(cursor.sample(&trace, Seconds::new(t)), trace.sample(Seconds::new(t)));
+        }
+    }
+
+    #[test]
+    fn cursor_matches_sample_on_forward_walks() {
+        let trace = simple();
+        let mut cursor = trace.cursor();
+        for k in 0..600 {
+            let t = Seconds::new(-5.0 + k as f64 * 0.05);
+            let got = cursor.sample(&trace, t);
+            let want = trace.sample(t);
+            assert_eq!(got.value().to_bits(), want.value().to_bits(), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn cursor_survives_backtracks_and_stale_hints() {
+        let trace = simple();
+        let mut cursor = trace.cursor();
+        // Advance deep into the trace, then replay an earlier window —
+        // the rejected-trial-step pattern of the adaptive ODE solver.
+        assert_eq!(cursor.sample(&trace, Seconds::new(19.0)), trace.sample(Seconds::new(19.0)));
+        for t in [3.0, 12.0, 4.0, 0.0, 19.9, 7.5, -2.0, 25.0, 15.0] {
+            let t = Seconds::new(t);
+            assert_eq!(cursor.sample(&trace, t), trace.sample(t), "t = {t}");
+        }
+        // A hint left past the end of a shorter trace is clamped.
+        let short = IrradianceTrace::constant(
+            Seconds::ZERO,
+            Seconds::new(1.0),
+            WattsPerSquareMeter::new(7.0),
+        )
+        .unwrap();
+        assert_eq!(cursor.sample(&short, Seconds::new(0.5)).value(), 7.0);
+    }
+
     proptest! {
+        #[test]
+        fn cursor_and_sample_agree_on_any_query_order(
+            queries in proptest::collection::vec(-5.0f64..30.0, 1..40),
+        ) {
+            let trace = simple();
+            let mut cursor = trace.cursor();
+            for q in queries {
+                let t = Seconds::new(q);
+                prop_assert_eq!(
+                    cursor.sample(&trace, t).value().to_bits(),
+                    trace.sample(t).value().to_bits(),
+                    "t = {}", t
+                );
+            }
+        }
+
         #[test]
         fn sample_is_within_trace_bounds(query in -10.0f64..40.0) {
             let t = simple();

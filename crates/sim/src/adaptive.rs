@@ -62,6 +62,7 @@
 //! ```
 
 use crate::campaign::{CampaignReport, CampaignSpec, CellOutcome, GovernorSpec};
+use crate::engine::SimOverrides;
 use crate::executor::Executor;
 use crate::SimError;
 use pn_core::params::ControlParams;
@@ -203,6 +204,7 @@ struct Probe {
     seeds: Vec<u64>,
     params: Vec<ControlParams>,
     duration: Seconds,
+    options: Option<SimOverrides>,
     lo_mf: Option<f64>,
     hi_mf: Option<f64>,
     status: BracketStatus,
@@ -223,6 +225,7 @@ impl Probe {
             seeds: Vec::new(),
             params: Vec::new(),
             duration: Seconds::ZERO,
+            options: None,
             lo_mf: None,
             hi_mf: None,
             status: BracketStatus::Bisecting,
@@ -286,6 +289,9 @@ impl Probe {
             governors: vec![self.governor],
             params: self.params.clone(),
             duration: self.duration,
+            // Probe cells replay the seed report's engine options, so
+            // a fast interpolated sweep refines with the same model.
+            options: self.options.unwrap_or_default(),
         }
     }
 
@@ -389,6 +395,9 @@ impl AdaptiveCampaign {
         }
         if probe.duration.value() == 0.0 {
             probe.duration = cell.duration;
+        }
+        if probe.options.is_none() {
+            probe.options = Some(cell.options);
         }
         index
     }

@@ -28,8 +28,10 @@
 //! # }
 //! ```
 
+use crate::engine::SimOverrides;
 use crate::executor::Executor;
 use crate::scenario::{self, Scenario};
+use crate::supply::SupplyModel;
 use crate::SimError;
 use pn_analysis::metrics::{fraction_within_band, time_integral};
 use pn_analysis::summary::Aggregate;
@@ -173,6 +175,10 @@ pub struct CampaignSpec {
     /// Simulated window per cell, measured from the day profile's
     /// start (10:30).
     pub duration: Seconds,
+    /// Per-cell [`SimOptions`](crate::engine::SimOptions) overrides
+    /// applied to every cell: supply model (exact vs interpolated),
+    /// recording decimation for very long windows, ODE step cap.
+    pub options: SimOverrides,
 }
 
 impl CampaignSpec {
@@ -190,6 +196,7 @@ impl CampaignSpec {
             governors: vec![GovernorSpec::PowerNeutral],
             params: vec![ControlParams::paper_optimal()?],
             duration: Seconds::new(60.0),
+            options: SimOverrides::none(),
         })
     }
 
@@ -249,6 +256,20 @@ impl CampaignSpec {
         self
     }
 
+    /// Replaces the per-cell engine-option overrides (builder style).
+    pub fn with_cell_options(mut self, options: SimOverrides) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Selects the supply evaluation model for every cell (builder
+    /// style); shorthand for the corresponding
+    /// [`CampaignSpec::with_cell_options`] override.
+    pub fn with_supply_model(mut self, model: SupplyModel) -> Self {
+        self.options.supply_model = Some(model);
+        self
+    }
+
     /// Number of cells the matrix enumerates.
     ///
     /// Only the power-neutral governor consumes [`ControlParams`], so
@@ -290,6 +311,7 @@ impl CampaignSpec {
                                 governor,
                                 params,
                                 duration: self.duration,
+                                options: self.options,
                             });
                         }
                     }
@@ -404,6 +426,10 @@ pub struct CampaignCell {
     pub params: ControlParams,
     /// Simulated window.
     pub duration: Seconds,
+    /// Engine-option overrides for this cell (supply model, recording
+    /// decimation, step cap); unset fields inherit the scenario's
+    /// defaults.
+    pub options: SimOverrides,
 }
 
 impl CampaignCell {
@@ -456,7 +482,20 @@ impl CampaignCell {
             }
             None => scenario::weather_day(self.weather, self.seed),
         };
-        Ok(day.with_duration(self.duration).with_buffer(buffer).with_params(self.params))
+        let mut built =
+            day.with_duration(self.duration).with_buffer(buffer).with_params(self.params);
+        if !self.options.is_none() {
+            let options = built.options().with_overrides(&self.options);
+            built = built.with_options(options);
+        }
+        Ok(built)
+    }
+
+    /// The supply model this cell runs under (its override, or the
+    /// engine default) — the token exported to campaign CSVs so merged
+    /// documents from mixed-model shards stay self-describing.
+    pub fn supply_model(&self) -> SupplyModel {
+        self.options.supply_model.unwrap_or_default()
     }
 
     /// Runs the cell and reduces the report to a [`CellOutcome`].
@@ -933,6 +972,7 @@ mod tests {
             governor: GovernorSpec::Powersave,
             params: ControlParams::paper_optimal().unwrap(),
             duration: Seconds::ZERO,
+            options: SimOverrides::none(),
         };
         assert!(bad_duration.scenario().is_err());
     }
@@ -1127,6 +1167,58 @@ mod tests {
     }
 
     #[test]
+    fn per_cell_options_propagate_and_mixed_model_merges_are_rejected() {
+        let exact = CampaignSpec::smoke().with_duration(Seconds::new(3.0));
+        let interp = exact.clone().with_supply_model(SupplyModel::interpolated());
+        assert!(exact.cells().iter().all(|c| c.supply_model() == SupplyModel::Exact));
+        assert!(interp
+            .cells()
+            .iter()
+            .all(|c| c.supply_model() == SupplyModel::interpolated()));
+        let executor = Executor::sequential();
+        let a = run_campaign(&exact, &executor).unwrap();
+        let b = run_campaign(&interp, &executor).unwrap();
+        // Interpolation must not flip any verdict on the smoke matrix.
+        for (x, y) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(x.survived, y.survived, "{} flipped", x.cell.label());
+        }
+        // Same matrix positions under different models: recomposition
+        // is rejected by the existing duplicate-cell overlap error.
+        // (Disjoint mixed-model shards merge by design; the CSV's
+        // supply_model column keeps such documents self-describing.)
+        let err = CampaignReport::merge([a, b]).unwrap_err();
+        assert!(matches!(err, SimError::Campaign(_)), "{err}");
+        assert!(err.to_string().contains("duplicate cell"), "{err}");
+    }
+
+    #[test]
+    fn record_dt_override_reaches_the_recorder() {
+        let cell = CampaignCell {
+            weather: Weather::FullSun,
+            seed: 1,
+            buffer_mf: 47.0,
+            governor: GovernorSpec::Powersave,
+            params: ControlParams::paper_optimal().unwrap(),
+            duration: Seconds::new(20.0),
+            options: SimOverrides::none(),
+        };
+        let dense = cell.scenario().unwrap();
+        // weather_day records every 5 s by default; decimate to 10 s.
+        let sparse_cell = CampaignCell {
+            options: SimOverrides::none().with_record_dt(Seconds::new(10.0)),
+            ..cell
+        };
+        let sparse = sparse_cell.scenario().unwrap();
+        assert_eq!(sparse.options().record_dt, Seconds::new(10.0));
+        assert_eq!(dense.options().record_dt, Seconds::new(5.0));
+        assert_eq!(
+            sparse.options().max_step,
+            dense.options().max_step,
+            "unset override fields must inherit"
+        );
+    }
+
+    #[test]
     fn cached_and_uncached_cells_agree() {
         let cell = CampaignCell {
             weather: Weather::Cloudy,
@@ -1135,6 +1227,7 @@ mod tests {
             governor: GovernorSpec::PowerNeutral,
             params: ControlParams::paper_optimal().unwrap(),
             duration: Seconds::new(8.0),
+            options: SimOverrides::none(),
         };
         let cache = TraceCache::new();
         let cached = cell.evaluate_with(Some(&cache)).unwrap();
@@ -1152,6 +1245,7 @@ mod tests {
             governor: GovernorSpec::PowerNeutral,
             params: ControlParams::paper_optimal().unwrap(),
             duration: Seconds::new(10.0),
+            options: SimOverrides::none(),
         };
         let label = cell.label();
         assert!(label.contains("storm"));

@@ -13,7 +13,7 @@
 
 use crate::recorder::{Recorder, Snapshot};
 use crate::runtime::SocRuntime;
-use crate::supply::Supply;
+use crate::supply::{Supply, SupplyModel, SupplyState};
 use crate::SimError;
 use pn_circuit::capacitor::Supercapacitor;
 use pn_circuit::events::{first_threshold_crossing, CrossingDirection};
@@ -25,6 +25,7 @@ use pn_soc::platform::Platform;
 use pn_soc::transition::{plan_transition, TransitionStrategy};
 use pn_units::{Seconds, Volts, Watts};
 use pn_workload::work::WorkAccount;
+use serde::{Deserialize, Serialize};
 
 /// Engine tunables.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +47,9 @@ pub struct SimOptions {
     pub housekeeping_cost: Seconds,
     /// Stop the simulation at brownout (Table II semantics).
     pub stop_on_brownout: bool,
+    /// How the PV operating point is evaluated on the hot path (exact
+    /// Newton, or the pretabulated interpolation surface).
+    pub supply_model: SupplyModel,
 }
 
 impl SimOptions {
@@ -60,6 +64,7 @@ impl SimOptions {
             housekeeping_period: Seconds::new(1.0),
             housekeeping_cost: Seconds::new(1.0e-3),
             stop_on_brownout: true,
+            supply_model: SupplyModel::Exact,
         }
     }
 
@@ -79,6 +84,71 @@ impl SimOptions {
     /// Sets the maximum ODE step (builder style).
     pub fn with_max_step(mut self, dt: Seconds) -> Self {
         self.max_step = dt;
+        self
+    }
+
+    /// Sets the supply evaluation model (builder style).
+    pub fn with_supply_model(mut self, model: SupplyModel) -> Self {
+        self.supply_model = model;
+        self
+    }
+
+    /// Applies per-cell overrides on top of these options (builder
+    /// style); unset override fields leave the option untouched.
+    pub fn with_overrides(mut self, overrides: &SimOverrides) -> Self {
+        if let Some(dt) = overrides.record_dt {
+            self.record_dt = dt;
+        }
+        if let Some(dt) = overrides.max_step {
+            self.max_step = dt;
+        }
+        if let Some(model) = overrides.supply_model {
+            self.supply_model = model;
+        }
+        self
+    }
+}
+
+/// Sparse per-cell overrides of [`SimOptions`], carried by campaign
+/// specs and cells so one matrix can mix recording decimation (very
+/// long windows), step caps and supply models without forking the
+/// scenario builders. `None` fields inherit the scenario's options.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimOverrides {
+    /// Override of [`SimOptions::record_dt`] (trace decimation).
+    pub record_dt: Option<Seconds>,
+    /// Override of [`SimOptions::max_step`].
+    pub max_step: Option<Seconds>,
+    /// Override of [`SimOptions::supply_model`].
+    pub supply_model: Option<SupplyModel>,
+}
+
+impl SimOverrides {
+    /// No overrides: every cell inherits its scenario's options.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no field overrides anything.
+    pub fn is_none(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Sets the supply model (builder style).
+    pub fn with_supply_model(mut self, model: SupplyModel) -> Self {
+        self.supply_model = Some(model);
+        self
+    }
+
+    /// Sets the recording interval (builder style).
+    pub fn with_record_dt(mut self, dt: Seconds) -> Self {
+        self.record_dt = Some(dt);
+        self
+    }
+
+    /// Sets the maximum ODE step (builder style).
+    pub fn with_max_step(mut self, dt: Seconds) -> Self {
+        self.max_step = Some(dt);
         self
     }
 }
@@ -236,7 +306,16 @@ impl Simulation {
             opts.housekeeping_cost.value() / opts.housekeeping_period.value().max(1e-9);
 
         let mut runtime = SocRuntime::new(self.platform.clone(), self.initial_opp);
-        let mut recorder = Recorder::new();
+        // Preallocate the trace from the known window and recording
+        // interval (plus slack for event snapshots); clamped so a
+        // degenerate record_dt cannot demand absurd memory up front.
+        let expected_snapshots = (((opts.t_end - opts.t_start).value()
+            / opts.record_dt.value().max(1e-9))
+        .ceil() as usize)
+            .saturating_add(16)
+            .min(1 << 22);
+        let mut recorder = Recorder::with_capacity(expected_snapshots);
+        let mut supply_state = SupplyState::new(&self.supply, opts.supply_model)?;
         let mut solver = Rk23::new(
             AdaptiveOptions::new()
                 .with_max_step(opts.max_step.value())
@@ -264,7 +343,16 @@ impl Simulation {
         let mut next_tick = self.governor.tick_period().map(|p| t + p.value());
         let mut recheck_at: Option<f64> = None;
 
-        record_snapshot(&mut recorder, &runtime, &self.monitor, &self.supply, t, vc, uses_irq)?;
+        record_snapshot(
+            &mut recorder,
+            &runtime,
+            &self.monitor,
+            &self.supply,
+            &mut supply_state,
+            t,
+            vc,
+            uses_irq,
+        )?;
         let mut next_record = t + opts.record_dt.value();
 
         let mut brownout_handled = !runtime.is_alive();
@@ -308,6 +396,7 @@ impl Simulation {
                 };
                 let outcome = advance(
                     &self.supply,
+                    &mut supply_state,
                     &self.buffer,
                     &mut solver,
                     p_load,
@@ -329,12 +418,13 @@ impl Simulation {
                     Some(CrossKind::Brownout) => {
                         runtime.brownout(Seconds::new(t));
                         brownout_handled = true;
-                        solver.reset_step();
+                        solver.notify_discontinuity();
                         record_snapshot(
                             &mut recorder,
                             &runtime,
                             &self.monitor,
                             &self.supply,
+                            &mut supply_state,
                             t,
                             vc,
                             uses_irq,
@@ -363,12 +453,13 @@ impl Simulation {
                         if changed {
                             recheck_at = Some(t + opts.rearm_delay.value());
                         }
-                        solver.reset_step();
+                        solver.notify_discontinuity();
                         record_snapshot(
                             &mut recorder,
                             &runtime,
                             &self.monitor,
                             &self.supply,
+                            &mut supply_state,
                             t,
                             vc,
                             uses_irq,
@@ -391,7 +482,7 @@ impl Simulation {
                 if finished {
                     recheck_at = Some(t + opts.rearm_delay.value());
                 }
-                solver.reset_step();
+                solver.notify_discontinuity();
             }
             if next_tick.is_some_and(|tk| (tk - t).abs() <= 1e-9) {
                 let period = self.governor.tick_period().expect("tick governor").value();
@@ -409,7 +500,7 @@ impl Simulation {
                         action,
                         Seconds::new(t),
                     )?;
-                    solver.reset_step();
+                    solver.notify_discontinuity();
                 }
             }
             if recheck_at.is_some_and(|r| (r - t).abs() <= 1e-9) {
@@ -440,18 +531,36 @@ impl Simulation {
                         if changed {
                             recheck_at = Some(t + opts.rearm_delay.value());
                         }
-                        solver.reset_step();
+                        solver.notify_discontinuity();
                     }
                 }
             }
             if t >= next_record - 1e-9 {
-                record_snapshot(&mut recorder, &runtime, &self.monitor, &self.supply, t, vc, uses_irq)?;
+                record_snapshot(
+                    &mut recorder,
+                    &runtime,
+                    &self.monitor,
+                    &self.supply,
+                    &mut supply_state,
+                    t,
+                    vc,
+                    uses_irq,
+                )?;
                 next_record = t + opts.record_dt.value();
             }
         }
 
         // Final snapshot at the stop time.
-        record_snapshot(&mut recorder, &runtime, &self.monitor, &self.supply, t, vc, uses_irq)?;
+        record_snapshot(
+            &mut recorder,
+            &runtime,
+            &self.monitor,
+            &self.supply,
+            &mut supply_state,
+            t,
+            vc,
+            uses_irq,
+        )?;
         let _ = brownout_handled;
 
         Ok(SimReport {
@@ -519,11 +628,13 @@ fn apply_action(
     Ok(changed)
 }
 
+#[allow(clippy::too_many_arguments)] // engine-internal plumbing
 fn record_snapshot(
     recorder: &mut Recorder,
     runtime: &SocRuntime,
     monitor: &VoltageMonitor,
     supply: &Supply,
+    supply_state: &mut SupplyState,
     t: f64,
     vc: f64,
     uses_irq: bool,
@@ -542,7 +653,7 @@ fn record_snapshot(
     };
     let power_in = match supply {
         Supply::Photovoltaic { .. } => {
-            let i = supply.current(Seconds::new(t), Volts::new(vc))?;
+            let i = supply_state.current(supply, Seconds::new(t), Volts::new(vc))?;
             Volts::new(vc) * i
         }
         Supply::Controlled { .. } => power_out,
@@ -576,6 +687,7 @@ fn record_snapshot(
 #[allow(clippy::too_many_arguments)]
 fn advance(
     supply: &Supply,
+    supply_state: &mut SupplyState,
     buffer: &Supercapacitor,
     solver: &mut Rk23,
     p_load: f64,
@@ -596,12 +708,13 @@ fn advance(
                 None => Ok(AdvanceOutcome { t: boundary, vc: f(boundary), event: None }),
             }
         }
-        Supply::Photovoltaic { cell, irradiance } => {
-            let mut solve_error: Option<pn_circuit::CircuitError> = None;
+        Supply::Photovoltaic { .. } => {
+            let mut solve_error: Option<SimError> = None;
             let mut deriv = |tt: f64, y: &[f64; 1]| -> [f64; 1] {
                 let v = y[0].max(0.05);
-                let g = irradiance.sample(Seconds::new(tt));
-                let i_in = match cell.current(Volts::new(v), g) {
+                // The supply fast path: monotone irradiance cursor plus
+                // warm-started Newton (or the interpolation surface).
+                let i_in = match supply_state.current(supply, Seconds::new(tt), Volts::new(v)) {
                     Ok(i) => i,
                     Err(e) => {
                         solve_error = Some(e);
@@ -613,11 +726,33 @@ fn advance(
             };
             let step = solver.step(&mut deriv, t, &[vc], boundary)?;
             if let Some(e) = solve_error {
-                return Err(SimError::Circuit(e));
+                return Err(e);
             }
+            // Rigorous range bound of the cubic Hermite dense output on
+            // this step: the Hermite value basis stays inside
+            // [min(y0,y1), max(y0,y1)] and the two tangent basis
+            // polynomials peak at 4/27, so thresholds outside the
+            // bound cannot be crossed — skip their subdivision scans
+            // entirely (the overwhelmingly common case). Detection on
+            // the remaining thresholds is bit-identical to scanning
+            // all of them.
+            let (y0, y1) = (step.y0[0], step.y1[0]);
+            let margin =
+                (4.0 / 27.0) * (step.t1 - step.t0) * (step.f0[0].abs() + step.f1[0].abs());
+            let reachable = |threshold: &f64| {
+                *threshold >= y0.min(y1) - margin && *threshold <= y0.max(y1) + margin
+            };
             let f = |tt: f64| step.interpolate(tt)[0];
             let subdivisions = 8;
-            let found = scan_crossings(&f, step.t0, step.t1, subdivisions, vmin, high, low)?;
+            let found = scan_crossings(
+                &f,
+                step.t0,
+                step.t1,
+                subdivisions,
+                vmin.filter(reachable),
+                high.filter(reachable),
+                low.filter(reachable),
+            )?;
             match found {
                 Some((tc, kind)) => Ok(AdvanceOutcome { t: tc, vc: f(tc), event: Some(kind) }),
                 None => Ok(AdvanceOutcome { t: step.t1, vc: step.y1[0], event: None }),
@@ -830,6 +965,82 @@ mod tests {
         assert!(report.duration().value() > 9.9);
         assert!(report.recorder().len() > 5);
         assert!(report.control_cpu_fraction() < 0.05);
+    }
+
+    #[test]
+    fn interpolated_model_tracks_the_exact_engine() {
+        let run = |model: SupplyModel| {
+            Simulation::new(
+                Platform::odroid_xu4(),
+                pv_supply(560.0, 30.0),
+                Supercapacitor::paper_buffer(),
+                VoltageMonitor::paper_board().unwrap(),
+                pn_governor(),
+                Opp::lowest(),
+                Volts::new(5.3),
+                SimOptions::new(Seconds::new(30.0)).with_supply_model(model),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let exact = run(SupplyModel::Exact);
+        let interp = run(SupplyModel::interpolated());
+        assert_eq!(exact.survived(), interp.survived(), "verdict must not flip");
+        assert!(
+            (exact.final_vc() - interp.final_vc()).value().abs() < 0.1,
+            "final vc drifted: {} vs {}",
+            exact.final_vc(),
+            interp.final_vc()
+        );
+        let ratio = interp.work().instructions() / exact.work().instructions();
+        assert!((0.95..=1.05).contains(&ratio), "work drifted: ratio {ratio}");
+        // And the interpolated engine replays itself bitwise.
+        assert_eq!(interp, run(SupplyModel::interpolated()));
+    }
+
+    #[test]
+    fn sim_overrides_apply_sparsely() {
+        let base = SimOptions::new(Seconds::new(10.0));
+        assert_eq!(base.supply_model, SupplyModel::Exact);
+        let overrides = SimOverrides::none()
+            .with_record_dt(Seconds::new(2.0))
+            .with_supply_model(SupplyModel::interpolated());
+        assert!(!overrides.is_none());
+        assert!(SimOverrides::none().is_none());
+        let merged = base.with_overrides(&overrides);
+        assert_eq!(merged.record_dt, Seconds::new(2.0));
+        assert_eq!(merged.supply_model, SupplyModel::interpolated());
+        // Unset fields inherit.
+        assert_eq!(merged.max_step, base.max_step);
+        assert_eq!(merged.t_end, base.t_end);
+    }
+
+    #[test]
+    fn record_dt_override_decimates_the_trace() {
+        let run = |overrides: SimOverrides| {
+            Simulation::new(
+                Platform::odroid_xu4(),
+                pv_supply(560.0, 10.0),
+                Supercapacitor::paper_buffer(),
+                VoltageMonitor::paper_board().unwrap(),
+                Box::new(Powersave::new()),
+                Opp::new(pn_soc::cores::CoreConfig::MAX, 0),
+                Volts::new(5.3),
+                SimOptions::new(Seconds::new(10.0)).with_overrides(&overrides),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let dense = run(SimOverrides::none()); // default 0.5 s grid
+        let sparse = run(SimOverrides::none().with_record_dt(Seconds::new(5.0)));
+        assert!(
+            sparse.recorder().len() * 2 < dense.recorder().len(),
+            "decimation had no effect: {} vs {}",
+            sparse.recorder().len(),
+            dense.recorder().len()
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! latencies and power draws feed back into the capacitor dynamics.
 //!
 //! * [`supply`] — the energy source (PV array × irradiance trace, or a
-//!   prescribed voltage waveform for the Fig. 11 bench test),
+//!   prescribed voltage waveform for the Fig. 11 bench test), plus the
+//!   engine's supply fast path: the `SupplyModel` knob (exact
+//!   warm-started Newton vs. the pretabulated interpolation surface)
+//!   and the per-simulation `SupplyState` that carries the monotone
+//!   irradiance cursor and the previous root,
 //! * [`runtime`] — the SoC runtime state: current OPP, in-flight
 //!   transitions, work and overhead accounting,
 //! * [`recorder`] — recorded traces (`VC`, frequency, cores, powers),

@@ -39,6 +39,8 @@
 use crate::campaign::{
     CampaignCell, CampaignReport, CampaignSpec, CellOutcome, GovernorSpec, GroupSummary,
 };
+use crate::engine::SimOverrides;
+use crate::supply::SupplyModel;
 use crate::SimError;
 use pn_analysis::csv::{write_campaign_csv, write_summary_csv, CampaignRow, SummaryRow};
 use pn_analysis::summary::Aggregate;
@@ -47,14 +49,23 @@ use pn_harvest::weather::Weather;
 use pn_units::{Seconds, Volts};
 use std::fmt::Write as _;
 
-const SPEC_HEADER: &str = "pn-campaign-spec v1";
-/// Written header: v2 added the optional `summary` section.
-const REPORT_HEADER: &str = "pn-campaign-report v2";
+/// Written spec header: v2 added the `options` line (per-cell
+/// [`SimOverrides`]).
+const SPEC_HEADER: &str = "pn-campaign-spec v2";
+/// Still-readable v1 spec header (documents written before per-cell
+/// options existed; they decode with no overrides).
+const SPEC_HEADER_V1: &str = "pn-campaign-spec v1";
+/// Written report header: v2 added the optional `summary` section, v3
+/// the per-cell options suffix on `cell` lines.
+const REPORT_HEADER: &str = "pn-campaign-report v3";
+/// Still-readable v2 header (documents written before per-cell
+/// options existed).
+const REPORT_HEADER_V2: &str = "pn-campaign-report v2";
 /// Still-readable v1 header (documents written before the summary
 /// section existed).
 const REPORT_HEADER_V1: &str = "pn-campaign-report v1";
 
-/// Serializes a campaign spec to the v1 wire format.
+/// Serializes a campaign spec to the v2 wire format.
 pub fn spec_to_string(spec: &CampaignSpec) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{SPEC_HEADER}");
@@ -81,11 +92,13 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
         );
     }
     let _ = writeln!(out, "duration {}", spec.duration.value());
+    let _ = writeln!(out, "options {}", overrides_fields(&spec.options));
     out.push_str("end\n");
     out
 }
 
-/// Decodes a campaign spec from the v1 wire format.
+/// Decodes a campaign spec from the wire format (v2, or v1 written
+/// before per-cell options existed).
 ///
 /// # Errors
 ///
@@ -93,7 +106,7 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
 /// parameter lines that fail [`ControlParams`] validation.
 pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     let mut lines = Lines::new(text);
-    lines.expect_header(&[SPEC_HEADER])?;
+    lines.expect_header(&[SPEC_HEADER, SPEC_HEADER_V1])?;
     let mut spec = CampaignSpec {
         weathers: Vec::new(),
         seeds: Vec::new(),
@@ -101,6 +114,7 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
         governors: Vec::new(),
         params: Vec::new(),
         duration: Seconds::ZERO,
+        options: SimOverrides::none(),
     };
     loop {
         let (no, line) = lines.next_line()?;
@@ -137,19 +151,24 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
                 let [d] = parse_array(no, rest)?;
                 spec.duration = Seconds::new(d);
             }
+            "options" => {
+                let tokens: Vec<&str> = rest.split_whitespace().collect();
+                spec.options = parse_overrides(no, &tokens)?;
+            }
             other => return Err(persist_err(no, format!("unknown spec key {other:?}"))),
         }
     }
     Ok(spec)
 }
 
-/// Serializes a (full or shard) campaign report to the v2 wire format.
+/// Serializes a (full or shard) campaign report to the v3 wire format.
 ///
-/// Besides one `cell` line per outcome, the document carries the
-/// report's per-weather and per-governor [`GroupSummary`] aggregates
-/// as `summary` lines, so a consumer can read fleet-level statistics
-/// without re-reducing the cells (the decoder cross-checks them
-/// against the cells it parsed).
+/// Besides one `cell` line per outcome — each carrying its per-cell
+/// [`SimOverrides`] as a three-token options suffix (v3) — the
+/// document carries the report's per-weather and per-governor
+/// [`GroupSummary`] aggregates as `summary` lines, so a consumer can
+/// read fleet-level statistics without re-reducing the cells (the
+/// decoder cross-checks them against the cells it parsed).
 pub fn report_to_string(report: &CampaignReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{REPORT_HEADER}");
@@ -158,7 +177,7 @@ pub fn report_to_string(report: &CampaignReport) -> String {
     for c in report.cells() {
         let _ = writeln!(
             out,
-            "cell {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            "cell {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
             c.cell.weather.slug(),
             c.cell.seed,
             c.cell.buffer_mf,
@@ -177,6 +196,7 @@ pub fn report_to_string(report: &CampaignReport) -> String {
             c.energy_out_joules,
             c.transitions,
             c.final_vc,
+            overrides_fields(&c.cell.options),
         );
     }
     for (kind, groups) in
@@ -212,8 +232,9 @@ fn aggregate_fields(agg: &Aggregate) -> String {
     )
 }
 
-/// Decodes a campaign report from the wire format (v2, or v1 written
-/// before the summary section existed). Every `f64` is
+/// Decodes a campaign report from the wire format (v3, or the v2/v1
+/// dialects written before per-cell options / the summary section
+/// existed — their cells decode with no overrides). Every `f64` is
 /// reproduced bitwise, so `report_from_str(&report_to_string(r)) == r`
 /// exactly.
 ///
@@ -230,7 +251,10 @@ fn aggregate_fields(agg: &Aggregate) -> String {
 /// inconsistent summary section).
 pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
     let mut lines = Lines::new(text);
-    lines.expect_header(&[REPORT_HEADER, REPORT_HEADER_V1])?;
+    let version = lines.expect_header(&[REPORT_HEADER, REPORT_HEADER_V2, REPORT_HEADER_V1])?;
+    // v3 documents always write the options suffix, so a cell line
+    // without one is truncation, not a legacy dialect.
+    let options_required = version == 0;
     let (no, line) = lines.next_line()?;
     let start: usize = parse_keyed(no, line, "start")?;
     let (no, line) = lines.next_line()?;
@@ -238,7 +262,7 @@ pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
     let mut cells = Vec::with_capacity(count);
     for _ in 0..count {
         let (no, line) = lines.next_line()?;
-        cells.push(parse_cell_line(no, line)?);
+        cells.push(parse_cell_line(no, line, options_required)?);
     }
     let mut by_weather: Vec<GroupSummary> = Vec::new();
     let mut by_governor: Vec<GroupSummary> = Vec::new();
@@ -326,7 +350,11 @@ fn parse_summary_line(no: usize, rest: &str) -> Result<(SummaryKind, GroupSummar
     ))
 }
 
-fn parse_cell_line(no: usize, line: &str) -> Result<CellOutcome, SimError> {
+fn parse_cell_line(
+    no: usize,
+    line: &str,
+    options_required: bool,
+) -> Result<CellOutcome, SimError> {
     let mut tok = line.split_whitespace();
     if tok.next() != Some("cell") {
         return Err(persist_err(no, "expected a cell line".into()));
@@ -358,22 +386,90 @@ fn parse_cell_line(no: usize, line: &str) -> Result<CellOutcome, SimError> {
         "0" => false,
         other => return Err(persist_err(no, format!("bad survived flag {other:?}"))),
     };
-    let outcome = CellOutcome {
-        cell: CampaignCell { weather, seed, buffer_mf, governor, params, duration },
-        survived,
-        lifetime_seconds: parse_token(no, next("lifetime")?)?,
-        vc_stability: parse_token(no, next("vc_stability")?)?,
-        instructions_billions: parse_token(no, next("instructions")?)?,
-        renders_per_minute: parse_token(no, next("renders")?)?,
-        energy_in_joules: parse_token(no, next("energy_in")?)?,
-        energy_out_joules: parse_token(no, next("energy_out")?)?,
-        transitions: parse_token(no, next("transitions")?)?,
-        final_vc: parse_token(no, next("final_vc")?)?,
+    let lifetime_seconds = parse_token(no, next("lifetime")?)?;
+    let vc_stability = parse_token(no, next("vc_stability")?)?;
+    let instructions_billions = parse_token(no, next("instructions")?)?;
+    let renders_per_minute = parse_token(no, next("renders")?)?;
+    let energy_in_joules = parse_token(no, next("energy_in")?)?;
+    let energy_out_joules = parse_token(no, next("energy_out")?)?;
+    let transitions = parse_token(no, next("transitions")?)?;
+    let final_vc = parse_token(no, next("final_vc")?)?;
+    // v3 appends the per-cell options (record_dt, max_step, supply
+    // model; `-` for unset). Pre-v3 lines simply end here and decode
+    // with no overrides; in a v3 document a bare 18-token line is a
+    // torn write, not a legacy dialect, and is rejected.
+    let rest: Vec<&str> = tok.collect();
+    let options = match rest.len() {
+        0 if !options_required => SimOverrides::none(),
+        0 => {
+            return Err(persist_err(no, "cell line missing its options section".into()));
+        }
+        3 => parse_overrides(no, &rest)?,
+        n => {
+            return Err(persist_err(
+                no,
+                format!("cell options section wants 3 tokens, found {n}"),
+            ));
+        }
     };
-    if tok.next().is_some() {
-        return Err(persist_err(no, "trailing tokens on cell line".into()));
-    }
-    Ok(outcome)
+    Ok(CellOutcome {
+        cell: CampaignCell { weather, seed, buffer_mf, governor, params, duration, options },
+        survived,
+        lifetime_seconds,
+        vc_stability,
+        instructions_billions,
+        renders_per_minute,
+        energy_in_joules,
+        energy_out_joules,
+        transitions,
+        final_vc,
+    })
+}
+
+/// The three wire tokens of a [`SimOverrides`] (`record_dt max_step
+/// supply_model`, each `-` when unset).
+fn overrides_fields(options: &SimOverrides) -> String {
+    let seconds = |s: Option<Seconds>| s.map_or("-".to_string(), |v| v.value().to_string());
+    format!(
+        "{} {} {}",
+        seconds(options.record_dt),
+        seconds(options.max_step),
+        options.supply_model.map_or("-".to_string(), |m| m.slug()),
+    )
+}
+
+/// Parses the three-token options section of a `cell` line or the
+/// spec's `options` line.
+fn parse_overrides(no: usize, tokens: &[&str]) -> Result<SimOverrides, SimError> {
+    let [record_dt, max_step, model] = tokens else {
+        return Err(persist_err(
+            no,
+            format!("options section wants 3 tokens, found {}", tokens.len()),
+        ));
+    };
+    let seconds = |token: &str| -> Result<Option<Seconds>, SimError> {
+        if token == "-" {
+            return Ok(None);
+        }
+        let value: f64 = parse_token(no, token)?;
+        if !(value > 0.0) || !value.is_finite() {
+            return Err(persist_err(no, format!("options interval {token:?} must be positive")));
+        }
+        Ok(Some(Seconds::new(value)))
+    };
+    let supply_model = if *model == "-" {
+        None
+    } else {
+        Some(
+            SupplyModel::from_slug(model)
+                .ok_or_else(|| persist_err(no, format!("unknown supply model {model:?}")))?,
+        )
+    };
+    Ok(SimOverrides {
+        record_dt: seconds(record_dt)?,
+        max_step: seconds(max_step)?,
+        supply_model,
+    })
 }
 
 /// Reduces a report to plain CSV rows (one per cell, matrix order),
@@ -387,6 +483,7 @@ pub fn campaign_rows(report: &CampaignReport) -> Vec<CampaignRow> {
             seed: c.cell.seed,
             buffer_mf: c.cell.buffer_mf,
             governor: c.cell.governor.slug(),
+            supply_model: c.cell.supply_model().slug(),
             survived: c.survived,
             lifetime_seconds: c.lifetime_seconds,
             vc_stability: c.vc_stability,
@@ -500,11 +597,13 @@ impl<'a> Lines<'a> {
         Err(SimError::Persist("unexpected end of document".into()))
     }
 
-    /// Accepts any of the given headers (current version first).
-    fn expect_header(&mut self, accepted: &[&str]) -> Result<(), SimError> {
+    /// Accepts any of the given headers (current version first) and
+    /// returns the index of the one matched, so the caller can apply
+    /// version-specific strictness.
+    fn expect_header(&mut self, accepted: &[&str]) -> Result<usize, SimError> {
         let (no, line) = self.next_line()?;
-        if accepted.contains(&line) {
-            return Ok(());
+        if let Some(index) = accepted.iter().position(|h| *h == line) {
+            return Ok(index);
         }
         // Distinguish version skew (right document type, wrong
         // version) from a wrong document altogether.
@@ -595,7 +694,7 @@ mod tests {
     fn malformed_documents_are_rejected_with_line_numbers() {
         let cases = [
             ("", "unexpected end"),
-            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v2\""),
+            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v3\""),
             ("pn-campaign-report v1\nstart 0\ncells 1\nend\n", "expected a cell line"),
             ("pn-campaign-report v1\nstart 0\ncells 0\nEND\n", "end marker"),
             ("pn-campaign-report v1\nstart zero\ncells 0\nend\n", "undecodable token"),
@@ -631,15 +730,15 @@ mod tests {
     #[test]
     fn version_skew_is_reported_as_a_persist_error() {
         let wire = report_to_string(&sample_report());
-        let skewed = wire.replacen("pn-campaign-report v2", "pn-campaign-report v3", 1);
+        let skewed = wire.replacen("pn-campaign-report v3", "pn-campaign-report v4", 1);
         let err = report_from_str(&skewed).unwrap_err();
         assert!(matches!(err, SimError::Persist(_)), "{err}");
         let msg = err.to_string();
         assert!(msg.contains("unsupported"), "{msg}");
-        assert!(msg.contains("v2"), "message {msg:?} does not name the supported version");
+        assert!(msg.contains("v3"), "message {msg:?} does not name the supported version");
         // Specs skew independently.
         let spec_doc = spec_to_string(&CampaignSpec::smoke());
-        let skewed = spec_doc.replacen("v1", "v7", 1);
+        let skewed = spec_doc.replacen("v2", "v7", 1);
         let err = spec_from_str(&skewed).unwrap_err();
         assert!(err.to_string().contains("unsupported"), "{err}");
     }
@@ -665,8 +764,141 @@ mod tests {
                 s
             });
         assert_eq!(report_from_str(&stripped).unwrap(), report);
-        let v1 = stripped.replacen("pn-campaign-report v2", "pn-campaign-report v1", 1);
+        let v1 = stripped.replacen("pn-campaign-report v3", "pn-campaign-report v1", 1);
         assert_eq!(report_from_str(&v1).unwrap(), report);
+    }
+
+    #[test]
+    fn pre_v3_documents_without_options_still_decode() {
+        // A genuine pre-v3 document: 18-token cell lines (no options
+        // suffix) under the v1 and v2 headers. Cells decode with no
+        // overrides.
+        let report = sample_report();
+        let wire = report_to_string(&report);
+        let legacy_cells: String = wire
+            .lines()
+            .filter(|l| !l.starts_with("summary "))
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("cell ") {
+                    let tokens: Vec<&str> = rest.split_whitespace().collect();
+                    assert_eq!(tokens.len(), 21, "v3 cell lines carry the options suffix");
+                    format!("cell {}\n", tokens[..18].join(" "))
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        for legacy_header in ["pn-campaign-report v1", "pn-campaign-report v2"] {
+            let doc = legacy_cells.replacen("pn-campaign-report v3", legacy_header, 1);
+            let decoded = report_from_str(&doc).unwrap();
+            assert_eq!(decoded, report, "{legacy_header} document drifted");
+            assert!(decoded
+                .cells()
+                .iter()
+                .all(|c| c.cell.options == SimOverrides::none()));
+        }
+        // Pre-v2 specs decode with no overrides too.
+        let spec = CampaignSpec::smoke();
+        let spec_doc = spec_to_string(&spec);
+        let legacy: String = spec_doc
+            .lines()
+            .filter(|l| !l.starts_with("options "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let legacy = legacy.replacen("pn-campaign-spec v2", "pn-campaign-spec v1", 1);
+        assert_eq!(spec_from_str(&legacy).unwrap(), spec);
+    }
+
+    #[test]
+    fn per_cell_options_round_trip_bitwise() {
+        let overrides = SimOverrides::none()
+            .with_record_dt(Seconds::new(0.1 + 0.2)) // awkward float
+            .with_supply_model(SupplyModel::Interpolated { tol: 1.0 / 3.0 });
+        let spec = CampaignSpec::smoke().with_cell_options(overrides);
+        assert_eq!(spec_from_str(&spec_to_string(&spec)).unwrap(), spec);
+        let cells: Vec<CellOutcome> = spec
+            .cells()
+            .iter()
+            .map(|&cell| CellOutcome {
+                cell,
+                survived: true,
+                lifetime_seconds: 30.0,
+                vc_stability: 0.5,
+                instructions_billions: 1.0,
+                renders_per_minute: 2.0,
+                energy_in_joules: 3.0,
+                energy_out_joules: 1.5,
+                transitions: 4,
+                final_vc: 5.3,
+            })
+            .collect();
+        let report = CampaignReport::from_parts(0, cells);
+        let decoded = report_from_str(&report_to_string(&report)).unwrap();
+        assert_eq!(decoded, report);
+        let cell = decoded.cells()[0].cell;
+        assert_eq!(cell.options, overrides);
+        assert_eq!(
+            cell.options.record_dt.unwrap().value().to_bits(),
+            (0.1f64 + 0.2).to_bits(),
+            "options floats must survive the trip bitwise"
+        );
+        // The CSV bridge exports the effective supply model slug.
+        let rows = campaign_rows(&report);
+        assert!(rows.iter().all(|r| r.supply_model == overrides.supply_model.unwrap().slug()));
+    }
+
+    #[test]
+    fn corrupted_options_sections_are_rejected() {
+        let overrides =
+            SimOverrides::none().with_supply_model(SupplyModel::Interpolated { tol: 1e-3 });
+        let spec = CampaignSpec::smoke().with_cell_options(overrides);
+        let cells: Vec<CellOutcome> = spec
+            .cells()
+            .iter()
+            .map(|&cell| CellOutcome {
+                cell,
+                survived: true,
+                lifetime_seconds: 30.0,
+                vc_stability: 0.5,
+                instructions_billions: 1.0,
+                renders_per_minute: 2.0,
+                energy_in_joules: 3.0,
+                energy_out_joules: 1.5,
+                transitions: 4,
+                final_vc: 5.3,
+            })
+            .collect();
+        let wire = report_to_string(&CampaignReport::from_parts(0, cells));
+        let cases = [
+            // Unknown supply-model token.
+            ("interp:0.001", "interp:fast", "unknown supply model"),
+            // Non-numeric record_dt in the options slot.
+            ("- - interp:0.001", "x - interp:0.001", "undecodable token"),
+            // Negative interval.
+            ("- - interp:0.001", "-4 - interp:0.001", "must be positive"),
+            // Wrong token count (options suffix torn in half).
+            ("- - interp:0.001", "- interp:0.001", "options section wants 3 tokens"),
+        ];
+        for (needle, replacement, expected) in cases {
+            let bad = wire.replacen(needle, replacement, 1);
+            assert_ne!(bad, wire, "tamper target {needle:?} not found");
+            let err = report_from_str(&bad).unwrap_err();
+            assert!(matches!(err, SimError::Persist(_)), "{err}");
+            assert!(err.to_string().contains(expected), "{replacement:?} → {err}");
+        }
+        // A v3 cell line torn right after the 18 base tokens must be
+        // rejected too — only genuine pre-v3 headers may omit the
+        // options suffix.
+        let torn = wire.replacen(" - - interp:0.001", "", 1);
+        assert_ne!(torn, wire, "tamper target not found");
+        let err = report_from_str(&torn).unwrap_err();
+        assert!(err.to_string().contains("missing its options section"), "{err}");
+        // Spec options lines are validated the same way.
+        let spec_doc = spec_to_string(&spec);
+        let bad = spec_doc.replacen("options - - interp:0.001", "options - -", 1);
+        assert_ne!(bad, spec_doc);
+        let err = spec_from_str(&bad).unwrap_err();
+        assert!(err.to_string().contains("options section wants 3 tokens"), "{err}");
     }
 
     #[test]

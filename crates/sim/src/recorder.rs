@@ -50,16 +50,24 @@ pub struct Recorder {
 impl Recorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty recorder with room for `capacity` snapshots in
+    /// every series. The engine sizes this from
+    /// `(t_end − t_start) / record_dt`, so long-window runs append
+    /// their whole trace without reallocating mid-simulation.
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            vc: TimeSeries::new("vc"),
-            frequency_ghz: TimeSeries::new("frequency_ghz"),
-            little_cores: TimeSeries::new("little_cores"),
-            big_cores: TimeSeries::new("big_cores"),
-            total_cores: TimeSeries::new("total_cores"),
-            power_out: TimeSeries::new("power_out"),
-            power_in: TimeSeries::new("power_in"),
-            v_high: TimeSeries::new("v_high"),
-            v_low: TimeSeries::new("v_low"),
+            vc: TimeSeries::with_capacity("vc", capacity),
+            frequency_ghz: TimeSeries::with_capacity("frequency_ghz", capacity),
+            little_cores: TimeSeries::with_capacity("little_cores", capacity),
+            big_cores: TimeSeries::with_capacity("big_cores", capacity),
+            total_cores: TimeSeries::with_capacity("total_cores", capacity),
+            power_out: TimeSeries::with_capacity("power_out", capacity),
+            power_in: TimeSeries::with_capacity("power_in", capacity),
+            v_high: TimeSeries::with_capacity("v_high", capacity),
+            v_low: TimeSeries::with_capacity("v_low", capacity),
         }
     }
 
@@ -169,6 +177,17 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r.total_cores().values()[0], 6.0);
         assert_eq!(r.power_in().values()[1], 3.5);
+    }
+
+    #[test]
+    fn preallocated_recorder_is_behaviourally_identical() {
+        let mut plain = Recorder::new();
+        let mut sized = Recorder::with_capacity(64);
+        for k in 0..5 {
+            plain.record(&snap(f64::from(k), 5.3));
+            sized.record(&snap(f64::from(k), 5.3));
+        }
+        assert_eq!(plain, sized, "capacity is a hint, not a behaviour change");
     }
 
     #[test]

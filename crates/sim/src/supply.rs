@@ -1,9 +1,13 @@
-//! The energy supply driving the simulation.
+//! The energy supply driving the simulation, and the engine's supply
+//! fast path ([`SupplyModel`] / [`SupplyState`]).
 
 use crate::SimError;
 use pn_circuit::solar::SolarCell;
-use pn_harvest::irradiance::IrradianceTrace;
+use pn_circuit::surface::PanelSurface;
+use pn_harvest::irradiance::{IrradianceCursor, IrradianceTrace};
 use pn_units::{Amps, Seconds, Volts, WattsPerSquareMeter};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A prescribed supply-voltage waveform (the paper's §V-A bench test
 /// with a controlled variable supply, Fig. 11).
@@ -142,6 +146,154 @@ impl Supply {
     }
 }
 
+/// How the engine evaluates the PV operating point on its hot path.
+///
+/// `Exact` is the reference model: every query runs the safeguarded
+/// Newton solve of Eq. 4 (warm-started from the previous root by the
+/// engine's [`SupplyState`]), and every sample is bitwise-reproducible.
+/// Keep it for golden traces and paper-figure/Table II reproduction.
+///
+/// `Interpolated` trades amp-level accuracy for throughput: currents
+/// come from a pretabulated [`PanelSurface`] validated to `tol` amps
+/// against the exact model at build time. Use it for campaign sweeps
+/// and adaptive searches, where the verdict of a cell — not the
+/// trailing bits of its trace — is the product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SupplyModel {
+    /// Solve the single-diode equation exactly at every query.
+    Exact,
+    /// Bilinear interpolation on a shared [`PanelSurface`] built and
+    /// validated to `tol` amps.
+    Interpolated {
+        /// Build-time-validated interpolation tolerance, amps.
+        tol: f64,
+    },
+}
+
+impl SupplyModel {
+    /// Default interpolation tolerance (amps): three decimal orders
+    /// below the paper array's ~1.2 A short-circuit current.
+    pub const DEFAULT_INTERPOLATION_TOL: f64 = 1e-3;
+
+    /// The interpolated model at the default tolerance.
+    pub fn interpolated() -> Self {
+        SupplyModel::Interpolated { tol: Self::DEFAULT_INTERPOLATION_TOL }
+    }
+
+    /// Stable machine token (`exact`, or `interp:<tol>` with the
+    /// tolerance in shortest-round-trip form). Round-trips through
+    /// [`SupplyModel::from_slug`] bitwise.
+    pub fn slug(&self) -> String {
+        match self {
+            SupplyModel::Exact => "exact".into(),
+            SupplyModel::Interpolated { tol } => format!("interp:{tol}"),
+        }
+    }
+
+    /// Parses a [`SupplyModel::slug`] token. A bare `interp` means the
+    /// default tolerance; explicit tolerances must be positive and
+    /// finite.
+    pub fn from_slug(slug: &str) -> Option<SupplyModel> {
+        match slug {
+            "exact" => return Some(SupplyModel::Exact),
+            "interp" => return Some(SupplyModel::interpolated()),
+            _ => {}
+        }
+        let tol: f64 = slug.strip_prefix("interp:")?.parse().ok()?;
+        (tol > 0.0 && tol.is_finite()).then_some(SupplyModel::Interpolated { tol })
+    }
+}
+
+impl Default for SupplyModel {
+    /// The exact model: opting into interpolation is deliberate.
+    fn default() -> Self {
+        SupplyModel::Exact
+    }
+}
+
+impl std::fmt::Display for SupplyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.slug())
+    }
+}
+
+/// Per-simulation mutable fast-path state for a [`Supply`].
+///
+/// One `SupplyState` lives inside each engine run and carries what the
+/// stateless [`Supply::current`] cannot: the monotone
+/// [`IrradianceCursor`] serving forward-in-time queries in amortized
+/// O(1), the previous Newton root seeding the next exact solve, and
+/// the shared interpolation surface when the [`SupplyModel`] asks for
+/// one. Because the state is owned by a single simulation, campaigns
+/// stay bitwise-deterministic across executor thread counts.
+#[derive(Debug, Clone)]
+pub struct SupplyState {
+    model: SupplyModel,
+    surface: Option<Arc<PanelSurface>>,
+    cursor: IrradianceCursor,
+    last_root: Option<f64>,
+}
+
+impl SupplyState {
+    /// Prepares the fast-path state for one simulation of `supply`.
+    /// For the interpolated model over a PV supply this fetches (and
+    /// on first use builds) the process-shared [`PanelSurface`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface construction failures (invalid tolerance).
+    pub fn new(supply: &Supply, model: SupplyModel) -> Result<Self, SimError> {
+        let surface = match (supply, model) {
+            (Supply::Photovoltaic { cell, .. }, SupplyModel::Interpolated { tol }) => {
+                Some(PanelSurface::shared(cell, Amps::new(tol))?)
+            }
+            _ => None,
+        };
+        Ok(Self { model, surface, cursor: IrradianceCursor::new(), last_root: None })
+    }
+
+    /// The model this state evaluates.
+    pub fn model(&self) -> SupplyModel {
+        self.model
+    }
+
+    /// Irradiance at `t` through the monotone cursor (zero for
+    /// controlled supplies). Bitwise identical to
+    /// [`Supply::irradiance`].
+    pub fn irradiance(&mut self, supply: &Supply, t: Seconds) -> WattsPerSquareMeter {
+        match supply {
+            Supply::Photovoltaic { irradiance, .. } => self.cursor.sample(irradiance, t),
+            Supply::Controlled { .. } => WattsPerSquareMeter::ZERO,
+        }
+    }
+
+    /// Source current into the node at voltage `v` and time `t` — the
+    /// engine's per-derivative-evaluation hot path. Exact-model
+    /// queries warm-start from the previous root; interpolated-model
+    /// queries hit the surface (falling back to the exact solver
+    /// outside its tabulated domain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PV operating-point solver failures.
+    pub fn current(&mut self, supply: &Supply, t: Seconds, v: Volts) -> Result<Amps, SimError> {
+        match supply {
+            Supply::Photovoltaic { cell, irradiance } => {
+                let g = self.cursor.sample(irradiance, t);
+                match &self.surface {
+                    Some(surface) => Ok(surface.current(v, g)?),
+                    None => {
+                        let i = cell.current_seeded(v, g, self.last_root)?;
+                        self.last_root = Some(i.value());
+                        Ok(i)
+                    }
+                }
+            }
+            Supply::Controlled { .. } => Ok(Amps::ZERO),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +333,77 @@ mod tests {
         let i = supply.current(Seconds::new(1.0), Volts::new(5.0)).unwrap();
         assert!(i.value() > 1.0);
         assert!(!supply.is_controlled());
+    }
+
+    #[test]
+    fn supply_model_slugs_round_trip() {
+        let models = [
+            SupplyModel::Exact,
+            SupplyModel::interpolated(),
+            SupplyModel::Interpolated { tol: 0.1 + 0.2 }, // awkward float
+            SupplyModel::Interpolated { tol: 5e-4 },
+        ];
+        for m in models {
+            assert_eq!(SupplyModel::from_slug(&m.slug()), Some(m), "slug {:?}", m.slug());
+            assert!(!m.slug().contains([' ', ',']), "slug {:?} not CSV-safe", m.slug());
+        }
+        assert_eq!(SupplyModel::from_slug("interp"), Some(SupplyModel::interpolated()));
+        assert_eq!(SupplyModel::from_slug("interp:0"), None);
+        assert_eq!(SupplyModel::from_slug("interp:-1"), None);
+        assert_eq!(SupplyModel::from_slug("interp:inf"), None);
+        assert_eq!(SupplyModel::from_slug("table"), None);
+        assert_eq!(SupplyModel::default(), SupplyModel::Exact);
+    }
+
+    #[test]
+    fn supply_state_matches_the_stateless_paths() {
+        let supply = Supply::Photovoltaic {
+            cell: SolarCell::odroid_array(),
+            irradiance: IrradianceTrace::new(vec![
+                (Seconds::ZERO, WattsPerSquareMeter::new(200.0)),
+                (Seconds::new(10.0), WattsPerSquareMeter::new(1000.0)),
+            ])
+            .unwrap(),
+        };
+        // Exact model: same roots as Supply::current to solver
+        // tolerance, irradiance bitwise identical, cursor advancing.
+        let mut state = SupplyState::new(&supply, SupplyModel::Exact).unwrap();
+        assert_eq!(state.model(), SupplyModel::Exact);
+        for k in 0..20 {
+            let t = Seconds::new(k as f64 * 0.5);
+            let v = Volts::new(4.5 + 0.02 * k as f64);
+            assert_eq!(state.irradiance(&supply, t), supply.irradiance(t));
+            let warm = state.current(&supply, t, v).unwrap();
+            let cold = supply.current(t, v).unwrap();
+            assert!((warm - cold).value().abs() < 1e-8, "t = {t}: {warm} vs {cold}");
+        }
+        // Interpolated model: within the surface tolerance.
+        let tol = 1e-3;
+        let mut interp =
+            SupplyState::new(&supply, SupplyModel::Interpolated { tol }).unwrap();
+        for k in 0..20 {
+            let t = Seconds::new(k as f64 * 0.5);
+            let v = Volts::new(5.0);
+            let fast = interp.current(&supply, t, v).unwrap();
+            let exact = supply.current(t, v).unwrap();
+            assert!((fast - exact).value().abs() <= tol, "t = {t}: {fast} vs {exact}");
+        }
+        // Invalid tolerances surface as errors at state construction.
+        assert!(SupplyState::new(&supply, SupplyModel::Interpolated { tol: -1.0 }).is_err());
+    }
+
+    #[test]
+    fn controlled_supply_state_is_inert() {
+        let supply = Supply::Controlled {
+            waveform: VoltageWaveform::new(vec![
+                (Seconds::ZERO, Volts::new(5.0)),
+                (Seconds::new(1.0), Volts::new(5.2)),
+            ])
+            .unwrap(),
+        };
+        let mut state = SupplyState::new(&supply, SupplyModel::interpolated()).unwrap();
+        assert_eq!(state.current(&supply, Seconds::ZERO, Volts::new(5.0)).unwrap(), Amps::ZERO);
+        assert_eq!(state.irradiance(&supply, Seconds::ZERO), WattsPerSquareMeter::ZERO);
     }
 
     #[test]

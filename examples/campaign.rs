@@ -16,6 +16,7 @@ use power_neutral::sim::campaign::{
 };
 use power_neutral::sim::executor::Executor;
 use power_neutral::sim::persist;
+use power_neutral::sim::supply::SupplyModel;
 use power_neutral::units::Seconds;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,6 +58,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             g.instructions_billions.sum()
         );
     }
+
+    // The supply fast path: the same matrix on the interpolated
+    // model (a pretabulated PV surface instead of a Newton solve per
+    // derivative evaluation). Verdicts must agree with the exact run;
+    // the CSV names the model per row so mixed exports stay
+    // self-describing.
+    let fast_spec = spec.clone().with_supply_model(SupplyModel::interpolated());
+    let fast = run_campaign(&fast_spec, &executor)?;
+    assert!(
+        report
+            .cells()
+            .iter()
+            .zip(fast.cells())
+            .all(|(exact, interp)| exact.survived == interp.survived),
+        "interpolation must not flip smoke-matrix verdicts"
+    );
+    println!(
+        "\n  interpolated fast path agrees on all {} verdicts (rows tagged {})",
+        fast.len(),
+        fast.cells()[0].cell.supply_model().slug()
+    );
 
     // The persistence layer: the same matrix run as three shards (as
     // three machines would), each partial report serialized and

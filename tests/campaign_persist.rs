@@ -18,6 +18,8 @@
 
 use power_neutral::core::params::ControlParams;
 use power_neutral::harvest::cache::TraceCache;
+use power_neutral::sim::engine::SimOverrides;
+use power_neutral::sim::supply::SupplyModel;
 use power_neutral::harvest::weather::Weather;
 use power_neutral::sim::campaign::{
     resume_campaign, run_campaign, run_campaign_with, CampaignCell, CampaignReport, CampaignSpec,
@@ -145,6 +147,29 @@ fn resume_rejects_duplicate_cells_by_label() {
 }
 
 #[test]
+fn interpolated_campaigns_round_trip_and_stay_self_describing() {
+    // The v3 wire contract end to end: per-cell options survive the
+    // file round trip bitwise, the CSV names the model per row, and a
+    // saved interpolated report cannot silently resume an exact spec.
+    let spec = quick_spec().with_supply_model(SupplyModel::interpolated());
+    let executor = Executor::sequential();
+    let report = run_campaign(&spec, &executor).unwrap();
+    let decoded = persist::report_from_str(&persist::report_to_string(&report)).unwrap();
+    assert_eq!(decoded, report);
+    assert!(decoded
+        .cells()
+        .iter()
+        .all(|c| c.cell.supply_model() == SupplyModel::interpolated()));
+    let csv = persist::report_csv_string(&report).unwrap();
+    for line in csv.lines().skip(1) {
+        assert!(line.contains(",interp:0.001,"), "row lost its model slug: {line}");
+    }
+    let err = resume_campaign(&quick_spec(), &report, &executor, None).unwrap_err();
+    assert!(matches!(err, SimError::Campaign(_)), "{err}");
+    assert!(err.to_string().contains("does not match"), "{err}");
+}
+
+#[test]
 fn cached_and_uncached_campaigns_replay_bitwise_identically() {
     let spec = quick_spec();
     let executor = Executor::new(2);
@@ -165,6 +190,7 @@ fn cached_cells_record_bitwise_identical_traces() {
         governor: GovernorSpec::PowerNeutral,
         params: ControlParams::paper_optimal().unwrap(),
         duration: Seconds::new(10.0),
+        options: SimOverrides::none(),
     };
     let cache = TraceCache::new();
     let cached = cell.governor.run(&cell.scenario_with(Some(&cache)).unwrap()).unwrap();
