@@ -9,10 +9,13 @@
 //! visible.
 //!
 //! The `trace_cache` group runs the matrix with and without the
-//! per-(weather, seed) day-profile cache. The 12 cells share only
-//! 6 distinct days, and each short cell is dominated by rendering its
-//! 6-hour irradiance trace, so the cached line must sit well below the
-//! uncached one — a regression here means the cache stopped being hit.
+//! per-campaign (weather, seed) trace cache. Since the process-wide
+//! day memo (`DayProfile::build_shared`) landed, both lines serve the
+//! 6 distinct days from the same rendered traces after the first
+//! iteration, so they sit together at steady-state throughput; the
+//! campaign cache still matters for day recipes the global memo
+//! evicts (it is capacity-capped) and keeps the comparison in place
+//! to catch either layer regressing.
 //!
 //! The `supply_model` group is the tentpole comparison: the same
 //! 12-cell matrix over a *pre-warmed* shared trace cache (steady-state

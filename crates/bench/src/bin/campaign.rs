@@ -31,11 +31,16 @@
 //! # (--tolerance, in amps, sharpens the surface when given):
 //! cargo run --release -p pn-bench --bin campaign -- \
 //!     --supply-model interp --tolerance 0.0005 --out report.csv
+//!
+//! # force the scalar (one-cell-at-a-time) engine — the oracle the
+//! # default batched lane engine is bitwise-checked against:
+//! cargo run --release -p pn-bench --bin campaign -- --engine scalar --out report.csv
 //! ```
 
 use pn_bench::{banner, print_table};
 use pn_sim::adaptive::{AdaptiveCampaign, AdaptiveConfig};
 use pn_sim::campaign::{resume_campaign, run_campaign, CampaignReport, CampaignSpec};
+use pn_sim::engine::EngineKind;
 use pn_sim::executor::Executor;
 use pn_sim::persist;
 use pn_sim::supply::SupplyModel;
@@ -55,6 +60,7 @@ struct Cli {
     tolerance: Option<f64>,
     max_rounds: Option<usize>,
     supply_model: Option<SupplyModel>,
+    engine: Option<EngineKind>,
 }
 
 fn parse_shard(arg: &str) -> Result<(usize, usize), String> {
@@ -86,6 +92,7 @@ fn parse_cli() -> Result<Cli, String> {
         tolerance: None,
         max_rounds: None,
         supply_model: None,
+        engine: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
@@ -117,6 +124,12 @@ fn parse_cli() -> Result<Cli, String> {
                     format!(
                         "--supply-model wants exact, interp or interp:<tol-amps>, got {slug:?}"
                     )
+                })?);
+            }
+            "--engine" => {
+                let slug = value(&mut args, "--engine")?;
+                cli.engine = Some(EngineKind::from_slug(&slug).ok_or_else(|| {
+                    format!("--engine wants scalar or batched, got {slug:?}")
                 })?);
             }
             "--tolerance" => {
@@ -154,11 +167,13 @@ fn parse_cli() -> Result<Cli, String> {
             || cli.threads != 0
             || cli.resume.is_some()
             || cli.adapt
-            || cli.supply_model.is_some())
+            || cli.supply_model.is_some()
+            || cli.engine.is_some())
     {
         return Err(
             "--merge recomposes saved reports without simulating; it cannot be combined \
-             with --shard, --smoke, --seeds, --threads, --resume, --adapt or --supply-model"
+             with --shard, --smoke, --seeds, --threads, --resume, --adapt, --supply-model \
+             or --engine"
                 .into(),
         );
     }
@@ -207,6 +222,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(model) = cli.supply_model {
             spec = spec.with_supply_model(model);
             println!("  supply model: {model}");
+        }
+        if let Some(engine) = cli.engine {
+            spec = spec.with_engine(engine);
+            println!("  engine: {engine}");
         }
         let t0 = std::time::Instant::now();
         let report = if let Some(path) = &cli.resume {

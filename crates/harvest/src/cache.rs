@@ -85,6 +85,28 @@ impl TraceCache {
     where
         F: FnOnce() -> Result<IrradianceTrace, HarvestError>,
     {
+        self.get_or_build_shared(weather, seed, || build().map(Arc::new))
+    }
+
+    /// [`TraceCache::get_or_build`] for builders that already produce a
+    /// shared trace (e.g. [`DayProfile::build_shared`]): the `Arc` is
+    /// stored as-is, so a process-wide memo hit is never deep-copied
+    /// into the cache.
+    ///
+    /// [`DayProfile::build_shared`]: crate::weather::DayProfile::build_shared
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error without caching anything.
+    pub fn get_or_build_shared<F>(
+        &self,
+        weather: Weather,
+        seed: u64,
+        build: F,
+    ) -> Result<Arc<IrradianceTrace>, HarvestError>
+    where
+        F: FnOnce() -> Result<Arc<IrradianceTrace>, HarvestError>,
+    {
         let slot = {
             let mut entries = self.entries.lock().expect("trace cache poisoned");
             Arc::clone(entries.entry((weather, seed)).or_default())
@@ -94,7 +116,7 @@ impl TraceCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(trace));
         }
-        let built = Arc::new(build()?);
+        let built = build()?;
         *trace = Some(Arc::clone(&built));
         self.misses.fetch_add(1, Ordering::Relaxed);
         Ok(built)

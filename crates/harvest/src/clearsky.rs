@@ -108,6 +108,11 @@ impl ClearSky {
         self.peak
     }
 
+    /// Shape exponent of the raised-sine arc (1.0 = pure sine).
+    pub fn sharpness(&self) -> f64 {
+        self.sharpness
+    }
+
     /// Clear-sky irradiance at time-of-day `t`.
     pub fn irradiance(&self, t: Seconds) -> WattsPerSquareMeter {
         if t <= self.sunrise || t >= self.sunset {

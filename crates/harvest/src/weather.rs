@@ -14,7 +14,9 @@ use crate::clouds::{CloudField, CloudParams};
 use crate::irradiance::IrradianceTrace;
 use crate::HarvestError;
 use pn_units::Seconds;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The four weather conditions the paper tested under, plus two
 /// harsher synthetic conditions for campaign matrices.
@@ -219,6 +221,80 @@ impl DayProfile {
             sky.irradiance(t) * clouds.transmittance(t)
         })
     }
+
+    /// Renders the trace through a process-wide memo, so repeated
+    /// builds of the same profile (the common case in campaign
+    /// matrices, where every cell of a `(weather, seed)` group wants
+    /// the same day) are served from cache instead of re-rendered.
+    ///
+    /// The cache key covers everything [`DayProfile::build`] reads —
+    /// weather, seed, the clear-sky envelope (by exact bit pattern) and
+    /// the span/`dt` — so a hit is bitwise-identical to a fresh render.
+    /// The memo is capacity-capped; once full, further distinct
+    /// profiles build uncached rather than grow it without bound.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DayProfile::build`].
+    pub fn build_shared(&self, dt: Seconds) -> Result<Arc<IrradianceTrace>, HarvestError> {
+        let key = self.cache_key(dt);
+        if let Some(hit) = lock_day_cache().get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        // Render outside the lock: distinct days build in parallel. A
+        // racing builder of the same key wastes one render; contents
+        // are deterministic, so whichever insert wins is identical.
+        let trace = Arc::new(self.build(dt)?);
+        let mut cache = lock_day_cache();
+        if let Some(hit) = cache.get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        if cache.len() < DAY_CACHE_CAPACITY {
+            cache.insert(key, Arc::clone(&trace));
+        }
+        Ok(trace)
+    }
+
+    fn cache_key(&self, dt: Seconds) -> DayKey {
+        DayKey {
+            weather: self.weather,
+            seed: self.seed,
+            sky: self.sky.map(|s| {
+                [
+                    s.sunrise().value().to_bits(),
+                    s.sunset().value().to_bits(),
+                    s.peak().value().to_bits(),
+                    s.sharpness().to_bits(),
+                ]
+            }),
+            start: self.start.value().to_bits(),
+            end: self.end.value().to_bits(),
+            dt: dt.value().to_bits(),
+        }
+    }
+}
+
+/// Everything `DayProfile::build` reads, as exact bit patterns.
+#[derive(PartialEq, Eq, Hash)]
+struct DayKey {
+    weather: Weather,
+    seed: u64,
+    sky: Option<[u64; 4]>,
+    start: u64,
+    end: u64,
+    dt: u64,
+}
+
+/// Upper bound on memoised day traces (a 6-hour day at 1 Hz is
+/// ≈350 KB, so the cap bounds the memo at ≈22 MB worst case).
+const DAY_CACHE_CAPACITY: usize = 64;
+
+fn lock_day_cache() -> std::sync::MutexGuard<'static, HashMap<DayKey, Arc<IrradianceTrace>>> {
+    static CACHE: OnceLock<Mutex<HashMap<DayKey, Arc<IrradianceTrace>>>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -322,6 +398,38 @@ mod tests {
         assert!(stormy > winter, "stormy {stormy} vs winter {winter}");
         // Even the darkest day still harvests something at noon.
         assert!(winter > 0.0);
+    }
+
+    #[test]
+    fn second_build_of_same_day_is_cache_served() {
+        let profile = DayProfile::new(Weather::Cloudy, 4242)
+            .with_span(Seconds::from_hours(10.5), Seconds::from_hours(16.5));
+        let dt = Seconds::new(7.0);
+        let first = profile.build_shared(dt).unwrap();
+        let second = profile.build_shared(dt).unwrap();
+        // Same allocation, not merely equal contents.
+        assert!(Arc::ptr_eq(&first, &second));
+        // And bitwise-identical to an uncached render.
+        assert_eq!(*first, profile.build(dt).unwrap());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_every_build_input() {
+        let base = DayProfile::new(Weather::Cloudy, 7)
+            .with_span(Seconds::from_hours(11.0), Seconds::from_hours(12.0));
+        let dt = Seconds::new(11.0);
+        let a = base.build_shared(dt).unwrap();
+        let other_seed = DayProfile::new(Weather::Cloudy, 8)
+            .with_span(Seconds::from_hours(11.0), Seconds::from_hours(12.0))
+            .build_shared(dt)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &other_seed));
+        let other_dt = base.build_shared(Seconds::new(13.0)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other_dt));
+        let other_sky =
+            base.clone().with_sky(ClearSky::paper_test_day().unwrap()).build_shared(dt).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other_sky));
+        assert_ne!(*a, *other_sky);
     }
 
     #[test]

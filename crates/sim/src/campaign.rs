@@ -28,8 +28,9 @@
 //! # }
 //! ```
 
-use crate::engine::SimOverrides;
+use crate::engine::{EngineKind, SimOverrides, SimReport, Simulation};
 use crate::executor::Executor;
+use crate::lanes::run_batch;
 use crate::scenario::{self, Scenario};
 use crate::supply::SupplyModel;
 use crate::SimError;
@@ -133,22 +134,35 @@ impl GovernorSpec {
     ///
     /// Propagates engine failures.
     pub fn run(&self, scenario: &Scenario) -> Result<crate::engine::SimReport, SimError> {
+        self.simulation(scenario)?.run()
+    }
+
+    /// Assembles (without running) the simulation [`GovernorSpec::run`]
+    /// would execute — the handle the batched lane engine collects one
+    /// of per cell before stepping the whole group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures.
+    pub fn simulation(&self, scenario: &Scenario) -> Result<Simulation, SimError> {
         let table = scenario.platform().frequencies();
         match self {
-            GovernorSpec::PowerNeutral => scenario.run_power_neutral(),
-            GovernorSpec::Performance => scenario.run_governor(Box::new(Performance::new())),
-            GovernorSpec::Powersave => scenario.run_governor(Box::new(Powersave::new())),
+            GovernorSpec::PowerNeutral => scenario.build_power_neutral(),
+            GovernorSpec::Performance => scenario.build_governor(Box::new(Performance::new())),
+            GovernorSpec::Powersave => scenario.build_governor(Box::new(Powersave::new())),
             GovernorSpec::Userspace(level) => {
-                scenario.run_governor(Box::new(Userspace::pinned(*level)))
+                scenario.build_governor(Box::new(Userspace::pinned(*level)))
             }
-            GovernorSpec::Ondemand => scenario.run_governor(Box::new(Ondemand::new(table.clone()))),
+            GovernorSpec::Ondemand => {
+                scenario.build_governor(Box::new(Ondemand::new(table.clone())))
+            }
             GovernorSpec::Conservative => {
-                scenario.run_governor(Box::new(Conservative::new(table.clone())))
+                scenario.build_governor(Box::new(Conservative::new(table.clone())))
             }
             GovernorSpec::Interactive => {
-                scenario.run_governor(Box::new(Interactive::new(table.clone())))
+                scenario.build_governor(Box::new(Interactive::new(table.clone())))
             }
-            GovernorSpec::Hold(opp) => scenario.run_static(*opp),
+            GovernorSpec::Hold(opp) => scenario.build_static(*opp),
         }
     }
 }
@@ -267,6 +281,16 @@ impl CampaignSpec {
     /// [`CampaignSpec::with_cell_options`] override.
     pub fn with_supply_model(mut self, model: SupplyModel) -> Self {
         self.options.supply_model = Some(model);
+        self
+    }
+
+    /// Selects the execution engine for every cell (builder style);
+    /// shorthand for the corresponding
+    /// [`CampaignSpec::with_cell_options`] override. `Scalar` forces
+    /// each cell to run alone — the oracle the batched lane engine is
+    /// checked against.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.options.engine = Some(engine);
         self
     }
 
@@ -475,10 +499,10 @@ impl CampaignCell {
         )?;
         let day = match cache {
             Some(cache) => {
-                let shared = cache.get_or_build(self.weather, self.seed, || {
-                    Ok(scenario::weather_day_trace(self.weather, self.seed))
+                let shared = cache.get_or_build_shared(self.weather, self.seed, || {
+                    Ok(scenario::weather_day_trace_shared(self.weather, self.seed))
                 })?;
-                scenario::weather_day_with_trace((*shared).clone())
+                scenario::weather_day_with_trace(shared)
             }
             None => scenario::weather_day(self.weather, self.seed),
         };
@@ -498,6 +522,14 @@ impl CampaignCell {
         self.options.supply_model.unwrap_or_default()
     }
 
+    /// The execution engine this cell runs under (its override, or the
+    /// default batched lane engine). Scalar and batched runs produce
+    /// bitwise-identical outcomes; the knob exists to keep the scalar
+    /// path exercisable as the batched engine's oracle.
+    pub fn engine(&self) -> EngineKind {
+        self.options.engine.unwrap_or_default()
+    }
+
     /// Runs the cell and reduces the report to a [`CellOutcome`].
     ///
     /// # Errors
@@ -514,8 +546,15 @@ impl CampaignCell {
     /// Propagates engine and analysis failures.
     pub fn evaluate_with(&self, cache: Option<&TraceCache>) -> Result<CellOutcome, SimError> {
         let scenario = self.scenario_with(cache)?;
-        let target = scenario.platform().target_voltage();
         let report = self.governor.run(&scenario)?;
+        self.reduce(&scenario, report)
+    }
+
+    /// Reduces a finished simulation to this cell's [`CellOutcome`] —
+    /// the tail of [`CampaignCell::evaluate`], shared with the batched
+    /// lane engine (which separates running from reducing).
+    fn reduce(&self, scenario: &Scenario, report: SimReport) -> Result<CellOutcome, SimError> {
+        let target = scenario.platform().target_voltage();
         let alive = report.lifetime_or_duration();
         let recorder = report.recorder();
         let vc_stability = fraction_within_band(recorder.vc(), target.value(), 0.05)?;
@@ -859,17 +898,89 @@ pub fn resume_campaign(
 /// Evaluates a slice of cells on the executor, failing on the first
 /// engine error in matrix order. Shared with the adaptive driver,
 /// which batches each refinement round's probe cells through it.
+///
+/// Dispatch is by *lane group*, not by cell: maximal contiguous runs
+/// of cells that share a `(weather, seed)` day and opt into the
+/// batched engine become one executor item each, and the worker that
+/// claims a group steps all its lanes together against the shared
+/// trace ([`run_batch`]). Scalar cells stay one item each. The
+/// executor returns groups in item order and every group's outcomes
+/// are in matrix order, so the flattened result — like the scalar
+/// path's — is bitwise independent of the thread count.
 pub(crate) fn evaluate_cells(
     cells: &[CampaignCell],
     executor: &Executor,
     cache: Option<&TraceCache>,
 ) -> Result<Vec<CellOutcome>, SimError> {
-    let outcomes = executor.map(cells, |_, cell| cell.evaluate_with(cache));
-    let mut reduced = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        reduced.push(outcome?);
+    let groups = lane_groups(cells);
+    let outcomes = executor.map(&groups, |_, group| {
+        evaluate_group(&cells[group.start..group.end], cache)
+    });
+    let mut reduced = Vec::with_capacity(cells.len());
+    for group in outcomes {
+        reduced.extend(group?);
     }
     Ok(reduced)
+}
+
+/// One executor work item: a contiguous span of the cell slice that
+/// runs as a single lane batch (or a scalar singleton).
+#[derive(Debug, Clone, Copy)]
+struct LaneGroup {
+    start: usize,
+    end: usize,
+}
+
+/// Splits `cells` into maximal contiguous spans sharing one
+/// `(weather, seed)` day, breaking at every scalar-engine cell (which
+/// forms a singleton span of its own). The matrix enumeration is
+/// weather-major then seed, so all cells of one day land in one span.
+fn lane_groups(cells: &[CampaignCell]) -> Vec<LaneGroup> {
+    let mut groups: Vec<LaneGroup> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let batched = cell.engine() == EngineKind::Batched;
+        if batched {
+            if let Some(last) = groups.last_mut() {
+                let prev = &cells[last.end - 1];
+                if prev.engine() == EngineKind::Batched
+                    && prev.weather == cell.weather
+                    && prev.seed == cell.seed
+                {
+                    last.end = i + 1;
+                    continue;
+                }
+            }
+        }
+        groups.push(LaneGroup { start: i, end: i + 1 });
+    }
+    groups
+}
+
+/// Evaluates one lane group: scalar cells run alone through
+/// [`CampaignCell::evaluate_with`]; a batched group builds every
+/// lane's simulation first (all sharing the day's trace) and steps
+/// them together. Both paths produce bitwise-identical outcomes.
+fn evaluate_group(
+    group: &[CampaignCell],
+    cache: Option<&TraceCache>,
+) -> Result<Vec<CellOutcome>, SimError> {
+    if group.len() == 1 && group[0].engine() == EngineKind::Scalar {
+        return Ok(vec![group[0].evaluate_with(cache)?]);
+    }
+    let mut scenarios = Vec::with_capacity(group.len());
+    let mut sims = Vec::with_capacity(group.len());
+    for cell in group {
+        let scenario = cell.scenario_with(cache)?;
+        sims.push(cell.governor.simulation(&scenario)?);
+        scenarios.push(scenario);
+    }
+    let reports = run_batch(sims)?;
+    group
+        .iter()
+        .zip(scenarios.iter())
+        .zip(reports)
+        .map(|((cell, scenario), report)| cell.reduce(scenario, report))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1216,6 +1327,67 @@ mod tests {
             dense.options().max_step,
             "unset override fields must inherit"
         );
+    }
+
+    #[test]
+    fn lane_groups_split_on_day_and_engine() {
+        let base = CampaignCell {
+            weather: Weather::FullSun,
+            seed: 1,
+            buffer_mf: 47.0,
+            governor: GovernorSpec::Powersave,
+            params: ControlParams::paper_optimal().unwrap(),
+            duration: Seconds::new(5.0),
+            options: SimOverrides::none(),
+        };
+        let scalar = SimOverrides::none().with_engine(EngineKind::Scalar);
+        let cells = [
+            base,                                                // ┐ one FullSun/1 group
+            CampaignCell { governor: GovernorSpec::PowerNeutral, ..base }, // ┘
+            CampaignCell { seed: 2, ..base },                    // new day → new group
+            CampaignCell { options: scalar, seed: 2, ..base },   // scalar → singleton
+            CampaignCell { seed: 2, ..base },                    // batched again → new group
+            CampaignCell { weather: Weather::Cloudy, seed: 2, ..base }, // new weather
+        ];
+        let spans: Vec<(usize, usize)> =
+            lane_groups(&cells).iter().map(|g| (g.start, g.end)).collect();
+        assert_eq!(spans, vec![(0, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        // The full smoke matrix groups into one span per (weather, seed)
+        // day under the default batched engine.
+        let spec = CampaignSpec::smoke().with_seeds(vec![1, 2]);
+        let groups = lane_groups(&spec.cells());
+        assert_eq!(groups.len(), spec.weathers.len() * 2);
+    }
+
+    #[test]
+    fn batched_campaign_is_bitwise_the_scalar_one() {
+        let batched = CampaignSpec::smoke().with_duration(Seconds::new(5.0));
+        let scalar = batched
+            .clone()
+            .with_cell_options(SimOverrides::none().with_engine(EngineKind::Scalar));
+        assert!(batched.cells().iter().all(|c| c.engine() == EngineKind::Batched));
+        assert!(scalar.cells().iter().all(|c| c.engine() == EngineKind::Scalar));
+        let executor = Executor::sequential();
+        let b = run_campaign(&batched, &executor).unwrap();
+        let s = run_campaign(&scalar, &executor).unwrap();
+        // The engine knob must be the only difference between the
+        // outcome sets: compare everything but the recorded options.
+        assert_eq!(b.len(), s.len());
+        for (x, y) in b.cells().iter().zip(s.cells()) {
+            let mut y_cell = *y;
+            y_cell.cell.options.engine = x.cell.options.engine;
+            assert_eq!(*x, CellOutcome { cell: y_cell.cell, ..*y }, "{} diverged", x.cell.label());
+        }
+    }
+
+    #[test]
+    fn group_dispatch_is_thread_count_invariant() {
+        let spec = CampaignSpec::smoke().with_seeds(vec![1, 2]).with_duration(Seconds::new(4.0));
+        let sequential = run_campaign(&spec, &Executor::sequential()).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = run_campaign(&spec, &Executor::new(threads)).unwrap();
+            assert_eq!(parallel, sequential, "{threads}-thread run diverged");
+        }
     }
 
     #[test]

@@ -27,6 +27,51 @@ use pn_units::{Seconds, Volts, Watts};
 use pn_workload::work::WorkAccount;
 use serde::{Deserialize, Serialize};
 
+/// Which execution path a campaign uses to run its cells.
+///
+/// Both paths produce bitwise-identical [`SimReport`]s — the batched
+/// lane engine interleaves the *same* per-cell state machines the
+/// scalar path runs one at a time, and lanes share no mutable state —
+/// so the choice is purely about throughput. `Scalar` remains the
+/// bit-exactness oracle for golden artifacts and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Run each campaign cell's simulation loop to completion on its
+    /// own — the reference path.
+    Scalar,
+    /// Group campaign cells sharing a `(weather, seed)` day and
+    /// advance the whole group's lanes together, time-ordered, against
+    /// one shared irradiance trace (see `pn_sim::lanes`).
+    #[default]
+    Batched,
+}
+
+impl EngineKind {
+    /// Stable machine token (`scalar` / `batched`) for persistence and
+    /// CLI flags. Round-trips through [`EngineKind::from_slug`].
+    pub fn slug(&self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Batched => "batched",
+        }
+    }
+
+    /// Parses an [`EngineKind::slug`] token.
+    pub fn from_slug(slug: &str) -> Option<EngineKind> {
+        match slug {
+            "scalar" => Some(EngineKind::Scalar),
+            "batched" => Some(EngineKind::Batched),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
 /// Engine tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct SimOptions {
@@ -50,6 +95,10 @@ pub struct SimOptions {
     /// How the PV operating point is evaluated on the hot path (exact
     /// Newton, or the pretabulated interpolation surface).
     pub supply_model: SupplyModel,
+    /// Which campaign execution path runs this cell. A single
+    /// [`Simulation::run`] is unaffected — the knob decides whether
+    /// campaigns group this cell into lane batches.
+    pub engine: EngineKind,
 }
 
 impl SimOptions {
@@ -65,6 +114,7 @@ impl SimOptions {
             housekeeping_cost: Seconds::new(1.0e-3),
             stop_on_brownout: true,
             supply_model: SupplyModel::Exact,
+            engine: EngineKind::default(),
         }
     }
 
@@ -93,6 +143,12 @@ impl SimOptions {
         self
     }
 
+    /// Selects the campaign execution path (builder style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Applies per-cell overrides on top of these options (builder
     /// style); unset override fields leave the option untouched.
     pub fn with_overrides(mut self, overrides: &SimOverrides) -> Self {
@@ -104,6 +160,9 @@ impl SimOptions {
         }
         if let Some(model) = overrides.supply_model {
             self.supply_model = model;
+        }
+        if let Some(engine) = overrides.engine {
+            self.engine = engine;
         }
         self
     }
@@ -121,6 +180,8 @@ pub struct SimOverrides {
     pub max_step: Option<Seconds>,
     /// Override of [`SimOptions::supply_model`].
     pub supply_model: Option<SupplyModel>,
+    /// Override of [`SimOptions::engine`].
+    pub engine: Option<EngineKind>,
 }
 
 impl SimOverrides {
@@ -149,6 +210,12 @@ impl SimOverrides {
     /// Sets the maximum ODE step (builder style).
     pub fn with_max_step(mut self, dt: Seconds) -> Self {
         self.max_step = Some(dt);
+        self
+    }
+
+    /// Selects the campaign execution path (builder style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
         self
     }
 }
@@ -298,7 +365,20 @@ impl Simulation {
     /// Propagates solver and monitor failures; these indicate a
     /// mis-assembled scenario, not a brownout (brownouts are reported
     /// in the [`SimReport`]).
-    pub fn run(mut self) -> Result<SimReport, SimError> {
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let mut lane = self.start()?;
+        while !lane.done() {
+            lane.step()?;
+        }
+        lane.finish()
+    }
+
+    /// Performs the one-time setup (governor start-up, initial
+    /// snapshot) and hands back the resumable per-simulation state
+    /// machine. `run()` is `start` + `step` to completion + `finish`;
+    /// the batched lane engine interleaves `step` calls across many
+    /// lanes instead.
+    pub(crate) fn start(mut self) -> Result<Lane, SimError> {
         let opts = self.options;
         let vmin = self.platform.voltage_window().min.value();
         let uses_irq = self.governor.uses_threshold_interrupts();
@@ -314,9 +394,9 @@ impl Simulation {
         .ceil() as usize)
             .saturating_add(16)
             .min(1 << 22);
-        let mut recorder = Recorder::with_capacity(expected_snapshots);
-        let mut supply_state = SupplyState::new(&self.supply, opts.supply_model)?;
-        let mut solver = Rk23::new(
+        let recorder = Recorder::with_capacity(expected_snapshots);
+        let supply_state = SupplyState::new(&self.supply, opts.supply_model)?;
+        let solver = Rk23::new(
             AdaptiveOptions::new()
                 .with_max_step(opts.max_step.value())
                 .with_tolerances(1e-6, 1e-7),
@@ -324,8 +404,8 @@ impl Simulation {
 
         let t_start = opts.t_start.value();
         let t_end = opts.t_end.value();
-        let mut t = t_start;
-        let mut vc = match &self.supply {
+        let t = t_start;
+        let vc = match &self.supply {
             Supply::Controlled { waveform } => waveform.sample(Seconds::new(t)).value(),
             Supply::Photovoltaic { .. } => self.initial_vc.value(),
         };
@@ -340,239 +420,301 @@ impl Simulation {
             Seconds::new(t),
         )?;
 
-        let mut next_tick = self.governor.tick_period().map(|p| t + p.value());
-        let mut recheck_at: Option<f64> = None;
+        let next_tick = self.governor.tick_period().map(|p| t + p.value());
 
-        record_snapshot(
-            &mut recorder,
-            &runtime,
-            &self.monitor,
-            &self.supply,
-            &mut supply_state,
+        let mut lane = Lane {
+            supply: self.supply,
+            buffer: self.buffer,
+            monitor: self.monitor,
+            governor: self.governor,
+            opts,
+            vmin,
+            uses_irq,
+            housekeeping_share,
+            t_start,
+            t_end,
+            runtime,
+            recorder,
+            supply_state,
+            solver,
             t,
             vc,
-            uses_irq,
-        )?;
-        let mut next_record = t + opts.record_dt.value();
+            next_tick,
+            recheck_at: None,
+            next_record: t + opts.record_dt.value(),
+        };
+        lane.snapshot()?;
+        Ok(lane)
+    }
+}
 
-        let mut brownout_handled = !runtime.is_alive();
-        loop {
-            if t >= t_end - 1e-12 {
-                break;
-            }
-            if !runtime.is_alive() && opts.stop_on_brownout {
-                break;
-            }
+/// One in-flight simulation, paused between loop iterations.
+///
+/// A `Lane` owns every variable of the classic simulation loop —
+/// runtime, recorder, solver, supply state, event bookkeeping — so a
+/// scheduler can interleave `step()` calls across many lanes. Lanes
+/// share no mutable state, so *any* interleaving produces exactly the
+/// floating-point sequence (and therefore the bitwise-identical
+/// [`SimReport`]) of running each lane to completion alone.
+pub(crate) struct Lane {
+    supply: Supply,
+    buffer: Supercapacitor,
+    monitor: VoltageMonitor,
+    governor: Box<dyn Governor>,
+    opts: SimOptions,
+    vmin: f64,
+    uses_irq: bool,
+    housekeeping_share: f64,
+    t_start: f64,
+    t_end: f64,
+    runtime: SocRuntime,
+    recorder: Recorder,
+    supply_state: SupplyState,
+    solver: Rk23,
+    t: f64,
+    vc: f64,
+    next_tick: Option<f64>,
+    recheck_at: Option<f64>,
+    next_record: f64,
+}
 
-            // Next discrete boundary.
-            let mut boundary = t_end;
-            if let Some(d) = runtime.step_deadline() {
-                boundary = boundary.min(d.value());
-            }
-            if let Some(tk) = next_tick {
-                boundary = boundary.min(tk);
-            }
-            if let Some(r) = recheck_at {
-                boundary = boundary.min(r);
-            }
-            boundary = boundary.min(next_record);
+impl Lane {
+    /// `true` once the lane has reached its window end (or browned out
+    /// under `stop_on_brownout`); `step` must not be called again.
+    pub(crate) fn done(&self) -> bool {
+        self.t >= self.t_end - 1e-12
+            || (!self.runtime.is_alive() && self.opts.stop_on_brownout)
+    }
 
-            if boundary > t + 1e-12 {
-                // Continuous phase: advance toward the boundary.
-                let armed = uses_irq
-                    && !runtime.is_transitioning()
-                    && recheck_at.is_none()
-                    && runtime.is_alive();
-                let (high, low) = if armed {
-                    let (h, l) = self.monitor.effective_thresholds();
-                    (Some(h.value()), Some(l.value()))
-                } else {
-                    (None, None)
-                };
-                let p_load = if runtime.is_alive() {
-                    (runtime.power() + self.monitor.power()).value()
+    /// One iteration of the hybrid loop: integrate toward the next
+    /// discrete boundary (stopping early at threshold/brownout
+    /// crossings, which resolve inline through the governor), then
+    /// handle whichever discrete boundaries were reached.
+    pub(crate) fn step(&mut self) -> Result<(), SimError> {
+        // Next discrete boundary.
+        let mut boundary = self.t_end;
+        if let Some(d) = self.runtime.step_deadline() {
+            boundary = boundary.min(d.value());
+        }
+        if let Some(tk) = self.next_tick {
+            boundary = boundary.min(tk);
+        }
+        if let Some(r) = self.recheck_at {
+            boundary = boundary.min(r);
+        }
+        boundary = boundary.min(self.next_record);
+
+        if boundary > self.t + 1e-12 {
+            // Continuous phase: advance toward the boundary.
+            let armed = self.uses_irq
+                && !self.runtime.is_transitioning()
+                && self.recheck_at.is_none()
+                && self.runtime.is_alive();
+            let (high, low) = if armed {
+                let (h, l) = self.monitor.effective_thresholds();
+                (Some(h.value()), Some(l.value()))
+            } else {
+                (None, None)
+            };
+            let alive = self.runtime.is_alive();
+            let ctx = AdvanceCtx {
+                supply: &self.supply,
+                supply_state: &mut self.supply_state,
+                buffer: &self.buffer,
+                solver: &mut self.solver,
+                p_load: if alive {
+                    (self.runtime.power() + self.monitor.power()).value()
                 } else {
                     0.0
-                };
-                let outcome = advance(
-                    &self.supply,
-                    &mut supply_state,
-                    &self.buffer,
-                    &mut solver,
-                    p_load,
-                    t,
-                    vc,
-                    boundary,
-                    if runtime.is_alive() { Some(vmin) } else { None },
-                    high,
-                    low,
-                )?;
-                let dt = outcome.t - t;
-                runtime.accrue(
-                    Seconds::new(dt),
-                    Seconds::new(dt * housekeeping_share),
-                );
-                t = outcome.t;
-                vc = outcome.vc;
-                match outcome.event {
-                    Some(CrossKind::Brownout) => {
-                        runtime.brownout(Seconds::new(t));
-                        brownout_handled = true;
-                        solver.notify_discontinuity();
-                        record_snapshot(
-                            &mut recorder,
-                            &runtime,
-                            &self.monitor,
-                            &self.supply,
-                            &mut supply_state,
-                            t,
-                            vc,
-                            uses_irq,
-                        )?;
-                        continue;
-                    }
-                    Some(kind) => {
-                        let edge = if kind == CrossKind::High {
-                            ThresholdEdge::High
-                        } else {
-                            ThresholdEdge::Low
-                        };
-                        let event = GovernorEvent::ThresholdCrossed {
-                            edge,
-                            vc: Volts::new(vc),
-                            t: Seconds::new(t),
-                        };
-                        let action = self.governor.on_event(&event, runtime.current_opp());
-                        let changed = apply_action(
-                            &mut runtime,
-                            &mut self.monitor,
-                            self.governor.as_mut(),
-                            action,
-                            Seconds::new(t),
-                        )?;
-                        if changed {
-                            recheck_at = Some(t + opts.rearm_delay.value());
-                        }
-                        solver.notify_discontinuity();
-                        record_snapshot(
-                            &mut recorder,
-                            &runtime,
-                            &self.monitor,
-                            &self.supply,
-                            &mut supply_state,
-                            t,
-                            vc,
-                            uses_irq,
-                        )?;
-                        continue;
-                    }
-                    None => {}
+                },
+                vmin: alive.then_some(self.vmin),
+                high,
+                low,
+            };
+            let outcome = ctx.advance(self.t, self.vc, boundary)?;
+            let dt = outcome.t - self.t;
+            self.runtime.accrue(
+                Seconds::new(dt),
+                Seconds::new(dt * self.housekeeping_share),
+            );
+            self.t = outcome.t;
+            self.vc = outcome.vc;
+            match outcome.event {
+                Some(CrossKind::Brownout) => {
+                    self.runtime.brownout(Seconds::new(self.t));
+                    self.solver.notify_discontinuity();
+                    self.snapshot()?;
+                    return Ok(());
                 }
-                if t < boundary - 1e-12 {
-                    // Mid-flight accepted step; keep integrating.
-                    continue;
-                }
-            } else {
-                t = boundary;
-            }
-
-            // Discrete boundary handling (several may coincide).
-            if runtime.step_deadline().is_some_and(|d| (d.value() - t).abs() <= 1e-9) {
-                let finished = runtime.complete_step(Seconds::new(t));
-                if finished {
-                    recheck_at = Some(t + opts.rearm_delay.value());
-                }
-                solver.notify_discontinuity();
-            }
-            if next_tick.is_some_and(|tk| (tk - t).abs() <= 1e-9) {
-                let period = self.governor.tick_period().expect("tick governor").value();
-                next_tick = Some(t + period);
-                if runtime.is_alive() {
-                    // The ray-tracing workload saturates every online
-                    // core: load is pinned at 100 %.
-                    let event =
-                        GovernorEvent::Tick { t: Seconds::new(t), vc: Volts::new(vc), load: 1.0 };
-                    let action = self.governor.on_event(&event, runtime.current_opp());
-                    let _ = apply_action(
-                        &mut runtime,
+                Some(kind) => {
+                    let edge = if kind == CrossKind::High {
+                        ThresholdEdge::High
+                    } else {
+                        ThresholdEdge::Low
+                    };
+                    let event = GovernorEvent::ThresholdCrossed {
+                        edge,
+                        vc: Volts::new(self.vc),
+                        t: Seconds::new(self.t),
+                    };
+                    let action = self.governor.on_event(&event, self.runtime.current_opp());
+                    let changed = apply_action(
+                        &mut self.runtime,
                         &mut self.monitor,
                         self.governor.as_mut(),
                         action,
-                        Seconds::new(t),
+                        Seconds::new(self.t),
                     )?;
-                    solver.notify_discontinuity();
-                }
-            }
-            if recheck_at.is_some_and(|r| (r - t).abs() <= 1e-9) {
-                recheck_at = None;
-                if uses_irq && !runtime.is_transitioning() && runtime.is_alive() {
-                    let (high, low) = self.monitor.effective_thresholds();
-                    let edge = if vc >= high.value() {
-                        Some(ThresholdEdge::High)
-                    } else if vc <= low.value() {
-                        Some(ThresholdEdge::Low)
-                    } else {
-                        None
-                    };
-                    if let Some(edge) = edge {
-                        let event = GovernorEvent::ThresholdCrossed {
-                            edge,
-                            vc: Volts::new(vc),
-                            t: Seconds::new(t),
-                        };
-                        let action = self.governor.on_event(&event, runtime.current_opp());
-                        let changed = apply_action(
-                            &mut runtime,
-                            &mut self.monitor,
-                            self.governor.as_mut(),
-                            action,
-                            Seconds::new(t),
-                        )?;
-                        if changed {
-                            recheck_at = Some(t + opts.rearm_delay.value());
-                        }
-                        solver.notify_discontinuity();
+                    if changed {
+                        self.recheck_at = Some(self.t + self.opts.rearm_delay.value());
                     }
+                    self.solver.notify_discontinuity();
+                    self.snapshot()?;
+                    return Ok(());
                 }
+                None => {}
             }
-            if t >= next_record - 1e-9 {
-                record_snapshot(
-                    &mut recorder,
-                    &runtime,
-                    &self.monitor,
-                    &self.supply,
-                    &mut supply_state,
-                    t,
-                    vc,
-                    uses_irq,
-                )?;
-                next_record = t + opts.record_dt.value();
+            if self.t < boundary - 1e-12 {
+                // Mid-flight accepted step; keep integrating.
+                return Ok(());
             }
+        } else {
+            self.t = boundary;
         }
 
-        // Final snapshot at the stop time.
-        record_snapshot(
-            &mut recorder,
-            &runtime,
-            &self.monitor,
-            &self.supply,
-            &mut supply_state,
-            t,
-            vc,
-            uses_irq,
-        )?;
-        let _ = brownout_handled;
+        // Discrete boundary handling (several may coincide).
+        if self.runtime.step_deadline().is_some_and(|d| (d.value() - self.t).abs() <= 1e-9) {
+            let finished = self.runtime.complete_step(Seconds::new(self.t));
+            if finished {
+                self.recheck_at = Some(self.t + self.opts.rearm_delay.value());
+            }
+            self.solver.notify_discontinuity();
+        }
+        if self.next_tick.is_some_and(|tk| (tk - self.t).abs() <= 1e-9) {
+            let period = self.governor.tick_period().expect("tick governor").value();
+            self.next_tick = Some(self.t + period);
+            if self.runtime.is_alive() {
+                // The ray-tracing workload saturates every online
+                // core: load is pinned at 100 %.
+                let event = GovernorEvent::Tick {
+                    t: Seconds::new(self.t),
+                    vc: Volts::new(self.vc),
+                    load: 1.0,
+                };
+                let action = self.governor.on_event(&event, self.runtime.current_opp());
+                let _ = apply_action(
+                    &mut self.runtime,
+                    &mut self.monitor,
+                    self.governor.as_mut(),
+                    action,
+                    Seconds::new(self.t),
+                )?;
+                self.solver.notify_discontinuity();
+            }
+        }
+        if self.recheck_at.is_some_and(|r| (r - self.t).abs() <= 1e-9) {
+            self.recheck_at = None;
+            if self.uses_irq && !self.runtime.is_transitioning() && self.runtime.is_alive() {
+                let (high, low) = self.monitor.effective_thresholds();
+                let edge = if self.vc >= high.value() {
+                    Some(ThresholdEdge::High)
+                } else if self.vc <= low.value() {
+                    Some(ThresholdEdge::Low)
+                } else {
+                    None
+                };
+                if let Some(edge) = edge {
+                    let event = GovernorEvent::ThresholdCrossed {
+                        edge,
+                        vc: Volts::new(self.vc),
+                        t: Seconds::new(self.t),
+                    };
+                    let action = self.governor.on_event(&event, self.runtime.current_opp());
+                    let changed = apply_action(
+                        &mut self.runtime,
+                        &mut self.monitor,
+                        self.governor.as_mut(),
+                        action,
+                        Seconds::new(self.t),
+                    )?;
+                    if changed {
+                        self.recheck_at = Some(self.t + self.opts.rearm_delay.value());
+                    }
+                    self.solver.notify_discontinuity();
+                }
+            }
+        }
+        if self.t >= self.next_record - 1e-9 {
+            self.snapshot()?;
+            self.next_record = self.t + self.opts.record_dt.value();
+        }
+        Ok(())
+    }
 
+    /// Takes the final snapshot and assembles the report.
+    pub(crate) fn finish(mut self) -> Result<SimReport, SimError> {
+        // Final snapshot at the stop time.
+        self.snapshot()?;
         Ok(SimReport {
             governor: self.governor.name().to_string(),
-            recorder,
-            lifetime: runtime.death_time().map(|d| d - Seconds::new(t_start)),
-            duration: Seconds::new(t_end - t_start),
-            work: *runtime.work(),
-            control_cpu: runtime.control_cpu_time(),
-            transitions: runtime.transitions_started(),
-            final_vc: Volts::new(vc),
+            recorder: self.recorder,
+            lifetime: self.runtime.death_time().map(|d| d - Seconds::new(self.t_start)),
+            duration: Seconds::new(self.t_end - self.t_start),
+            work: *self.runtime.work(),
+            control_cpu: self.runtime.control_cpu_time(),
+            transitions: self.runtime.transitions_started(),
+            final_vc: Volts::new(self.vc),
         })
+    }
+
+    /// Records the lane's current state into its trace.
+    fn snapshot(&mut self) -> Result<(), SimError> {
+        let opp = self.runtime.effective_opp();
+        let freq = self
+            .runtime
+            .platform()
+            .frequencies()
+            .frequency(opp.level())
+            .map(|f| f.to_gigahertz())
+            .unwrap_or(0.0);
+        let power_out = if self.runtime.is_alive() {
+            self.runtime.power() + self.monitor.power()
+        } else {
+            Watts::ZERO
+        };
+        let power_in = match &self.supply {
+            Supply::Photovoltaic { .. } => {
+                let i = self.supply_state.current(
+                    &self.supply,
+                    Seconds::new(self.t),
+                    Volts::new(self.vc),
+                )?;
+                Volts::new(self.vc) * i
+            }
+            Supply::Controlled { .. } => power_out,
+        };
+        let (v_high, v_low) = if self.uses_irq {
+            self.monitor.effective_thresholds()
+        } else {
+            (Volts::ZERO, Volts::ZERO)
+        };
+        let (little, big) = if self.runtime.is_alive() {
+            (opp.config().little(), opp.config().big())
+        } else {
+            (0, 0)
+        };
+        self.recorder.record(&Snapshot {
+            t: Seconds::new(self.t),
+            vc: Volts::new(self.vc),
+            frequency_ghz: if self.runtime.is_alive() { freq } else { 0.0 },
+            little_cores: little,
+            big_cores: big,
+            power_out,
+            power_in,
+            v_high,
+            v_low,
+        });
+        Ok(())
     }
 }
 
@@ -628,134 +770,96 @@ fn apply_action(
     Ok(changed)
 }
 
-#[allow(clippy::too_many_arguments)] // engine-internal plumbing
-fn record_snapshot(
-    recorder: &mut Recorder,
-    runtime: &SocRuntime,
-    monitor: &VoltageMonitor,
-    supply: &Supply,
-    supply_state: &mut SupplyState,
-    t: f64,
-    vc: f64,
-    uses_irq: bool,
-) -> Result<(), SimError> {
-    let opp = runtime.effective_opp();
-    let freq = runtime
-        .platform()
-        .frequencies()
-        .frequency(opp.level())
-        .map(|f| f.to_gigahertz())
-        .unwrap_or(0.0);
-    let power_out = if runtime.is_alive() {
-        runtime.power() + monitor.power()
-    } else {
-        Watts::ZERO
-    };
-    let power_in = match supply {
-        Supply::Photovoltaic { .. } => {
-            let i = supply_state.current(supply, Seconds::new(t), Volts::new(vc))?;
-            Volts::new(vc) * i
-        }
-        Supply::Controlled { .. } => power_out,
-    };
-    let (v_high, v_low) = if uses_irq {
-        monitor.effective_thresholds()
-    } else {
-        (Volts::ZERO, Volts::ZERO)
-    };
-    let (little, big) = if runtime.is_alive() {
-        (opp.config().little(), opp.config().big())
-    } else {
-        (0, 0)
-    };
-    recorder.record(&Snapshot {
-        t: Seconds::new(t),
-        vc: Volts::new(vc),
-        frequency_ghz: if runtime.is_alive() { freq } else { 0.0 },
-        little_cores: little,
-        big_cores: big,
-        power_out,
-        power_in,
-        v_high,
-        v_low,
-    });
-    Ok(())
+/// The continuous-phase context of one lane: the integration resources
+/// (supply, fast-path state, buffer, solver) plus the load power and
+/// the armed threshold set. Shared by the scalar and batched paths —
+/// each `Lane::step` assembles one from its own fields, so batching
+/// cannot change what an advance sees.
+struct AdvanceCtx<'a> {
+    supply: &'a Supply,
+    supply_state: &'a mut SupplyState,
+    buffer: &'a Supercapacitor,
+    solver: &'a mut Rk23,
+    /// Total load power drawn from the buffer node, watts.
+    p_load: f64,
+    /// Brown-out level — armed while the runtime is alive.
+    vmin: Option<f64>,
+    /// Rising threshold — armed when interrupts are live.
+    high: Option<f64>,
+    /// Falling threshold — armed when interrupts are live.
+    low: Option<f64>,
 }
 
-/// Advances the continuous state toward `boundary`, stopping at the
-/// earliest crossing (brownout, Vhigh rising, Vlow falling).
-#[allow(clippy::too_many_arguments)]
-fn advance(
-    supply: &Supply,
-    supply_state: &mut SupplyState,
-    buffer: &Supercapacitor,
-    solver: &mut Rk23,
-    p_load: f64,
-    t: f64,
-    vc: f64,
-    boundary: f64,
-    vmin: Option<f64>,
-    high: Option<f64>,
-    low: Option<f64>,
-) -> Result<AdvanceOutcome, SimError> {
-    match supply {
-        Supply::Controlled { waveform } => {
-            let f = |tt: f64| waveform.sample(Seconds::new(tt)).value();
-            let subdivisions = (((boundary - t) / 0.01).ceil() as usize).clamp(4, 4000);
-            let found = scan_crossings(&f, t, boundary, subdivisions, vmin, high, low)?;
-            match found {
-                Some((tc, kind)) => Ok(AdvanceOutcome { t: tc, vc: f(tc), event: Some(kind) }),
-                None => Ok(AdvanceOutcome { t: boundary, vc: f(boundary), event: None }),
-            }
-        }
-        Supply::Photovoltaic { .. } => {
-            let mut solve_error: Option<SimError> = None;
-            let mut deriv = |tt: f64, y: &[f64; 1]| -> [f64; 1] {
-                let v = y[0].max(0.05);
-                // The supply fast path: monotone irradiance cursor plus
-                // warm-started Newton (or the interpolation surface).
-                let i_in = match supply_state.current(supply, Seconds::new(tt), Volts::new(v)) {
-                    Ok(i) => i,
-                    Err(e) => {
-                        solve_error = Some(e);
-                        pn_units::Amps::ZERO
+impl AdvanceCtx<'_> {
+    /// Advances the continuous state from `(t, vc)` toward `boundary`,
+    /// stopping at the earliest crossing (brownout, Vhigh rising, Vlow
+    /// falling).
+    fn advance(self, t: f64, vc: f64, boundary: f64) -> Result<AdvanceOutcome, SimError> {
+        let AdvanceCtx { supply, supply_state, buffer, solver, p_load, vmin, high, low } = self;
+        match supply {
+            Supply::Controlled { waveform } => {
+                let f = |tt: f64| waveform.sample(Seconds::new(tt)).value();
+                let subdivisions = (((boundary - t) / 0.01).ceil() as usize).clamp(4, 4000);
+                let found = scan_crossings(&f, t, boundary, subdivisions, vmin, high, low)?;
+                match found {
+                    Some((tc, kind)) => {
+                        Ok(AdvanceOutcome { t: tc, vc: f(tc), event: Some(kind) })
                     }
-                };
-                let i_out = pn_units::Amps::new(p_load / v.max(0.3));
-                [buffer.dv_dt(Volts::new(v), i_in, i_out)]
-            };
-            let step = solver.step(&mut deriv, t, &[vc], boundary)?;
-            if let Some(e) = solve_error {
-                return Err(e);
+                    None => Ok(AdvanceOutcome { t: boundary, vc: f(boundary), event: None }),
+                }
             }
-            // Rigorous range bound of the cubic Hermite dense output on
-            // this step: the Hermite value basis stays inside
-            // [min(y0,y1), max(y0,y1)] and the two tangent basis
-            // polynomials peak at 4/27, so thresholds outside the
-            // bound cannot be crossed — skip their subdivision scans
-            // entirely (the overwhelmingly common case). Detection on
-            // the remaining thresholds is bit-identical to scanning
-            // all of them.
-            let (y0, y1) = (step.y0[0], step.y1[0]);
-            let margin =
-                (4.0 / 27.0) * (step.t1 - step.t0) * (step.f0[0].abs() + step.f1[0].abs());
-            let reachable = |threshold: &f64| {
-                *threshold >= y0.min(y1) - margin && *threshold <= y0.max(y1) + margin
-            };
-            let f = |tt: f64| step.interpolate(tt)[0];
-            let subdivisions = 8;
-            let found = scan_crossings(
-                &f,
-                step.t0,
-                step.t1,
-                subdivisions,
-                vmin.filter(reachable),
-                high.filter(reachable),
-                low.filter(reachable),
-            )?;
-            match found {
-                Some((tc, kind)) => Ok(AdvanceOutcome { t: tc, vc: f(tc), event: Some(kind) }),
-                None => Ok(AdvanceOutcome { t: step.t1, vc: step.y1[0], event: None }),
+            Supply::Photovoltaic { .. } => {
+                let mut solve_error: Option<SimError> = None;
+                let mut deriv = |tt: f64, y: &[f64; 1]| -> [f64; 1] {
+                    let v = y[0].max(0.05);
+                    // The supply fast path: monotone irradiance cursor plus
+                    // warm-started Newton (or the interpolation surface).
+                    let i_in = match supply_state.current(supply, Seconds::new(tt), Volts::new(v))
+                    {
+                        Ok(i) => i,
+                        Err(e) => {
+                            solve_error = Some(e);
+                            pn_units::Amps::ZERO
+                        }
+                    };
+                    let i_out = pn_units::Amps::new(p_load / v.max(0.3));
+                    [buffer.dv_dt(Volts::new(v), i_in, i_out)]
+                };
+                let step = solver.step(&mut deriv, t, &[vc], boundary)?;
+                if let Some(e) = solve_error {
+                    return Err(e);
+                }
+                // Rigorous range bound of the cubic Hermite dense output on
+                // this step: the Hermite value basis stays inside
+                // [min(y0,y1), max(y0,y1)] and the two tangent basis
+                // polynomials peak at 4/27, so thresholds outside the
+                // bound cannot be crossed — skip their subdivision scans
+                // entirely (the overwhelmingly common case). Detection on
+                // the remaining thresholds is bit-identical to scanning
+                // all of them.
+                let (y0, y1) = (step.y0[0], step.y1[0]);
+                let margin =
+                    (4.0 / 27.0) * (step.t1 - step.t0) * (step.f0[0].abs() + step.f1[0].abs());
+                let reachable = |threshold: &f64| {
+                    *threshold >= y0.min(y1) - margin && *threshold <= y0.max(y1) + margin
+                };
+                let f = |tt: f64| step.interpolate(tt)[0];
+                let subdivisions = 8;
+                let found = scan_crossings(
+                    &f,
+                    step.t0,
+                    step.t1,
+                    subdivisions,
+                    vmin.filter(reachable),
+                    high.filter(reachable),
+                    low.filter(reachable),
+                )?;
+                match found {
+                    Some((tc, kind)) => {
+                        Ok(AdvanceOutcome { t: tc, vc: f(tc), event: Some(kind) })
+                    }
+                    None => Ok(AdvanceOutcome { t: step.t1, vc: step.y1[0], event: None }),
+                }
             }
         }
     }
@@ -807,15 +911,15 @@ mod tests {
     use pn_units::WattsPerSquareMeter;
 
     fn pv_supply(g: f64, t_end: f64) -> Supply {
-        Supply::Photovoltaic {
-            cell: pn_circuit::solar::SolarCell::odroid_array(),
-            irradiance: IrradianceTrace::constant(
+        Supply::photovoltaic(
+            pn_circuit::solar::SolarCell::odroid_array(),
+            IrradianceTrace::constant(
                 Seconds::ZERO,
                 Seconds::new(t_end),
                 WattsPerSquareMeter::new(g),
             )
             .unwrap(),
-        }
+        )
     }
 
     fn build(
@@ -1041,6 +1145,70 @@ mod tests {
             sparse.recorder().len(),
             dense.recorder().len()
         );
+    }
+
+    #[test]
+    fn engine_kind_slugs_round_trip() {
+        for kind in [EngineKind::Scalar, EngineKind::Batched] {
+            assert_eq!(EngineKind::from_slug(kind.slug()), Some(kind));
+            assert_eq!(kind.to_string(), kind.slug());
+            assert!(!kind.slug().contains([' ', ',']), "slug {:?} not CSV-safe", kind.slug());
+        }
+        assert_eq!(EngineKind::from_slug("vector"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Batched);
+        // Pinned spellings: persisted specs depend on them.
+        assert_eq!(EngineKind::Scalar.slug(), "scalar");
+        assert_eq!(EngineKind::Batched.slug(), "batched");
+    }
+
+    #[test]
+    fn engine_override_applies_sparsely() {
+        let base = SimOptions::new(Seconds::new(10.0));
+        assert_eq!(base.engine, EngineKind::Batched);
+        let merged = base.with_overrides(&SimOverrides::none().with_engine(EngineKind::Scalar));
+        assert_eq!(merged.engine, EngineKind::Scalar);
+        assert_eq!(base.with_overrides(&SimOverrides::none()).engine, EngineKind::Batched);
+        assert!(!SimOverrides::none().with_engine(EngineKind::Scalar).is_none());
+    }
+
+    #[test]
+    fn stepped_lane_matches_run_bitwise() {
+        let make = || build(pn_governor(), pv_supply(560.0, 15.0), 15.0, Opp::lowest());
+        let whole = make().run().unwrap();
+        let mut lane = make().start().unwrap();
+        while !lane.done() {
+            lane.step().unwrap();
+        }
+        assert_eq!(whole, lane.finish().unwrap());
+    }
+
+    #[test]
+    fn interleaved_lanes_match_solo_runs_bitwise() {
+        // Two different lanes stepped in strict alternation must each
+        // reproduce their solo run exactly: lanes share no state.
+        let a = || build(pn_governor(), pv_supply(560.0, 10.0), 10.0, Opp::lowest());
+        let b = || {
+            build(
+                Box::new(Powersave::new()),
+                pv_supply(420.0, 10.0),
+                10.0,
+                Opp::new(pn_soc::cores::CoreConfig::MAX, 0),
+            )
+        };
+        let solo_a = a().run().unwrap();
+        let solo_b = b().run().unwrap();
+        let mut lane_a = a().start().unwrap();
+        let mut lane_b = b().start().unwrap();
+        while !lane_a.done() || !lane_b.done() {
+            if !lane_a.done() {
+                lane_a.step().unwrap();
+            }
+            if !lane_b.done() {
+                lane_b.step().unwrap();
+            }
+        }
+        assert_eq!(solo_a, lane_a.finish().unwrap());
+        assert_eq!(solo_b, lane_b.finish().unwrap());
     }
 
     #[test]

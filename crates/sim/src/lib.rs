@@ -19,6 +19,9 @@
 //! * [`engine`] — the hybrid continuous/discrete simulation loop
 //!   (adaptive RK23 between events, bisection event location, interrupt
 //!   masking during transitions),
+//! * [`lanes`] — the batched structure-of-arrays lane engine: step a
+//!   whole group of simulations per sweep, bitwise identical to
+//!   running each alone,
 //! * [`scenario`] — canned scenarios for each paper experiment,
 //! * [`executor`] — the shared work-stealing batch executor,
 //! * [`sweep`] — the §III parameter sweep,
@@ -55,6 +58,7 @@ pub mod campaign;
 pub mod engine;
 pub mod executor;
 pub mod experiments;
+pub mod lanes;
 pub mod persist;
 pub mod recorder;
 pub mod runtime;

@@ -39,7 +39,7 @@
 use crate::campaign::{
     CampaignCell, CampaignReport, CampaignSpec, CellOutcome, GovernorSpec, GroupSummary,
 };
-use crate::engine::SimOverrides;
+use crate::engine::{EngineKind, SimOverrides};
 use crate::supply::SupplyModel;
 use crate::SimError;
 use pn_analysis::csv::{write_campaign_csv, write_summary_csv, CampaignRow, SummaryRow};
@@ -50,14 +50,21 @@ use pn_units::{Seconds, Volts};
 use std::fmt::Write as _;
 
 /// Written spec header: v2 added the `options` line (per-cell
-/// [`SimOverrides`]).
-const SPEC_HEADER: &str = "pn-campaign-spec v2";
+/// [`SimOverrides`]), v3 the engine token on it.
+const SPEC_HEADER: &str = "pn-campaign-spec v3";
+/// Still-readable v2 spec header (documents written before the engine
+/// token existed; their options decode with no engine override).
+const SPEC_HEADER_V2: &str = "pn-campaign-spec v2";
 /// Still-readable v1 spec header (documents written before per-cell
 /// options existed; they decode with no overrides).
 const SPEC_HEADER_V1: &str = "pn-campaign-spec v1";
 /// Written report header: v2 added the optional `summary` section, v3
-/// the per-cell options suffix on `cell` lines.
-const REPORT_HEADER: &str = "pn-campaign-report v3";
+/// the per-cell options suffix on `cell` lines, v4 the engine token in
+/// that suffix.
+const REPORT_HEADER: &str = "pn-campaign-report v4";
+/// Still-readable v3 header (documents written before the engine token
+/// existed).
+const REPORT_HEADER_V3: &str = "pn-campaign-report v3";
 /// Still-readable v2 header (documents written before per-cell
 /// options existed).
 const REPORT_HEADER_V2: &str = "pn-campaign-report v2";
@@ -65,7 +72,7 @@ const REPORT_HEADER_V2: &str = "pn-campaign-report v2";
 /// section existed).
 const REPORT_HEADER_V1: &str = "pn-campaign-report v1";
 
-/// Serializes a campaign spec to the v2 wire format.
+/// Serializes a campaign spec to the v3 wire format.
 pub fn spec_to_string(spec: &CampaignSpec) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{SPEC_HEADER}");
@@ -97,8 +104,9 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
     out
 }
 
-/// Decodes a campaign spec from the wire format (v2, or v1 written
-/// before per-cell options existed).
+/// Decodes a campaign spec from the wire format (v3, or the v2/v1
+/// dialects written before the engine token / per-cell options
+/// existed).
 ///
 /// # Errors
 ///
@@ -106,7 +114,7 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
 /// parameter lines that fail [`ControlParams`] validation.
 pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     let mut lines = Lines::new(text);
-    lines.expect_header(&[SPEC_HEADER, SPEC_HEADER_V1])?;
+    lines.expect_header(&[SPEC_HEADER, SPEC_HEADER_V2, SPEC_HEADER_V1])?;
     let mut spec = CampaignSpec {
         weathers: Vec::new(),
         seeds: Vec::new(),
@@ -161,10 +169,10 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     Ok(spec)
 }
 
-/// Serializes a (full or shard) campaign report to the v3 wire format.
+/// Serializes a (full or shard) campaign report to the v4 wire format.
 ///
 /// Besides one `cell` line per outcome — each carrying its per-cell
-/// [`SimOverrides`] as a three-token options suffix (v3) — the
+/// [`SimOverrides`] as a four-token options suffix (v4) — the
 /// document carries the report's per-weather and per-governor
 /// [`GroupSummary`] aggregates as `summary` lines, so a consumer can
 /// read fleet-level statistics without re-reducing the cells (the
@@ -232,11 +240,11 @@ fn aggregate_fields(agg: &Aggregate) -> String {
     )
 }
 
-/// Decodes a campaign report from the wire format (v3, or the v2/v1
-/// dialects written before per-cell options / the summary section
-/// existed — their cells decode with no overrides). Every `f64` is
-/// reproduced bitwise, so `report_from_str(&report_to_string(r)) == r`
-/// exactly.
+/// Decodes a campaign report from the wire format (v4, or the v3/v2/v1
+/// dialects written before the engine token / per-cell options / the
+/// summary section existed — missing pieces decode as unset). Every
+/// `f64` is reproduced bitwise, so
+/// `report_from_str(&report_to_string(r)) == r` exactly.
 ///
 /// `summary` sections are optional (documents written before they
 /// existed still decode), but when present they must agree with the
@@ -251,10 +259,15 @@ fn aggregate_fields(agg: &Aggregate) -> String {
 /// inconsistent summary section).
 pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
     let mut lines = Lines::new(text);
-    let version = lines.expect_header(&[REPORT_HEADER, REPORT_HEADER_V2, REPORT_HEADER_V1])?;
-    // v3 documents always write the options suffix, so a cell line
+    let version = lines.expect_header(&[
+        REPORT_HEADER,
+        REPORT_HEADER_V3,
+        REPORT_HEADER_V2,
+        REPORT_HEADER_V1,
+    ])?;
+    // v3+ documents always write the options suffix, so a cell line
     // without one is truncation, not a legacy dialect.
-    let options_required = version == 0;
+    let options_required = version <= 1;
     let (no, line) = lines.next_line()?;
     let start: usize = parse_keyed(no, line, "start")?;
     let (no, line) = lines.next_line()?;
@@ -394,21 +407,22 @@ fn parse_cell_line(
     let energy_out_joules = parse_token(no, next("energy_out")?)?;
     let transitions = parse_token(no, next("transitions")?)?;
     let final_vc = parse_token(no, next("final_vc")?)?;
-    // v3 appends the per-cell options (record_dt, max_step, supply
-    // model; `-` for unset). Pre-v3 lines simply end here and decode
-    // with no overrides; in a v3 document a bare 18-token line is a
-    // torn write, not a legacy dialect, and is rejected.
+    // v3 appended the per-cell options (record_dt, max_step, supply
+    // model; `-` for unset); v4 adds the engine token. Pre-v3 lines
+    // simply end here and decode with no overrides; in a v3+ document
+    // a bare 18-token line is a torn write, not a legacy dialect, and
+    // is rejected.
     let rest: Vec<&str> = tok.collect();
     let options = match rest.len() {
         0 if !options_required => SimOverrides::none(),
         0 => {
             return Err(persist_err(no, "cell line missing its options section".into()));
         }
-        3 => parse_overrides(no, &rest)?,
+        3 | 4 => parse_overrides(no, &rest)?,
         n => {
             return Err(persist_err(
                 no,
-                format!("cell options section wants 3 tokens, found {n}"),
+                format!("cell options section wants 4 tokens, found {n}"),
             ));
         }
     };
@@ -426,26 +440,33 @@ fn parse_cell_line(
     })
 }
 
-/// The three wire tokens of a [`SimOverrides`] (`record_dt max_step
-/// supply_model`, each `-` when unset).
+/// The four wire tokens of a [`SimOverrides`] (`record_dt max_step
+/// supply_model engine`, each `-` when unset).
 fn overrides_fields(options: &SimOverrides) -> String {
     let seconds = |s: Option<Seconds>| s.map_or("-".to_string(), |v| v.value().to_string());
     format!(
-        "{} {} {}",
+        "{} {} {} {}",
         seconds(options.record_dt),
         seconds(options.max_step),
         options.supply_model.map_or("-".to_string(), |m| m.slug()),
+        options.engine.map_or("-", |e| e.slug()),
     )
 }
 
-/// Parses the three-token options section of a `cell` line or the
-/// spec's `options` line.
+/// Parses the options section of a `cell` line or the spec's
+/// `options` line: four tokens since v4/spec-v3, three in the dialects
+/// written before the engine token existed (which decode with no
+/// engine override).
 fn parse_overrides(no: usize, tokens: &[&str]) -> Result<SimOverrides, SimError> {
-    let [record_dt, max_step, model] = tokens else {
-        return Err(persist_err(
-            no,
-            format!("options section wants 3 tokens, found {}", tokens.len()),
-        ));
+    let (record_dt, max_step, model, engine) = match tokens {
+        [r, m, s] => (*r, *m, *s, "-"),
+        [r, m, s, e] => (*r, *m, *s, *e),
+        _ => {
+            return Err(persist_err(
+                no,
+                format!("options section wants 4 tokens, found {}", tokens.len()),
+            ));
+        }
     };
     let seconds = |token: &str| -> Result<Option<Seconds>, SimError> {
         if token == "-" {
@@ -457,7 +478,7 @@ fn parse_overrides(no: usize, tokens: &[&str]) -> Result<SimOverrides, SimError>
         }
         Ok(Some(Seconds::new(value)))
     };
-    let supply_model = if *model == "-" {
+    let supply_model = if model == "-" {
         None
     } else {
         Some(
@@ -465,10 +486,19 @@ fn parse_overrides(no: usize, tokens: &[&str]) -> Result<SimOverrides, SimError>
                 .ok_or_else(|| persist_err(no, format!("unknown supply model {model:?}")))?,
         )
     };
+    let engine = if engine == "-" {
+        None
+    } else {
+        Some(
+            EngineKind::from_slug(engine)
+                .ok_or_else(|| persist_err(no, format!("unknown engine {engine:?}")))?,
+        )
+    };
     Ok(SimOverrides {
         record_dt: seconds(record_dt)?,
         max_step: seconds(max_step)?,
         supply_model,
+        engine,
     })
 }
 
@@ -694,7 +724,7 @@ mod tests {
     fn malformed_documents_are_rejected_with_line_numbers() {
         let cases = [
             ("", "unexpected end"),
-            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v3\""),
+            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v4\""),
             ("pn-campaign-report v1\nstart 0\ncells 1\nend\n", "expected a cell line"),
             ("pn-campaign-report v1\nstart 0\ncells 0\nEND\n", "end marker"),
             ("pn-campaign-report v1\nstart zero\ncells 0\nend\n", "undecodable token"),
@@ -730,15 +760,15 @@ mod tests {
     #[test]
     fn version_skew_is_reported_as_a_persist_error() {
         let wire = report_to_string(&sample_report());
-        let skewed = wire.replacen("pn-campaign-report v3", "pn-campaign-report v4", 1);
+        let skewed = wire.replacen("pn-campaign-report v4", "pn-campaign-report v5", 1);
         let err = report_from_str(&skewed).unwrap_err();
         assert!(matches!(err, SimError::Persist(_)), "{err}");
         let msg = err.to_string();
         assert!(msg.contains("unsupported"), "{msg}");
-        assert!(msg.contains("v3"), "message {msg:?} does not name the supported version");
+        assert!(msg.contains("v4"), "message {msg:?} does not name the supported version");
         // Specs skew independently.
         let spec_doc = spec_to_string(&CampaignSpec::smoke());
-        let skewed = spec_doc.replacen("v2", "v7", 1);
+        let skewed = spec_doc.replacen("v3", "v7", 1);
         let err = spec_from_str(&skewed).unwrap_err();
         assert!(err.to_string().contains("unsupported"), "{err}");
     }
@@ -764,12 +794,12 @@ mod tests {
                 s
             });
         assert_eq!(report_from_str(&stripped).unwrap(), report);
-        let v1 = stripped.replacen("pn-campaign-report v3", "pn-campaign-report v1", 1);
+        let v1 = stripped.replacen("pn-campaign-report v4", "pn-campaign-report v1", 1);
         assert_eq!(report_from_str(&v1).unwrap(), report);
     }
 
     #[test]
-    fn pre_v3_documents_without_options_still_decode() {
+    fn pre_v4_documents_without_engine_or_options_still_decode() {
         // A genuine pre-v3 document: 18-token cell lines (no options
         // suffix) under the v1 and v2 headers. Cells decode with no
         // overrides.
@@ -781,7 +811,7 @@ mod tests {
             .map(|l| {
                 if let Some(rest) = l.strip_prefix("cell ") {
                     let tokens: Vec<&str> = rest.split_whitespace().collect();
-                    assert_eq!(tokens.len(), 21, "v3 cell lines carry the options suffix");
+                    assert_eq!(tokens.len(), 22, "v4 cell lines carry the options suffix");
                     format!("cell {}\n", tokens[..18].join(" "))
                 } else {
                     format!("{l}\n")
@@ -789,7 +819,7 @@ mod tests {
             })
             .collect();
         for legacy_header in ["pn-campaign-report v1", "pn-campaign-report v2"] {
-            let doc = legacy_cells.replacen("pn-campaign-report v3", legacy_header, 1);
+            let doc = legacy_cells.replacen("pn-campaign-report v4", legacy_header, 1);
             let decoded = report_from_str(&doc).unwrap();
             assert_eq!(decoded, report, "{legacy_header} document drifted");
             assert!(decoded
@@ -797,6 +827,24 @@ mod tests {
                 .iter()
                 .all(|c| c.cell.options == SimOverrides::none()));
         }
+        // A v3 document: three-token options suffix (no engine token).
+        // Cells decode with their overrides but no engine override.
+        let v3_cells: String = wire
+            .lines()
+            .filter(|l| !l.starts_with("summary "))
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("cell ") {
+                    let tokens: Vec<&str> = rest.split_whitespace().collect();
+                    format!("cell {}\n", tokens[..21].join(" "))
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let doc = v3_cells.replacen("pn-campaign-report v4", "pn-campaign-report v3", 1);
+        let decoded = report_from_str(&doc).unwrap();
+        assert_eq!(decoded, report, "v3 document drifted");
+        assert!(decoded.cells().iter().all(|c| c.cell.options.engine.is_none()));
         // Pre-v2 specs decode with no overrides too.
         let spec = CampaignSpec::smoke();
         let spec_doc = spec_to_string(&spec);
@@ -805,7 +853,7 @@ mod tests {
             .filter(|l| !l.starts_with("options "))
             .map(|l| format!("{l}\n"))
             .collect();
-        let legacy = legacy.replacen("pn-campaign-spec v2", "pn-campaign-spec v1", 1);
+        let legacy = legacy.replacen("pn-campaign-spec v3", "pn-campaign-spec v1", 1);
         assert_eq!(spec_from_str(&legacy).unwrap(), spec);
     }
 
@@ -813,7 +861,8 @@ mod tests {
     fn per_cell_options_round_trip_bitwise() {
         let overrides = SimOverrides::none()
             .with_record_dt(Seconds::new(0.1 + 0.2)) // awkward float
-            .with_supply_model(SupplyModel::Interpolated { tol: 1.0 / 3.0 });
+            .with_supply_model(SupplyModel::Interpolated { tol: 1.0 / 3.0 })
+            .with_engine(EngineKind::Scalar);
         let spec = CampaignSpec::smoke().with_cell_options(overrides);
         assert_eq!(spec_from_str(&spec_to_string(&spec)).unwrap(), spec);
         let cells: Vec<CellOutcome> = spec
@@ -877,7 +926,9 @@ mod tests {
             // Negative interval.
             ("- - interp:0.001", "-4 - interp:0.001", "must be positive"),
             // Wrong token count (options suffix torn in half).
-            ("- - interp:0.001", "- interp:0.001", "options section wants 3 tokens"),
+            ("- - interp:0.001 -", "- interp:0.001", "options section wants 4 tokens"),
+            // Unknown engine token.
+            ("- - interp:0.001 -", "- - interp:0.001 vector", "unknown engine"),
         ];
         for (needle, replacement, expected) in cases {
             let bad = wire.replacen(needle, replacement, 1);
@@ -886,19 +937,19 @@ mod tests {
             assert!(matches!(err, SimError::Persist(_)), "{err}");
             assert!(err.to_string().contains(expected), "{replacement:?} → {err}");
         }
-        // A v3 cell line torn right after the 18 base tokens must be
+        // A v4 cell line torn right after the 18 base tokens must be
         // rejected too — only genuine pre-v3 headers may omit the
         // options suffix.
-        let torn = wire.replacen(" - - interp:0.001", "", 1);
+        let torn = wire.replacen(" - - interp:0.001 -", "", 1);
         assert_ne!(torn, wire, "tamper target not found");
         let err = report_from_str(&torn).unwrap_err();
         assert!(err.to_string().contains("missing its options section"), "{err}");
         // Spec options lines are validated the same way.
         let spec_doc = spec_to_string(&spec);
-        let bad = spec_doc.replacen("options - - interp:0.001", "options - -", 1);
+        let bad = spec_doc.replacen("options - - interp:0.001 -", "options - -", 1);
         assert_ne!(bad, spec_doc);
         let err = spec_from_str(&bad).unwrap_err();
-        assert!(err.to_string().contains("options section wants 3 tokens"), "{err}");
+        assert!(err.to_string().contains("options section wants 4 tokens"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use pn_soc::cores::CoreConfig;
 use pn_soc::opp::Opp;
 use pn_soc::platform::Platform;
 use pn_units::{Seconds, Volts, WattsPerSquareMeter};
+use std::sync::Arc;
 
 /// A runnable experiment configuration.
 #[derive(Debug, Clone)]
@@ -114,8 +115,18 @@ impl Scenario {
     ///
     /// Propagates engine failures.
     pub fn run_power_neutral(&self) -> Result<SimReport, SimError> {
+        self.build_power_neutral()?.run()
+    }
+
+    /// Assembles (without running) the [`Scenario::run_power_neutral`]
+    /// simulation, for batched execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures.
+    pub fn build_power_neutral(&self) -> Result<Simulation, SimError> {
         let gov = PowerNeutralGovernor::new(self.params, &self.platform)?;
-        self.run_governor(Box::new(gov))
+        self.build_governor(Box::new(gov))
     }
 
     /// Runs under an arbitrary governor. Baseline (non-hot-plugging)
@@ -126,6 +137,16 @@ impl Scenario {
     ///
     /// Propagates engine failures.
     pub fn run_governor(&self, governor: Box<dyn Governor>) -> Result<SimReport, SimError> {
+        self.build_governor(governor)?.run()
+    }
+
+    /// Assembles (without running) the [`Scenario::run_governor`]
+    /// simulation, for batched execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures.
+    pub fn build_governor(&self, governor: Box<dyn Governor>) -> Result<Simulation, SimError> {
         let initial = if governor.uses_threshold_interrupts() {
             self.initial_opp
         } else {
@@ -140,8 +161,7 @@ impl Scenario {
             initial,
             self.initial_vc,
             self.options,
-        )?
-        .run()
+        )
     }
 
     /// Runs with a fixed OPP and no control at all (the red "small
@@ -151,6 +171,16 @@ impl Scenario {
     ///
     /// Propagates engine failures.
     pub fn run_static(&self, opp: Opp) -> Result<SimReport, SimError> {
+        self.build_static(opp)?.run()
+    }
+
+    /// Assembles (without running) the [`Scenario::run_static`]
+    /// simulation, for batched execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures.
+    pub fn build_static(&self, opp: Opp) -> Result<Simulation, SimError> {
         Simulation::new(
             self.platform.clone(),
             self.supply.clone(),
@@ -160,8 +190,7 @@ impl Scenario {
             opp,
             self.initial_vc,
             self.options,
-        )?
-        .run()
+        )
     }
 
     /// Runs the paper's powersave baseline (Table II's only surviving
@@ -172,6 +201,16 @@ impl Scenario {
     /// Propagates engine failures.
     pub fn run_powersave(&self) -> Result<SimReport, SimError> {
         self.run_governor(Box::new(Powersave::new()))
+    }
+
+    /// Assembles (without running) the [`Scenario::run_powersave`]
+    /// simulation, for batched execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures.
+    pub fn build_powersave(&self) -> Result<Simulation, SimError> {
+        self.build_governor(Box::new(Powersave::new()))
     }
 }
 
@@ -184,7 +223,7 @@ pub fn full_sun_day(seed: u64) -> Scenario {
 
 /// A PV day in the given weather over the paper's test window.
 pub fn weather_day(weather: Weather, seed: u64) -> Scenario {
-    weather_day_with_trace(weather_day_trace(weather, seed))
+    weather_day_with_trace(weather_day_trace_shared(weather, seed))
 }
 
 /// The irradiance trace [`weather_day`] renders: the paper's test
@@ -193,23 +232,37 @@ pub fn weather_day(weather: Weather, seed: u64) -> Scenario {
 /// (weather, seed) day once and share it through a
 /// [`TraceCache`](pn_harvest::cache::TraceCache).
 pub fn weather_day_trace(weather: Weather, seed: u64) -> IrradianceTrace {
+    weather_day_profile(weather, seed)
+        .build(Seconds::new(1.0))
+        .expect("day profile valid")
+}
+
+/// [`weather_day_trace`] through the process-wide day memo
+/// ([`DayProfile::build_shared`]): bitwise-identical samples, but
+/// repeated requests for the same `(weather, seed)` day — within one
+/// campaign or across runs in the same process — share a single
+/// rendered trace instead of re-rendering ~21 600 samples each.
+pub fn weather_day_trace_shared(weather: Weather, seed: u64) -> Arc<IrradianceTrace> {
+    weather_day_profile(weather, seed)
+        .build_shared(Seconds::new(1.0))
+        .expect("day profile valid")
+}
+
+fn weather_day_profile(weather: Weather, seed: u64) -> DayProfile {
     let start = Seconds::from_hours(10.5);
     let end = Seconds::from_hours(16.5);
     let sky = ClearSky::paper_test_day().expect("preset sky valid");
-    DayProfile::new(weather, seed)
-        .with_sky(sky)
-        .with_span(start, end)
-        .build(Seconds::new(1.0))
-        .expect("day profile valid")
+    DayProfile::new(weather, seed).with_sky(sky).with_span(start, end)
 }
 
 /// Assembles the [`weather_day`] scenario around an already-rendered
 /// irradiance trace (the simulated window is the trace's span). The
 /// trace must come from [`weather_day_trace`] — or a cache of it — for
 /// the scenario to match `weather_day` bitwise.
-pub fn weather_day_with_trace(irradiance: IrradianceTrace) -> Scenario {
+pub fn weather_day_with_trace(irradiance: impl Into<Arc<IrradianceTrace>>) -> Scenario {
+    let irradiance = irradiance.into();
     let (start, end) = (irradiance.start(), irradiance.end());
-    let supply = Supply::Photovoltaic { cell: SolarCell::odroid_array(), irradiance };
+    let supply = Supply::photovoltaic(SolarCell::odroid_array(), irradiance);
     let options = SimOptions::new(end)
         .with_span(start, end)
         .with_record_dt(Seconds::new(5.0))
@@ -235,7 +288,7 @@ pub fn table2_hour(seed: u64) -> Scenario {
         sky.irradiance(t) * clouds.transmittance(t)
     })
     .expect("trace valid");
-    let supply = Supply::Photovoltaic { cell: SolarCell::odroid_array(), irradiance };
+    let supply = Supply::photovoltaic(SolarCell::odroid_array(), irradiance);
     let options = SimOptions::new(end)
         .with_span(start, end)
         .with_record_dt(Seconds::new(2.0))
@@ -267,7 +320,7 @@ pub fn shadowing(shadow_at: Seconds, duration: Seconds) -> Scenario {
             }
         })
         .expect("trace valid");
-    let supply = Supply::Photovoltaic { cell: SolarCell::odroid_array(), irradiance };
+    let supply = Supply::photovoltaic(SolarCell::odroid_array(), irradiance);
     let options = SimOptions::new(duration)
         .with_record_dt(Seconds::new(0.02))
         .with_max_step(Seconds::new(0.01));
@@ -287,7 +340,7 @@ pub fn sinusoid(period: Seconds, duration: Seconds) -> Scenario {
             WattsPerSquareMeter::new(710.0 + 290.0 * phase.cos())
         })
         .expect("trace valid");
-    let supply = Supply::Photovoltaic { cell: SolarCell::odroid_array(), irradiance };
+    let supply = Supply::photovoltaic(SolarCell::odroid_array(), irradiance);
     let options = SimOptions::new(duration)
         .with_record_dt(Seconds::new(0.02))
         .with_max_step(Seconds::new(0.01));
@@ -340,7 +393,7 @@ pub fn controlled_supply_demo() -> Scenario {
 /// example).
 pub fn constant_sun(g: WattsPerSquareMeter, duration: Seconds) -> Scenario {
     let irradiance = IrradianceTrace::constant(Seconds::ZERO, duration, g).expect("trace valid");
-    let supply = Supply::Photovoltaic { cell: SolarCell::odroid_array(), irradiance };
+    let supply = Supply::photovoltaic(SolarCell::odroid_array(), irradiance);
     Scenario::new(supply, SimOptions::new(duration))
 }
 

@@ -106,8 +106,10 @@ pub enum Supply {
     Photovoltaic {
         /// The array's single-diode model.
         cell: SolarCell,
-        /// Irradiance over the simulated span.
-        irradiance: IrradianceTrace,
+        /// Irradiance over the simulated span, behind an [`Arc`] so
+        /// campaign cells sharing a day share one rendered trace
+        /// (cloning a `Supply` never deep-copies the samples).
+        irradiance: Arc<IrradianceTrace>,
     },
     /// An ideal controlled voltage source that pins `VC` to a waveform
     /// (the paper's §V-A verification rig).
@@ -118,6 +120,13 @@ pub enum Supply {
 }
 
 impl Supply {
+    /// A PV supply over `irradiance`; accepts an owned trace or an
+    /// already-shared [`Arc`] (campaigns pass the latter so every cell
+    /// of a `(weather, seed)` group aliases one rendered day).
+    pub fn photovoltaic(cell: SolarCell, irradiance: impl Into<Arc<IrradianceTrace>>) -> Self {
+        Supply::Photovoltaic { cell, irradiance: irradiance.into() }
+    }
+
     /// Irradiance at `t` for PV supplies (zero for controlled ones).
     pub fn irradiance(&self, t: Seconds) -> WattsPerSquareMeter {
         match self {
@@ -321,15 +330,15 @@ mod tests {
 
     #[test]
     fn pv_supply_sources_current() {
-        let supply = Supply::Photovoltaic {
-            cell: SolarCell::odroid_array(),
-            irradiance: IrradianceTrace::constant(
+        let supply = Supply::photovoltaic(
+            SolarCell::odroid_array(),
+            IrradianceTrace::constant(
                 Seconds::ZERO,
                 Seconds::new(10.0),
                 WattsPerSquareMeter::new(1000.0),
             )
             .unwrap(),
-        };
+        );
         let i = supply.current(Seconds::new(1.0), Volts::new(5.0)).unwrap();
         assert!(i.value() > 1.0);
         assert!(!supply.is_controlled());
@@ -357,14 +366,14 @@ mod tests {
 
     #[test]
     fn supply_state_matches_the_stateless_paths() {
-        let supply = Supply::Photovoltaic {
-            cell: SolarCell::odroid_array(),
-            irradiance: IrradianceTrace::new(vec![
+        let supply = Supply::photovoltaic(
+            SolarCell::odroid_array(),
+            IrradianceTrace::new(vec![
                 (Seconds::ZERO, WattsPerSquareMeter::new(200.0)),
                 (Seconds::new(10.0), WattsPerSquareMeter::new(1000.0)),
             ])
             .unwrap(),
-        };
+        );
         // Exact model: same roots as Supply::current to solver
         // tolerance, irradiance bitwise identical, cursor advancing.
         let mut state = SupplyState::new(&supply, SupplyModel::Exact).unwrap();

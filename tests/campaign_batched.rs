@@ -1,0 +1,129 @@
+//! Batched lane engine ≡ scalar oracle.
+//!
+//! The batched engine interleaves whole campaign groups per loop
+//! iteration, so every claim it makes rests on one property: outcomes
+//! are *bitwise* those of the scalar one-cell-at-a-time path. These
+//! suites pin that property across the governor, weather, seed and
+//! supply-model axes, plus the executor-facing consequences (thread
+//! invariance of group dispatch, byte-identical CSV exports).
+
+use power_neutral::harvest::weather::Weather;
+use power_neutral::sim::campaign::{
+    run_campaign, CampaignSpec, CellOutcome, GovernorSpec,
+};
+use power_neutral::sim::engine::EngineKind;
+use power_neutral::sim::executor::Executor;
+use power_neutral::sim::persist;
+use power_neutral::sim::supply::SupplyModel;
+use power_neutral::soc::opp::Opp;
+use power_neutral::units::Seconds;
+use proptest::prelude::*;
+
+/// Every governor the campaign layer can drive.
+fn governors() -> Vec<GovernorSpec> {
+    vec![
+        GovernorSpec::PowerNeutral,
+        GovernorSpec::Performance,
+        GovernorSpec::Powersave,
+        GovernorSpec::Userspace(2),
+        GovernorSpec::Ondemand,
+        GovernorSpec::Conservative,
+        GovernorSpec::Interactive,
+        GovernorSpec::Hold(Opp::lowest()),
+    ]
+}
+
+/// Outcomes with the engine override blanked out — the knob is the
+/// one *intended* difference between a scalar and a batched run, so
+/// equality is asserted over everything else.
+fn normalized(cells: &[CellOutcome]) -> Vec<CellOutcome> {
+    cells
+        .iter()
+        .map(|o| {
+            let mut o = *o;
+            o.cell.options.engine = None;
+            o
+        })
+        .collect()
+}
+
+fn run_with(spec: &CampaignSpec, engine: EngineKind) -> Vec<CellOutcome> {
+    let report = run_campaign(&spec.clone().with_engine(engine), &Executor::sequential())
+        .expect("campaign runs");
+    normalized(report.cells())
+}
+
+proptest! {
+    /// The core oracle property, sampled across every axis: one
+    /// sampled governor paired with powersave (so the lane group is a
+    /// real multi-lane batch), a sampled weather and seed, both
+    /// supply models.
+    #[test]
+    fn batched_outcomes_are_bitwise_scalar_ones(
+        g in 0usize..8,
+        w in 0usize..6,
+        seed in 1u64..5,
+        interp in proptest::bool::ANY,
+    ) {
+        let mut spec = CampaignSpec::new()
+            .expect("paper preset valid")
+            .with_weathers(vec![Weather::all()[w]])
+            .with_seeds(vec![seed])
+            .with_governors(vec![governors()[g], GovernorSpec::Powersave])
+            .with_duration(Seconds::new(3.0));
+        if interp {
+            spec = spec.with_supply_model(SupplyModel::interpolated());
+        }
+        prop_assert_eq!(run_with(&spec, EngineKind::Scalar), run_with(&spec, EngineKind::Batched));
+    }
+}
+
+#[test]
+fn full_governor_axis_matches_in_one_batch() {
+    // All eight governors over one shared day — the widest lane group
+    // a single (weather, seed) point can produce.
+    let spec = CampaignSpec::new()
+        .expect("paper preset valid")
+        .with_weathers(vec![Weather::PartialSun])
+        .with_seeds(vec![3])
+        .with_governors(governors())
+        .with_duration(Seconds::new(4.0));
+    assert_eq!(run_with(&spec, EngineKind::Scalar), run_with(&spec, EngineKind::Batched));
+}
+
+#[test]
+fn group_dispatched_campaigns_are_thread_count_invariant() {
+    // Group dispatch hands whole (weather, seed) runs to the executor;
+    // the report must still be independent of how many workers claim
+    // them — including with scalar cells mixed in via per-cell
+    // overrides (singleton groups between batches).
+    let spec = CampaignSpec::new()
+        .expect("paper preset valid")
+        .with_weathers(vec![Weather::FullSun, Weather::Cloudy, Weather::Stormy])
+        .with_seeds(vec![1, 2])
+        .with_governors(vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave])
+        .with_duration(Seconds::new(6.0));
+    let sequential = run_campaign(&spec, &Executor::sequential()).unwrap();
+    for threads in [2usize, 4, 8] {
+        let wide = run_campaign(&spec, &Executor::new(threads)).unwrap();
+        assert_eq!(wide, sequential, "{threads}-thread group dispatch diverged");
+    }
+    let scalar = spec.with_engine(EngineKind::Scalar);
+    let scalar_sequential = run_campaign(&scalar, &Executor::sequential()).unwrap();
+    let scalar_wide = run_campaign(&scalar, &Executor::new(4)).unwrap();
+    assert_eq!(scalar_wide, scalar_sequential);
+}
+
+#[test]
+fn scalar_and_batched_csv_exports_are_byte_identical() {
+    // The CSV bridge carries no engine column, so the two engines must
+    // produce the same bytes — the invariant the CI smoke run pins
+    // end to end through the `campaign` binary.
+    let spec = CampaignSpec::smoke().with_duration(Seconds::new(10.0));
+    let executor = Executor::new(2);
+    let scalar = run_campaign(&spec.clone().with_engine(EngineKind::Scalar), &executor).unwrap();
+    let batched = run_campaign(&spec.with_engine(EngineKind::Batched), &executor).unwrap();
+    let scalar_csv = persist::report_csv_string(&scalar).unwrap();
+    let batched_csv = persist::report_csv_string(&batched).unwrap();
+    assert_eq!(scalar_csv, batched_csv);
+}
