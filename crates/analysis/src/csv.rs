@@ -99,13 +99,17 @@ pub struct CampaignRow {
     pub transitions: u64,
     /// Final capacitor voltage, volts.
     pub final_vc: f64,
+    /// Time spent resident in idle states, seconds.
+    pub idle_time_seconds: f64,
+    /// Idle-state entries performed.
+    pub idle_entries: u64,
 }
 
 /// Header row of the campaign CSV document. Pinned: golden-file tests
 /// and downstream plots depend on these column names and their order.
 pub const CAMPAIGN_CSV_HEADER: &str = "weather,seed,buffer_mf,governor,supply_model,survived,\
 lifetime_s,vc_stability,instructions_g,renders_per_min,energy_in_j,energy_out_j,transitions,\
-final_vc";
+final_vc,idle_time_s,idle_entries";
 
 /// Writes campaign verdicts as CSV, one row per cell under
 /// [`CAMPAIGN_CSV_HEADER`]. Floats use Rust's shortest-round-trip
@@ -137,7 +141,7 @@ pub fn write_campaign_csv<W: Write>(
     for r in rows {
         writeln!(
             writer,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.weather,
             r.seed,
             r.buffer_mf,
@@ -152,6 +156,8 @@ pub fn write_campaign_csv<W: Write>(
             r.energy_out_joules,
             r.transitions,
             r.final_vc,
+            r.idle_time_seconds,
+            r.idle_entries,
         )?;
     }
     Ok(())
@@ -276,6 +282,8 @@ mod tests {
             energy_out_joules: 15.125,
             transitions: 9,
             final_vc: 5.3,
+            idle_time_seconds: 1.25,
+            idle_entries: 6,
         };
         let mut out = Vec::new();
         write_campaign_csv(&mut out, std::slice::from_ref(&row)).unwrap();
@@ -289,6 +297,8 @@ mod tests {
         assert_eq!(fields[5], "1", "survived encodes as 1/0");
         // Shortest-round-trip float formatting parses back bitwise.
         assert_eq!(fields[6].parse::<f64>().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(fields[14], "1.25", "idle residency rides along");
+        assert_eq!(fields[15], "6", "idle entries ride along");
     }
 
     #[test]

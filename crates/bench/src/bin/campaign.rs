@@ -35,11 +35,22 @@
 //! # force the scalar (one-cell-at-a-time) engine — the oracle the
 //! # default batched lane engine is bitwise-checked against:
 //! cargo run --release -p pn-bench --bin campaign -- --engine scalar --out report.csv
+//!
+//! # swap the governor axis (any GovernorSpec slug, comma-separated) —
+//! # e.g. the two DPM policies against the power-neutral controller:
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --governors power-neutral,race-to-idle,budget-shift
+//! # …and re-run with the idle-state ladder masked off, to measure
+//! # what the DPM axis itself buys:
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --governors race-to-idle --idle off
 //! ```
 
 use pn_bench::{banner, print_table};
 use pn_sim::adaptive::{AdaptiveCampaign, AdaptiveConfig};
-use pn_sim::campaign::{resume_campaign, run_campaign, CampaignReport, CampaignSpec};
+use pn_sim::campaign::{
+    resume_campaign, run_campaign, CampaignReport, CampaignSpec, GovernorSpec,
+};
 use pn_sim::engine::EngineKind;
 use pn_sim::executor::Executor;
 use pn_sim::persist;
@@ -61,6 +72,8 @@ struct Cli {
     max_rounds: Option<usize>,
     supply_model: Option<SupplyModel>,
     engine: Option<EngineKind>,
+    governors: Option<Vec<GovernorSpec>>,
+    idle: Option<bool>,
 }
 
 fn parse_shard(arg: &str) -> Result<(usize, usize), String> {
@@ -93,6 +106,8 @@ fn parse_cli() -> Result<Cli, String> {
         max_rounds: None,
         supply_model: None,
         engine: None,
+        governors: None,
+        idle: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
@@ -125,6 +140,28 @@ fn parse_cli() -> Result<Cli, String> {
                         "--supply-model wants exact, interp or interp:<tol-amps>, got {slug:?}"
                     )
                 })?);
+            }
+            "--governors" => {
+                let list = value(&mut args, "--governors")?;
+                let governors: Vec<GovernorSpec> = list
+                    .split(',')
+                    .map(|slug| {
+                        GovernorSpec::from_slug(slug.trim()).ok_or_else(|| {
+                            format!("--governors: unknown governor slug {:?}", slug.trim())
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if governors.is_empty() {
+                    return Err("--governors needs at least one slug".into());
+                }
+                cli.governors = Some(governors);
+            }
+            "--idle" => {
+                cli.idle = Some(match value(&mut args, "--idle")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--idle wants on or off, got {other:?}")),
+                });
             }
             "--engine" => {
                 let slug = value(&mut args, "--engine")?;
@@ -168,12 +205,14 @@ fn parse_cli() -> Result<Cli, String> {
             || cli.resume.is_some()
             || cli.adapt
             || cli.supply_model.is_some()
-            || cli.engine.is_some())
+            || cli.engine.is_some()
+            || cli.governors.is_some()
+            || cli.idle.is_some())
     {
         return Err(
             "--merge recomposes saved reports without simulating; it cannot be combined \
-             with --shard, --smoke, --seeds, --threads, --resume, --adapt, --supply-model \
-             or --engine"
+             with --shard, --smoke, --seeds, --threads, --resume, --adapt, --supply-model, \
+             --engine, --governors or --idle"
                 .into(),
         );
     }
@@ -226,6 +265,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(engine) = cli.engine {
             spec = spec.with_engine(engine);
             println!("  engine: {engine}");
+        }
+        if let Some(governors) = &cli.governors {
+            let labels: Vec<String> = governors.iter().map(GovernorSpec::label).collect();
+            spec = spec.with_governors(governors.clone());
+            println!("  governors: {}", labels.join(", "));
+        }
+        if let Some(idle) = cli.idle {
+            spec = spec.with_idle(idle);
+            println!("  idle states: {}", if idle { "on" } else { "off" });
         }
         let t0 = std::time::Instant::now();
         let report = if let Some(path) = &cli.resume {

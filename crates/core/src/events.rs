@@ -44,6 +44,17 @@ pub enum GovernorEvent {
     },
 }
 
+/// A requested idle (DPM) move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdleRequest {
+    /// Drop into the platform's idle state with this ladder index
+    /// (0 = shallowest). Out-of-range indices clamp to the deepest
+    /// state; ignored on platforms with no idle states.
+    Enter(usize),
+    /// Wake from the current idle state.
+    Exit,
+}
+
 /// What a governor wants done in response to an event.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GovernorAction {
@@ -53,6 +64,8 @@ pub struct GovernorAction {
     pub strategy: Option<TransitionStrategy>,
     /// New `(high, low)` thresholds to program into the monitor.
     pub thresholds: Option<(Volts, Volts)>,
+    /// Requested idle-state move, if any.
+    pub idle: Option<IdleRequest>,
 }
 
 impl GovernorAction {
@@ -63,7 +76,7 @@ impl GovernorAction {
 
     /// `true` when the action requests no change at all.
     pub fn is_none(&self) -> bool {
-        self.target_opp.is_none() && self.thresholds.is_none()
+        self.target_opp.is_none() && self.thresholds.is_none() && self.idle.is_none()
     }
 }
 

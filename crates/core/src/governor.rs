@@ -187,6 +187,7 @@ impl PowerNeutralGovernor {
             target_opp: if target == current { None } else { Some(target) },
             strategy: Some(strategy),
             thresholds: Some(programmed),
+            ..Default::default()
         }
     }
 }
@@ -210,6 +211,7 @@ impl Governor for PowerNeutralGovernor {
             target_opp: Some(current),
             strategy: Some(TransitionStrategy::CoreFirst),
             thresholds: Some((pair.high(), pair.low())),
+            ..Default::default()
         }
     }
 

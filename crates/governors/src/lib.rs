@@ -23,21 +23,33 @@
 //! harvest (Performance, Ondemand and Interactive "could not support
 //! any operation" on the paper's rig; Conservative survived about five
 //! seconds).
+//!
+//! Beyond the Linux baselines, two DPM-aware policies exercise the
+//! platform's domain and idle-state axes:
+//!
+//! * [`race_to_idle`] — sprint at the top frequency, park in the
+//!   deepest idle state when the buffer sags,
+//! * [`budget_shift`] — reallocate one shared watt budget between the
+//!   LITTLE and big domains every sampling period.
 
+pub mod budget_shift;
 pub mod conservative;
 pub mod hold;
 pub mod interactive;
 pub mod ondemand;
 pub mod performance;
 pub mod powersave;
+pub mod race_to_idle;
 pub mod userspace;
 
+pub use budget_shift::BudgetShift;
 pub use conservative::Conservative;
 pub use hold::Hold;
 pub use interactive::Interactive;
 pub use ondemand::Ondemand;
 pub use performance::Performance;
 pub use powersave::Powersave;
+pub use race_to_idle::RaceToIdle;
 pub use userspace::Userspace;
 
 use pn_core::events::Governor;

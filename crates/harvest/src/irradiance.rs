@@ -405,6 +405,53 @@ mod tests {
     }
 
     #[test]
+    fn cursor_is_bitwise_exact_at_the_trace_endpoints() {
+        // Satellite check: a query landing exactly on the final sample
+        // time must resolve through the clamp branch (returning the
+        // stored sample verbatim), never through an interior
+        // interpolation whose `g0 + (g1 - g0) * 1.0` could differ in
+        // the last bit. Use a from_fn day whose endpoint timestamps are
+        // not round numbers, so any off-by-one in the interior-slice
+        // search would surface.
+        let trace = IrradianceTrace::from_fn(
+            Seconds::new(0.1),
+            Seconds::new(7.3),
+            Seconds::new(0.7),
+            |t| WattsPerSquareMeter::new(50.0 + (t.value() * 1.7).sin().abs() * 900.0),
+        )
+        .unwrap();
+        let (start, end) = (trace.start(), trace.end());
+        let stored_first = trace.iter().next().unwrap().1;
+        let stored_last = trace.iter().last().unwrap().1;
+        // A fresh cursor at each endpoint, and one walked forward
+        // through the whole day first: the hint must not change the
+        // answer.
+        for warm in [false, true] {
+            let mut cursor = trace.cursor();
+            if warm {
+                let mut k = 0;
+                while start + Seconds::new(0.05) * k as f64 <= end {
+                    cursor.sample(&trace, start + Seconds::new(0.05) * k as f64);
+                    k += 1;
+                }
+            }
+            for (t, stored) in [(start, stored_first), (end, stored_last)] {
+                let got = cursor.sample(&trace, t);
+                let want = trace.sample(t);
+                assert_eq!(got.value().to_bits(), want.value().to_bits(), "t = {t}, warm = {warm}");
+                assert_eq!(got.value().to_bits(), stored.value().to_bits(), "clamp must return the stored sample");
+            }
+            // One ULP inside the final sample still interpolates — and
+            // still agrees between the paths.
+            let inside = Seconds::new(f64::from_bits(end.value().to_bits() - 1));
+            assert_eq!(
+                cursor.sample(&trace, inside).value().to_bits(),
+                trace.sample(inside).value().to_bits(),
+            );
+        }
+    }
+
+    #[test]
     fn cursor_survives_backtracks_and_stale_hints() {
         let trace = simple();
         let mut cursor = trace.cursor();

@@ -14,7 +14,7 @@ use crate::clouds::{CloudField, CloudParams};
 use crate::irradiance::IrradianceTrace;
 use crate::HarvestError;
 use pn_units::Seconds;
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -230,29 +230,51 @@ impl DayProfile {
     /// The cache key covers everything [`DayProfile::build`] reads —
     /// weather, seed, the clear-sky envelope (by exact bit pattern) and
     /// the span/`dt` — so a hit is bitwise-identical to a fresh render.
-    /// The memo is capacity-capped; once full, further distinct
-    /// profiles build uncached rather than grow it without bound.
+    /// The memo is capacity-capped with first-in-first-out eviction, so
+    /// a campaign touching more than [`DAY_CACHE_CAPACITY`] distinct
+    /// days keeps sharing its *recent* days instead of building every
+    /// day past the cap from scratch on each request.
     ///
     /// # Errors
     ///
     /// Same contract as [`DayProfile::build`].
     pub fn build_shared(&self, dt: Seconds) -> Result<Arc<IrradianceTrace>, HarvestError> {
+        self.build_shared_traced(dt).map(|(trace, _)| trace)
+    }
+
+    /// [`DayProfile::build_shared`], also reporting whether the lookup
+    /// hit the memo (`true`) or rendered a fresh trace (`false`).
+    ///
+    /// Campaign drivers use the flag to notice when their working set
+    /// has outgrown the memo — a run that expects the PR 6 sharing
+    /// speedup but sees misses on repeated builds is thrashing the cap.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DayProfile::build`].
+    pub fn build_shared_traced(
+        &self,
+        dt: Seconds,
+    ) -> Result<(Arc<IrradianceTrace>, bool), HarvestError> {
         let key = self.cache_key(dt);
-        if let Some(hit) = lock_day_cache().get(&key) {
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = day_cache_get(&lock_day_cache(), &key) {
+            return Ok((hit, true));
         }
         // Render outside the lock: distinct days build in parallel. A
         // racing builder of the same key wastes one render; contents
         // are deterministic, so whichever insert wins is identical.
         let trace = Arc::new(self.build(dt)?);
         let mut cache = lock_day_cache();
-        if let Some(hit) = cache.get(&key) {
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = day_cache_get(&cache, &key) {
+            return Ok((hit, true));
         }
-        if cache.len() < DAY_CACHE_CAPACITY {
-            cache.insert(key, Arc::clone(&trace));
+        if cache.len() >= DAY_CACHE_CAPACITY {
+            // Evict the oldest entry; any simulation already holding
+            // its `Arc` keeps it alive independently of the memo.
+            cache.pop_front();
         }
-        Ok(trace)
+        cache.push_back((key, Arc::clone(&trace)));
+        Ok((trace, false))
     }
 
     fn cache_key(&self, dt: Seconds) -> DayKey {
@@ -286,15 +308,26 @@ struct DayKey {
 }
 
 /// Upper bound on memoised day traces (a 6-hour day at 1 Hz is
-/// ≈350 KB, so the cap bounds the memo at ≈22 MB worst case).
-const DAY_CACHE_CAPACITY: usize = 64;
+/// ≈350 KB, so the cap bounds the memo at ≈22 MB worst case). Reaching
+/// the cap evicts the oldest day rather than pinning the memo's
+/// contents forever.
+pub const DAY_CACHE_CAPACITY: usize = 64;
 
-fn lock_day_cache() -> std::sync::MutexGuard<'static, HashMap<DayKey, Arc<IrradianceTrace>>> {
-    static CACHE: OnceLock<Mutex<HashMap<DayKey, Arc<IrradianceTrace>>>> = OnceLock::new();
+/// The memo is a FIFO deque rather than a map: at 64 entries a linear
+/// key scan is noise next to a day render, and the deque's order *is*
+/// the eviction order.
+type DayCache = VecDeque<(DayKey, Arc<IrradianceTrace>)>;
+
+fn lock_day_cache() -> std::sync::MutexGuard<'static, DayCache> {
+    static CACHE: OnceLock<Mutex<DayCache>> = OnceLock::new();
     CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
+        .get_or_init(|| Mutex::new(VecDeque::new()))
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn day_cache_get(cache: &DayCache, key: &DayKey) -> Option<Arc<IrradianceTrace>> {
+    cache.iter().find(|(k, _)| k == key).map(|(_, t)| Arc::clone(t))
 }
 
 #[cfg(test)]
@@ -430,6 +463,34 @@ mod tests {
             base.clone().with_sky(ClearSky::paper_test_day().unwrap()).build_shared(dt).unwrap();
         assert!(!Arc::ptr_eq(&a, &other_sky));
         assert_ne!(*a, *other_sky);
+    }
+
+    #[test]
+    fn overflowing_the_memo_cap_still_shares_fresh_days() {
+        // Regression: the memo used to stop inserting once it held
+        // DAY_CACHE_CAPACITY days, so a campaign's 65th distinct
+        // (weather, seed) group rebuilt its day on every request. With
+        // FIFO eviction the newest day always lands in the memo.
+        let dt = Seconds::new(30.0);
+        let profile = |seed: u64| {
+            DayProfile::new(Weather::PartialSun, 0xCA9_0000 + seed)
+                .with_span(Seconds::from_hours(12.0), Seconds::from_hours(12.25))
+        };
+        // Fill the cap (and then some) with distinct days...
+        for seed in 0..DAY_CACHE_CAPACITY as u64 {
+            profile(seed).build_shared(dt).unwrap();
+        }
+        // ...then the next distinct day must still be memoised: the
+        // first build renders, the immediate rebuild shares it.
+        let straggler = profile(DAY_CACHE_CAPACITY as u64);
+        let (first, first_hit) = straggler.build_shared_traced(dt).unwrap();
+        let (second, second_hit) = straggler.build_shared_traced(dt).unwrap();
+        assert!(!first_hit, "a never-built day cannot hit the memo");
+        assert!(second_hit, "the 65th profile fell out of the memo");
+        assert!(Arc::ptr_eq(&first, &second), "rebuild did not share");
+        // The flag round-trips for plain cache hits too.
+        let early = profile(DAY_CACHE_CAPACITY as u64 - 1).build_shared_traced(dt).unwrap();
+        assert!(early.1, "a just-inserted day should still be resident");
     }
 
     #[test]

@@ -49,6 +49,8 @@
 //!         energy_out_joules: 1.0,
 //!         transitions: 0,
 //!         final_vc: 5.0,
+//!         idle_time_seconds: 0.0,
+//!         idle_entries: 0,
 //!     })
 //!     .collect();
 //! let report = CampaignReport::from_parts(0, cells);
@@ -258,12 +260,15 @@ impl Probe {
                     Action::Probe(lo + (hi - lo) / 2.0)
                 }
             }
-            // Everything browned out so far: expand upward.
+            // Everything browned out so far: expand upward. The lower
+            // clamp keeps a degenerate (non-positive) singleton seed
+            // from re-probing its own point forever — doubling zero is
+            // zero; doubling from the floor is a real expansion.
             (Some(lo), None) => {
                 if lo >= config.ceiling_mf {
                     Action::Finish(BracketStatus::AboveCeiling)
                 } else {
-                    Action::Probe((lo * 2.0).min(config.ceiling_mf))
+                    Action::Probe((lo * 2.0).clamp(config.floor_mf, config.ceiling_mf))
                 }
             }
             // Everything survived so far: expand downward.
@@ -523,6 +528,8 @@ mod tests {
             energy_out_joules: 1.0,
             transitions: 2,
             final_vc: 5.0,
+            idle_time_seconds: 0.0,
+            idle_entries: 0,
         }
     }
 
@@ -664,6 +671,53 @@ mod tests {
         // The probe history accumulates every observed outcome.
         assert_eq!(adaptive.history().len(), 4);
         assert_eq!(adaptive.probe_report().len(), 4);
+    }
+
+    #[test]
+    fn degenerate_singleton_seeds_climb_off_the_origin() {
+        // A 0 mF singleton that browns out used to double in place
+        // (0 × 2 = 0), probing the same point until the round cap. The
+        // expansion must climb onto the floor and bracket normally.
+        let config = AdaptiveConfig { tolerance_mf: 2.0, ..AdaptiveConfig::default() };
+        let spec = CampaignSpec::new().unwrap().with_buffers_mf(vec![0.0]);
+        let adaptive = drive(&spec, 100.0, config);
+        let b = &adaptive.brackets()[0];
+        assert_eq!(b.status, BracketStatus::Converged, "{b:?}");
+        assert!(b.lo_mf.unwrap() < 100.0 && b.hi_mf.unwrap() >= 100.0);
+    }
+
+    proptest::proptest! {
+        /// Satellite property: a seed spec carrying a *single* buffer
+        /// value gives the expand phase no second point — the driver
+        /// must grow a bracket geometrically from the singleton, never
+        /// misreport the group as non-monotone.
+        #[test]
+        fn singleton_seed_specs_still_bracket_the_boundary(
+            buffer_mf in 1.0f64..5_000.0,
+            threshold_mf in 1.0f64..5_000.0,
+        ) {
+            let config = AdaptiveConfig {
+                tolerance_mf: 4.0,
+                floor_mf: 0.5,
+                ceiling_mf: 10_000.0,
+                ..AdaptiveConfig::default()
+            };
+            let spec = CampaignSpec::new().unwrap().with_buffers_mf(vec![buffer_mf]);
+            let adaptive = drive(&spec, threshold_mf, config);
+            proptest::prop_assert!(adaptive.settled());
+            let b = &adaptive.brackets()[0];
+            proptest::prop_assert_ne!(
+                b.status, BracketStatus::NonMonotone,
+                "singleton seed misreported as non-monotone: {:?}", b
+            );
+            proptest::prop_assert_eq!(b.status, BracketStatus::Converged);
+            let (lo, hi) = (b.lo_mf.unwrap(), b.hi_mf.unwrap());
+            proptest::prop_assert!(hi - lo <= config.tolerance_mf);
+            proptest::prop_assert!(
+                lo < threshold_mf && threshold_mf <= hi,
+                "bracket [{}, {}] misses the boundary {}", lo, hi, threshold_mf
+            );
+        }
     }
 
     #[test]

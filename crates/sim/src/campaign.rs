@@ -38,7 +38,10 @@ use pn_analysis::metrics::{fraction_within_band, time_integral};
 use pn_analysis::summary::Aggregate;
 use pn_circuit::capacitor::Supercapacitor;
 use pn_core::params::ControlParams;
-use pn_governors::{Conservative, Interactive, Ondemand, Performance, Powersave, Userspace};
+use pn_governors::{
+    BudgetShift, Conservative, Interactive, Ondemand, Performance, Powersave, RaceToIdle,
+    Userspace,
+};
 use pn_harvest::cache::TraceCache;
 use pn_harvest::weather::Weather;
 use pn_soc::cores::CoreConfig;
@@ -68,6 +71,12 @@ pub enum GovernorSpec {
     Conservative,
     /// Android-style `interactive` bursting.
     Interactive,
+    /// Sprint at the top frequency, park in the deepest idle state
+    /// when the buffer sags (classic race-to-idle DPM).
+    RaceToIdle,
+    /// Reallocate one shared watt budget between the LITTLE and big
+    /// domains every sampling period (SysScale-style).
+    BudgetShift,
     /// No management at all: hold the given OPP (the "static"
     /// comparator).
     Hold(Opp),
@@ -85,6 +94,8 @@ impl GovernorSpec {
             GovernorSpec::Ondemand => "ondemand".into(),
             GovernorSpec::Conservative => "conservative".into(),
             GovernorSpec::Interactive => "interactive".into(),
+            GovernorSpec::RaceToIdle => "race-to-idle".into(),
+            GovernorSpec::BudgetShift => "budget-shift".into(),
             GovernorSpec::Hold(_) => "static".into(),
         }
     }
@@ -101,6 +112,8 @@ impl GovernorSpec {
             GovernorSpec::Ondemand => "ondemand".into(),
             GovernorSpec::Conservative => "conservative".into(),
             GovernorSpec::Interactive => "interactive".into(),
+            GovernorSpec::RaceToIdle => "race-to-idle".into(),
+            GovernorSpec::BudgetShift => "budget-shift".into(),
             GovernorSpec::Hold(opp) => {
                 format!("hold:{}+{}@{}", opp.config().little(), opp.config().big(), opp.level())
             }
@@ -116,6 +129,8 @@ impl GovernorSpec {
             "ondemand" => return Some(GovernorSpec::Ondemand),
             "conservative" => return Some(GovernorSpec::Conservative),
             "interactive" => return Some(GovernorSpec::Interactive),
+            "race-to-idle" => return Some(GovernorSpec::RaceToIdle),
+            "budget-shift" => return Some(GovernorSpec::BudgetShift),
             _ => {}
         }
         if let Some(level) = slug.strip_prefix("userspace:") {
@@ -161,6 +176,10 @@ impl GovernorSpec {
             }
             GovernorSpec::Interactive => {
                 scenario.build_governor(Box::new(Interactive::new(table.clone())))
+            }
+            GovernorSpec::RaceToIdle => scenario.build_governor(Box::new(RaceToIdle::new())),
+            GovernorSpec::BudgetShift => {
+                scenario.build_governor(Box::new(BudgetShift::for_platform(scenario.platform())))
             }
             GovernorSpec::Hold(opp) => scenario.build_static(*opp),
         }
@@ -291,6 +310,16 @@ impl CampaignSpec {
     /// checked against.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.options.engine = Some(engine);
+        self
+    }
+
+    /// Enables or disables idle-state (DPM) requests for every cell
+    /// (builder style); shorthand for the corresponding
+    /// [`CampaignSpec::with_cell_options`] override. Disabling turns
+    /// idle-capable governors into their always-on counterparts —
+    /// useful for isolating how much of a verdict the idle ladder buys.
+    pub fn with_idle(mut self, enabled: bool) -> Self {
+        self.options.idle = Some(enabled);
         self
     }
 
@@ -571,6 +600,8 @@ impl CampaignCell {
             energy_out_joules,
             transitions: report.transitions(),
             final_vc: report.final_vc().value(),
+            idle_time_seconds: report.idle_time().value(),
+            idle_entries: report.idle_entries(),
         })
     }
 }
@@ -598,6 +629,10 @@ pub struct CellOutcome {
     pub transitions: u64,
     /// Final capacitor voltage, volts.
     pub final_vc: f64,
+    /// Time spent resident in idle states, seconds.
+    pub idle_time_seconds: f64,
+    /// Idle-state entries performed.
+    pub idle_entries: u64,
 }
 
 /// Aggregated statistics for one group of cells (a weather condition,
@@ -1100,6 +1135,8 @@ mod tests {
             energy_out_joules: 1.0,
             transitions: 3,
             final_vc: 5.3,
+            idle_time_seconds: 0.0,
+            idle_entries: 0,
         }
     }
 

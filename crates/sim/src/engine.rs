@@ -18,7 +18,7 @@ use crate::SimError;
 use pn_circuit::capacitor::Supercapacitor;
 use pn_circuit::events::{first_threshold_crossing, CrossingDirection};
 use pn_circuit::ode::{AdaptiveOptions, Rk23};
-use pn_core::events::{Governor, GovernorAction, GovernorEvent, ThresholdEdge};
+use pn_core::events::{Governor, GovernorAction, GovernorEvent, IdleRequest, ThresholdEdge};
 use pn_monitor::monitor::VoltageMonitor;
 use pn_soc::opp::Opp;
 use pn_soc::platform::Platform;
@@ -92,6 +92,9 @@ pub struct SimOptions {
     pub housekeeping_cost: Seconds,
     /// Stop the simulation at brownout (Table II semantics).
     pub stop_on_brownout: bool,
+    /// Honour governor idle (DPM) requests. When `false`, idle-capable
+    /// governors degrade to their awake behaviour.
+    pub idle_enabled: bool,
     /// How the PV operating point is evaluated on the hot path (exact
     /// Newton, or the pretabulated interpolation surface).
     pub supply_model: SupplyModel,
@@ -113,6 +116,7 @@ impl SimOptions {
             housekeeping_period: Seconds::new(1.0),
             housekeeping_cost: Seconds::new(1.0e-3),
             stop_on_brownout: true,
+            idle_enabled: true,
             supply_model: SupplyModel::Exact,
             engine: EngineKind::default(),
         }
@@ -149,6 +153,12 @@ impl SimOptions {
         self
     }
 
+    /// Enables or disables idle (DPM) requests (builder style).
+    pub fn with_idle(mut self, enabled: bool) -> Self {
+        self.idle_enabled = enabled;
+        self
+    }
+
     /// Applies per-cell overrides on top of these options (builder
     /// style); unset override fields leave the option untouched.
     pub fn with_overrides(mut self, overrides: &SimOverrides) -> Self {
@@ -163,6 +173,9 @@ impl SimOptions {
         }
         if let Some(engine) = overrides.engine {
             self.engine = engine;
+        }
+        if let Some(idle) = overrides.idle {
+            self.idle_enabled = idle;
         }
         self
     }
@@ -182,6 +195,8 @@ pub struct SimOverrides {
     pub supply_model: Option<SupplyModel>,
     /// Override of [`SimOptions::engine`].
     pub engine: Option<EngineKind>,
+    /// Override of [`SimOptions::idle_enabled`].
+    pub idle: Option<bool>,
 }
 
 impl SimOverrides {
@@ -218,6 +233,12 @@ impl SimOverrides {
         self.engine = Some(engine);
         self
     }
+
+    /// Enables or disables idle (DPM) requests (builder style).
+    pub fn with_idle(mut self, enabled: bool) -> Self {
+        self.idle = Some(enabled);
+        self
+    }
 }
 
 /// Outcome of a completed simulation.
@@ -233,6 +254,8 @@ pub struct SimReport {
     work: WorkAccount,
     control_cpu: Seconds,
     transitions: u64,
+    idle_time: Seconds,
+    idle_entries: u64,
     final_vc: Volts,
 }
 
@@ -288,6 +311,16 @@ impl SimReport {
     /// Number of OPP transitions performed.
     pub fn transitions(&self) -> u64 {
         self.transitions
+    }
+
+    /// Time spent resident in idle (DPM) states.
+    pub fn idle_time(&self) -> Seconds {
+        self.idle_time
+    }
+
+    /// Number of idle-state entries performed.
+    pub fn idle_entries(&self) -> u64 {
+        self.idle_entries
     }
 
     /// Final capacitor voltage.
@@ -418,6 +451,7 @@ impl Simulation {
             self.governor.as_mut(),
             action,
             Seconds::new(t),
+            opts.idle_enabled,
         )?;
 
         let next_tick = self.governor.tick_period().map(|p| t + p.value());
@@ -508,6 +542,7 @@ impl Lane {
             // Continuous phase: advance toward the boundary.
             let armed = self.uses_irq
                 && !self.runtime.is_transitioning()
+                && !self.runtime.idle_masks_interrupts()
                 && self.recheck_at.is_none()
                 && self.runtime.is_alive();
             let (high, low) = if armed {
@@ -564,6 +599,7 @@ impl Lane {
                         self.governor.as_mut(),
                         action,
                         Seconds::new(self.t),
+                        self.opts.idle_enabled,
                     )?;
                     if changed {
                         self.recheck_at = Some(self.t + self.opts.rearm_delay.value());
@@ -608,13 +644,18 @@ impl Lane {
                     self.governor.as_mut(),
                     action,
                     Seconds::new(self.t),
+                    self.opts.idle_enabled,
                 )?;
                 self.solver.notify_discontinuity();
             }
         }
         if self.recheck_at.is_some_and(|r| (r - self.t).abs() <= 1e-9) {
             self.recheck_at = None;
-            if self.uses_irq && !self.runtime.is_transitioning() && self.runtime.is_alive() {
+            if self.uses_irq
+                && !self.runtime.is_transitioning()
+                && !self.runtime.idle_masks_interrupts()
+                && self.runtime.is_alive()
+            {
                 let (high, low) = self.monitor.effective_thresholds();
                 let edge = if self.vc >= high.value() {
                     Some(ThresholdEdge::High)
@@ -636,6 +677,7 @@ impl Lane {
                         self.governor.as_mut(),
                         action,
                         Seconds::new(self.t),
+                        self.opts.idle_enabled,
                     )?;
                     if changed {
                         self.recheck_at = Some(self.t + self.opts.rearm_delay.value());
@@ -663,6 +705,8 @@ impl Lane {
             work: *self.runtime.work(),
             control_cpu: self.runtime.control_cpu_time(),
             transitions: self.runtime.transitions_started(),
+            idle_time: self.runtime.idle_time(),
+            idle_entries: self.runtime.idle_entries(),
             final_vc: Volts::new(self.vc),
         })
     }
@@ -730,6 +774,7 @@ fn apply_action(
     governor: &mut dyn Governor,
     action: GovernorAction,
     t: Seconds,
+    idle_enabled: bool,
 ) -> Result<bool, SimError> {
     if action.is_none() {
         return Ok(false);
@@ -746,8 +791,20 @@ fn apply_action(
             changed = true;
         }
     }
+    // Idle moves resolve before OPP requests: a governor asking for
+    // both in one action is parking the SoC, so the OPP change waits
+    // until it is awake again (the post-exit recheck redelivers it).
+    match action.idle {
+        Some(IdleRequest::Enter(index)) if idle_enabled && runtime.begin_idle(index, t) => {
+            changed = true;
+        }
+        Some(IdleRequest::Exit) if runtime.request_wake(t) => {
+            changed = true;
+        }
+        _ => {}
+    }
     if let Some(requested) = action.target_opp {
-        if !runtime.is_transitioning() {
+        if !runtime.is_transitioning() && !runtime.is_idle() {
             let level = runtime.clamp_level(requested.level());
             let target = Opp::new(requested.config(), level);
             if target != runtime.current_opp() {

@@ -50,8 +50,11 @@ use pn_units::{Seconds, Volts};
 use std::fmt::Write as _;
 
 /// Written spec header: v2 added the `options` line (per-cell
-/// [`SimOverrides`]), v3 the engine token on it.
-const SPEC_HEADER: &str = "pn-campaign-spec v3";
+/// [`SimOverrides`]), v3 the engine token on it, v4 the idle token.
+const SPEC_HEADER: &str = "pn-campaign-spec v4";
+/// Still-readable v3 spec header (documents written before the idle
+/// token existed; their options decode with no idle override).
+const SPEC_HEADER_V3: &str = "pn-campaign-spec v3";
 /// Still-readable v2 spec header (documents written before the engine
 /// token existed; their options decode with no engine override).
 const SPEC_HEADER_V2: &str = "pn-campaign-spec v2";
@@ -60,8 +63,11 @@ const SPEC_HEADER_V2: &str = "pn-campaign-spec v2";
 const SPEC_HEADER_V1: &str = "pn-campaign-spec v1";
 /// Written report header: v2 added the optional `summary` section, v3
 /// the per-cell options suffix on `cell` lines, v4 the engine token in
-/// that suffix.
-const REPORT_HEADER: &str = "pn-campaign-report v4";
+/// that suffix, v5 the idle counters and the idle options token.
+const REPORT_HEADER: &str = "pn-campaign-report v5";
+/// Still-readable v4 header (documents written before the idle
+/// counters and options token existed).
+const REPORT_HEADER_V4: &str = "pn-campaign-report v4";
 /// Still-readable v3 header (documents written before the engine token
 /// existed).
 const REPORT_HEADER_V3: &str = "pn-campaign-report v3";
@@ -72,7 +78,18 @@ const REPORT_HEADER_V2: &str = "pn-campaign-report v2";
 /// section existed).
 const REPORT_HEADER_V1: &str = "pn-campaign-report v1";
 
-/// Serializes a campaign spec to the v3 wire format.
+/// Post-header token budget of a report `cell` line beyond the 18
+/// outcome fields, by header version index (current first): v5 carries
+/// two idle counters plus a five-token options suffix, v4 a four-token
+/// options suffix, v3 a three-token one, v2/v1 nothing. Exact counts
+/// make a torn suffix undecodable rather than silently readable as an
+/// older dialect.
+const REPORT_OPTION_TOKENS: [usize; 5] = [5, 4, 3, 0, 0];
+/// Options-line token budget of a spec document, by header version
+/// index (current first).
+const SPEC_OPTION_TOKENS: [usize; 4] = [5, 4, 3, 3];
+
+/// Serializes a campaign spec to the v4 wire format.
 pub fn spec_to_string(spec: &CampaignSpec) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{SPEC_HEADER}");
@@ -104,9 +121,9 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
     out
 }
 
-/// Decodes a campaign spec from the wire format (v3, or the v2/v1
-/// dialects written before the engine token / per-cell options
-/// existed).
+/// Decodes a campaign spec from the wire format (v4, or the v3/v2/v1
+/// dialects written before the idle token / engine token / per-cell
+/// options existed).
 ///
 /// # Errors
 ///
@@ -114,7 +131,8 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
 /// parameter lines that fail [`ControlParams`] validation.
 pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     let mut lines = Lines::new(text);
-    lines.expect_header(&[SPEC_HEADER, SPEC_HEADER_V2, SPEC_HEADER_V1])?;
+    let version =
+        lines.expect_header(&[SPEC_HEADER, SPEC_HEADER_V3, SPEC_HEADER_V2, SPEC_HEADER_V1])?;
     let mut spec = CampaignSpec {
         weathers: Vec::new(),
         seeds: Vec::new(),
@@ -161,7 +179,7 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
             }
             "options" => {
                 let tokens: Vec<&str> = rest.split_whitespace().collect();
-                spec.options = parse_overrides(no, &tokens)?;
+                spec.options = parse_overrides(no, &tokens, SPEC_OPTION_TOKENS[version])?;
             }
             other => return Err(persist_err(no, format!("unknown spec key {other:?}"))),
         }
@@ -169,14 +187,14 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     Ok(spec)
 }
 
-/// Serializes a (full or shard) campaign report to the v4 wire format.
+/// Serializes a (full or shard) campaign report to the v5 wire format.
 ///
-/// Besides one `cell` line per outcome — each carrying its per-cell
-/// [`SimOverrides`] as a four-token options suffix (v4) — the
-/// document carries the report's per-weather and per-governor
-/// [`GroupSummary`] aggregates as `summary` lines, so a consumer can
-/// read fleet-level statistics without re-reducing the cells (the
-/// decoder cross-checks them against the cells it parsed).
+/// Besides one `cell` line per outcome — each carrying its idle
+/// counters and its per-cell [`SimOverrides`] as a five-token options
+/// suffix (v5) — the document carries the report's per-weather and
+/// per-governor [`GroupSummary`] aggregates as `summary` lines, so a
+/// consumer can read fleet-level statistics without re-reducing the
+/// cells (the decoder cross-checks them against the cells it parsed).
 pub fn report_to_string(report: &CampaignReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{REPORT_HEADER}");
@@ -185,7 +203,7 @@ pub fn report_to_string(report: &CampaignReport) -> String {
     for c in report.cells() {
         let _ = writeln!(
             out,
-            "cell {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            "cell {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
             c.cell.weather.slug(),
             c.cell.seed,
             c.cell.buffer_mf,
@@ -204,6 +222,8 @@ pub fn report_to_string(report: &CampaignReport) -> String {
             c.energy_out_joules,
             c.transitions,
             c.final_vc,
+            c.idle_time_seconds,
+            c.idle_entries,
             overrides_fields(&c.cell.options),
         );
     }
@@ -240,11 +260,11 @@ fn aggregate_fields(agg: &Aggregate) -> String {
     )
 }
 
-/// Decodes a campaign report from the wire format (v4, or the v3/v2/v1
-/// dialects written before the engine token / per-cell options / the
-/// summary section existed — missing pieces decode as unset). Every
-/// `f64` is reproduced bitwise, so
-/// `report_from_str(&report_to_string(r)) == r` exactly.
+/// Decodes a campaign report from the wire format (v5, or the
+/// v4/v3/v2/v1 dialects written before the idle counters / engine
+/// token / per-cell options / the summary section existed — missing
+/// pieces decode as unset or zero). Every `f64` is reproduced bitwise,
+/// so `report_from_str(&report_to_string(r)) == r` exactly.
 ///
 /// `summary` sections are optional (documents written before they
 /// existed still decode), but when present they must agree with the
@@ -261,13 +281,11 @@ pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
     let mut lines = Lines::new(text);
     let version = lines.expect_header(&[
         REPORT_HEADER,
+        REPORT_HEADER_V4,
         REPORT_HEADER_V3,
         REPORT_HEADER_V2,
         REPORT_HEADER_V1,
     ])?;
-    // v3+ documents always write the options suffix, so a cell line
-    // without one is truncation, not a legacy dialect.
-    let options_required = version <= 1;
     let (no, line) = lines.next_line()?;
     let start: usize = parse_keyed(no, line, "start")?;
     let (no, line) = lines.next_line()?;
@@ -275,7 +293,7 @@ pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
     let mut cells = Vec::with_capacity(count);
     for _ in 0..count {
         let (no, line) = lines.next_line()?;
-        cells.push(parse_cell_line(no, line, options_required)?);
+        cells.push(parse_cell_line(no, line, version)?);
     }
     let mut by_weather: Vec<GroupSummary> = Vec::new();
     let mut by_governor: Vec<GroupSummary> = Vec::new();
@@ -363,11 +381,7 @@ fn parse_summary_line(no: usize, rest: &str) -> Result<(SummaryKind, GroupSummar
     ))
 }
 
-fn parse_cell_line(
-    no: usize,
-    line: &str,
-    options_required: bool,
-) -> Result<CellOutcome, SimError> {
+fn parse_cell_line(no: usize, line: &str, version: usize) -> Result<CellOutcome, SimError> {
     let mut tok = line.split_whitespace();
     if tok.next() != Some("cell") {
         return Err(persist_err(no, "expected a cell line".into()));
@@ -407,24 +421,33 @@ fn parse_cell_line(
     let energy_out_joules = parse_token(no, next("energy_out")?)?;
     let transitions = parse_token(no, next("transitions")?)?;
     let final_vc = parse_token(no, next("final_vc")?)?;
+    // v5 appended the idle counters; dialects before it decode with
+    // zeros (their cells never idled — the axis did not exist).
+    let (idle_time_seconds, idle_entries) = if version == 0 {
+        (parse_token(no, next("idle_time")?)?, parse_token(no, next("idle_entries")?)?)
+    } else {
+        (0.0, 0u64)
+    };
     // v3 appended the per-cell options (record_dt, max_step, supply
-    // model; `-` for unset); v4 adds the engine token. Pre-v3 lines
-    // simply end here and decode with no overrides; in a v3+ document
-    // a bare 18-token line is a torn write, not a legacy dialect, and
-    // is rejected.
+    // model; `-` for unset); v4 added the engine token, v5 the idle
+    // token. Pre-v3 lines simply end here and decode with no
+    // overrides; in a v3+ document a short suffix is a torn write, not
+    // a legacy dialect, and is rejected with the exact count the
+    // header version promises.
     let rest: Vec<&str> = tok.collect();
-    let options = match rest.len() {
-        0 if !options_required => SimOverrides::none(),
-        0 => {
-            return Err(persist_err(no, "cell line missing its options section".into()));
-        }
-        3 | 4 => parse_overrides(no, &rest)?,
-        n => {
+    let expected = REPORT_OPTION_TOKENS[version];
+    let options = if expected == 0 {
+        if !rest.is_empty() {
             return Err(persist_err(
                 no,
-                format!("cell options section wants 4 tokens, found {n}"),
+                format!("cell line carries {} unexpected trailing tokens", rest.len()),
             ));
         }
+        SimOverrides::none()
+    } else if rest.is_empty() {
+        return Err(persist_err(no, "cell line missing its options section".into()));
+    } else {
+        parse_overrides(no, &rest, expected)?
     };
     Ok(CellOutcome {
         cell: CampaignCell { weather, seed, buffer_mf, governor, params, duration, options },
@@ -437,37 +460,41 @@ fn parse_cell_line(
         energy_out_joules,
         transitions,
         final_vc,
+        idle_time_seconds,
+        idle_entries,
     })
 }
 
-/// The four wire tokens of a [`SimOverrides`] (`record_dt max_step
-/// supply_model engine`, each `-` when unset).
+/// The five wire tokens of a [`SimOverrides`] (`record_dt max_step
+/// supply_model engine idle`, each `-` when unset).
 fn overrides_fields(options: &SimOverrides) -> String {
     let seconds = |s: Option<Seconds>| s.map_or("-".to_string(), |v| v.value().to_string());
     format!(
-        "{} {} {} {}",
+        "{} {} {} {} {}",
         seconds(options.record_dt),
         seconds(options.max_step),
         options.supply_model.map_or("-".to_string(), |m| m.slug()),
         options.engine.map_or("-", |e| e.slug()),
+        options.idle.map_or("-", |i| if i { "on" } else { "off" }),
     )
 }
 
 /// Parses the options section of a `cell` line or the spec's
-/// `options` line: four tokens since v4/spec-v3, three in the dialects
-/// written before the engine token existed (which decode with no
-/// engine override).
-fn parse_overrides(no: usize, tokens: &[&str]) -> Result<SimOverrides, SimError> {
-    let (record_dt, max_step, model, engine) = match tokens {
-        [r, m, s] => (*r, *m, *s, "-"),
-        [r, m, s, e] => (*r, *m, *s, *e),
-        _ => {
-            return Err(persist_err(
-                no,
-                format!("options section wants 4 tokens, found {}", tokens.len()),
-            ));
-        }
-    };
+/// `options` line. `expected` is the exact token count the document's
+/// header version promises (five since report-v5/spec-v4; older
+/// dialects fewer) — a mismatch is a torn or tampered line, never
+/// reinterpreted as an older dialect. Missing trailing fields of old
+/// dialects decode as unset.
+fn parse_overrides(no: usize, tokens: &[&str], expected: usize) -> Result<SimOverrides, SimError> {
+    if tokens.len() != expected {
+        return Err(persist_err(
+            no,
+            format!("options section wants {expected} tokens, found {}", tokens.len()),
+        ));
+    }
+    let token = |i: usize| tokens.get(i).copied().unwrap_or("-");
+    let (record_dt, max_step, model, engine, idle) =
+        (token(0), token(1), token(2), token(3), token(4));
     let seconds = |token: &str| -> Result<Option<Seconds>, SimError> {
         if token == "-" {
             return Ok(None);
@@ -494,11 +521,18 @@ fn parse_overrides(no: usize, tokens: &[&str]) -> Result<SimOverrides, SimError>
                 .ok_or_else(|| persist_err(no, format!("unknown engine {engine:?}")))?,
         )
     };
+    let idle = match idle {
+        "-" => None,
+        "on" => Some(true),
+        "off" => Some(false),
+        other => return Err(persist_err(no, format!("unknown idle flag {other:?}"))),
+    };
     Ok(SimOverrides {
         record_dt: seconds(record_dt)?,
         max_step: seconds(max_step)?,
         supply_model,
         engine,
+        idle,
     })
 }
 
@@ -523,6 +557,8 @@ pub fn campaign_rows(report: &CampaignReport) -> Vec<CampaignRow> {
             energy_out_joules: c.energy_out_joules,
             transitions: c.transitions,
             final_vc: c.final_vc,
+            idle_time_seconds: c.idle_time_seconds,
+            idle_entries: c.idle_entries,
         })
         .collect()
 }
@@ -672,9 +708,22 @@ mod tests {
                 energy_out_joules: 6.25,
                 transitions: 41 + i as u64,
                 final_vc: 5.3,
+                idle_time_seconds: i as f64 * (1.0 / 3.0),
+                idle_entries: i as u64 % 5,
             })
             .collect();
         CampaignReport::from_parts(0, cells)
+    }
+
+    /// `report` with its idle counters zeroed — what decoding a
+    /// pre-v5 rendering of it must produce (the axis did not exist).
+    fn without_idle(report: &CampaignReport) -> CampaignReport {
+        let cells = report
+            .cells()
+            .iter()
+            .map(|c| CellOutcome { idle_time_seconds: 0.0, idle_entries: 0, ..*c })
+            .collect();
+        CampaignReport::from_parts(report.start(), cells)
     }
 
     #[test]
@@ -724,7 +773,7 @@ mod tests {
     fn malformed_documents_are_rejected_with_line_numbers() {
         let cases = [
             ("", "unexpected end"),
-            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v4\""),
+            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v5\""),
             ("pn-campaign-report v1\nstart 0\ncells 1\nend\n", "expected a cell line"),
             ("pn-campaign-report v1\nstart 0\ncells 0\nEND\n", "end marker"),
             ("pn-campaign-report v1\nstart zero\ncells 0\nend\n", "undecodable token"),
@@ -758,17 +807,61 @@ mod tests {
     }
 
     #[test]
+    fn torn_final_lines_without_a_newline_are_rejected() {
+        // A document may legitimately lack its trailing newline...
+        let wire = report_to_string(&sample_report());
+        let trimmed = wire.trim_end_matches('\n');
+        assert_eq!(report_from_str(trimmed).unwrap(), sample_report());
+        // ...but a final cell line torn mid-write (a crash during
+        // append: no newline, trailing tokens missing) must come back
+        // as SimError::Persist pointing at that line — token counts
+        // are exact per version, so no prefix decodes as an older
+        // dialect.
+        let cell_line = wire.lines().find(|l| l.starts_with("cell ")).unwrap();
+        let tokens: Vec<&str> = cell_line.split(' ').collect();
+        for keep in 1..tokens.len() {
+            let doc = format!("{REPORT_HEADER}\nstart 0\ncells 1\n{}", tokens[..keep].join(" "));
+            let err = report_from_str(&doc).unwrap_err();
+            assert!(matches!(err, SimError::Persist(_)), "torn at token {keep}: {err}");
+            assert!(
+                err.to_string().contains("line 4"),
+                "tear at token {keep} was not caught on the cell line: {err}"
+            );
+        }
+        // A torn final summary line is rejected the same way.
+        let last_summary = wire.lines().rfind(|l| l.starts_with("summary ")).unwrap();
+        let prefix: String = wire
+            .lines()
+            .take_while(|l| *l != last_summary)
+            .fold(String::new(), |mut s, l| {
+                s.push_str(l);
+                s.push('\n');
+                s
+            });
+        let torn_summary = last_summary.rsplit_once(' ').unwrap().0;
+        let err = report_from_str(&format!("{prefix}{torn_summary}")).unwrap_err();
+        assert!(err.to_string().contains("summary line missing its label"), "{err}");
+        // A spec whose final options line lost its last token without
+        // a newline is rejected, not reinterpreted as an older spec.
+        let spec_doc = spec_to_string(&CampaignSpec::smoke());
+        let torn = spec_doc.trim_end_matches("end\n").trim_end();
+        let torn = torn.rsplit_once(' ').unwrap().0;
+        let err = spec_from_str(torn).unwrap_err();
+        assert!(err.to_string().contains("options section wants 5 tokens"), "{err}");
+    }
+
+    #[test]
     fn version_skew_is_reported_as_a_persist_error() {
         let wire = report_to_string(&sample_report());
-        let skewed = wire.replacen("pn-campaign-report v4", "pn-campaign-report v5", 1);
+        let skewed = wire.replacen("pn-campaign-report v5", "pn-campaign-report v6", 1);
         let err = report_from_str(&skewed).unwrap_err();
         assert!(matches!(err, SimError::Persist(_)), "{err}");
         let msg = err.to_string();
         assert!(msg.contains("unsupported"), "{msg}");
-        assert!(msg.contains("v4"), "message {msg:?} does not name the supported version");
+        assert!(msg.contains("v5"), "message {msg:?} does not name the supported version");
         // Specs skew independently.
         let spec_doc = spec_to_string(&CampaignSpec::smoke());
-        let skewed = spec_doc.replacen("v3", "v7", 1);
+        let skewed = spec_doc.replacen("v4", "v7", 1);
         let err = spec_from_str(&skewed).unwrap_err();
         assert!(err.to_string().contains("unsupported"), "{err}");
     }
@@ -794,57 +887,63 @@ mod tests {
                 s
             });
         assert_eq!(report_from_str(&stripped).unwrap(), report);
-        let v1 = stripped.replacen("pn-campaign-report v4", "pn-campaign-report v1", 1);
-        assert_eq!(report_from_str(&v1).unwrap(), report);
+        // Relabelling a v5 body as v1 is corruption, not a dialect:
+        // v1 cell lines never carried the idle or options tokens.
+        let v1 = stripped.replacen("pn-campaign-report v5", "pn-campaign-report v1", 1);
+        let err = report_from_str(&v1).unwrap_err();
+        assert!(err.to_string().contains("unexpected trailing tokens"), "{err}");
+    }
+
+    /// Renders `wire` as an older report dialect: keeps the 18
+    /// outcome tokens of every cell line plus the first
+    /// `option_tokens` of its options suffix (dropping the v5 idle
+    /// counters), strips summaries, and relabels the header.
+    fn as_legacy_report(wire: &str, header: &str, option_tokens: usize) -> String {
+        wire.lines()
+            .filter(|l| !l.starts_with("summary "))
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("cell ") {
+                    let tokens: Vec<&str> = rest.split_whitespace().collect();
+                    assert_eq!(tokens.len(), 25, "v5 cell lines carry idle + options tokens");
+                    let mut line = format!("cell {}", tokens[..18].join(" "));
+                    for option in &tokens[20..][..option_tokens] {
+                        line.push(' ');
+                        line.push_str(option);
+                    }
+                    line.push('\n');
+                    line
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect::<String>()
+            .replacen("pn-campaign-report v5", header, 1)
     }
 
     #[test]
-    fn pre_v4_documents_without_engine_or_options_still_decode() {
-        // A genuine pre-v3 document: 18-token cell lines (no options
-        // suffix) under the v1 and v2 headers. Cells decode with no
-        // overrides.
+    fn pre_v5_documents_without_idle_engine_or_options_still_decode() {
+        // Pre-v5 dialects never carried the idle counters, so their
+        // cells decode with zeroed idle accounting.
         let report = sample_report();
+        let expected = without_idle(&report);
         let wire = report_to_string(&report);
-        let legacy_cells: String = wire
-            .lines()
-            .filter(|l| !l.starts_with("summary "))
-            .map(|l| {
-                if let Some(rest) = l.strip_prefix("cell ") {
-                    let tokens: Vec<&str> = rest.split_whitespace().collect();
-                    assert_eq!(tokens.len(), 22, "v4 cell lines carry the options suffix");
-                    format!("cell {}\n", tokens[..18].join(" "))
-                } else {
-                    format!("{l}\n")
-                }
-            })
-            .collect();
+        // v1/v2: bare 18-token cell lines, no overrides at all.
         for legacy_header in ["pn-campaign-report v1", "pn-campaign-report v2"] {
-            let doc = legacy_cells.replacen("pn-campaign-report v4", legacy_header, 1);
+            let doc = as_legacy_report(&wire, legacy_header, 0);
             let decoded = report_from_str(&doc).unwrap();
-            assert_eq!(decoded, report, "{legacy_header} document drifted");
-            assert!(decoded
-                .cells()
-                .iter()
-                .all(|c| c.cell.options == SimOverrides::none()));
+            assert_eq!(decoded, expected, "{legacy_header} document drifted");
+            assert!(decoded.cells().iter().all(|c| c.cell.options == SimOverrides::none()));
         }
-        // A v3 document: three-token options suffix (no engine token).
-        // Cells decode with their overrides but no engine override.
-        let v3_cells: String = wire
-            .lines()
-            .filter(|l| !l.starts_with("summary "))
-            .map(|l| {
-                if let Some(rest) = l.strip_prefix("cell ") {
-                    let tokens: Vec<&str> = rest.split_whitespace().collect();
-                    format!("cell {}\n", tokens[..21].join(" "))
-                } else {
-                    format!("{l}\n")
-                }
-            })
-            .collect();
-        let doc = v3_cells.replacen("pn-campaign-report v4", "pn-campaign-report v3", 1);
-        let decoded = report_from_str(&doc).unwrap();
-        assert_eq!(decoded, report, "v3 document drifted");
+        // v3: three-token options suffix (no engine, no idle token).
+        let decoded =
+            report_from_str(&as_legacy_report(&wire, "pn-campaign-report v3", 3)).unwrap();
+        assert_eq!(decoded, expected, "v3 document drifted");
         assert!(decoded.cells().iter().all(|c| c.cell.options.engine.is_none()));
+        // v4: four-token options suffix (engine but no idle token).
+        let decoded =
+            report_from_str(&as_legacy_report(&wire, "pn-campaign-report v4", 4)).unwrap();
+        assert_eq!(decoded, expected, "v4 document drifted");
+        assert!(decoded.cells().iter().all(|c| c.cell.options.idle.is_none()));
         // Pre-v2 specs decode with no overrides too.
         let spec = CampaignSpec::smoke();
         let spec_doc = spec_to_string(&spec);
@@ -853,8 +952,14 @@ mod tests {
             .filter(|l| !l.starts_with("options "))
             .map(|l| format!("{l}\n"))
             .collect();
-        let legacy = legacy.replacen("pn-campaign-spec v3", "pn-campaign-spec v1", 1);
+        let legacy = legacy.replacen("pn-campaign-spec v4", "pn-campaign-spec v1", 1);
         assert_eq!(spec_from_str(&legacy).unwrap(), spec);
+        // A v3 spec: four-token options line (no idle token).
+        let v3 = spec_doc
+            .replacen("options - - - - -", "options - - - -", 1)
+            .replacen("pn-campaign-spec v4", "pn-campaign-spec v3", 1);
+        assert_ne!(v3, spec_doc, "expected the default options line");
+        assert_eq!(spec_from_str(&v3).unwrap(), spec);
     }
 
     #[test]
@@ -862,7 +967,8 @@ mod tests {
         let overrides = SimOverrides::none()
             .with_record_dt(Seconds::new(0.1 + 0.2)) // awkward float
             .with_supply_model(SupplyModel::Interpolated { tol: 1.0 / 3.0 })
-            .with_engine(EngineKind::Scalar);
+            .with_engine(EngineKind::Scalar)
+            .with_idle(false);
         let spec = CampaignSpec::smoke().with_cell_options(overrides);
         assert_eq!(spec_from_str(&spec_to_string(&spec)).unwrap(), spec);
         let cells: Vec<CellOutcome> = spec
@@ -879,6 +985,8 @@ mod tests {
                 energy_out_joules: 1.5,
                 transitions: 4,
                 final_vc: 5.3,
+                idle_time_seconds: 0.125,
+                idle_entries: 3,
             })
             .collect();
         let report = CampaignReport::from_parts(0, cells);
@@ -886,6 +994,8 @@ mod tests {
         assert_eq!(decoded, report);
         let cell = decoded.cells()[0].cell;
         assert_eq!(cell.options, overrides);
+        assert_eq!(cell.options.idle, Some(false));
+        assert_eq!(decoded.cells()[0].idle_entries, 3);
         assert_eq!(
             cell.options.record_dt.unwrap().value().to_bits(),
             (0.1f64 + 0.2).to_bits(),
@@ -915,6 +1025,8 @@ mod tests {
                 energy_out_joules: 1.5,
                 transitions: 4,
                 final_vc: 5.3,
+                idle_time_seconds: 0.0,
+                idle_entries: 0,
             })
             .collect();
         let wire = report_to_string(&CampaignReport::from_parts(0, cells));
@@ -926,9 +1038,11 @@ mod tests {
             // Negative interval.
             ("- - interp:0.001", "-4 - interp:0.001", "must be positive"),
             // Wrong token count (options suffix torn in half).
-            ("- - interp:0.001 -", "- interp:0.001", "options section wants 4 tokens"),
+            ("- - interp:0.001 - -", "- interp:0.001 - -", "options section wants 5 tokens"),
             // Unknown engine token.
-            ("- - interp:0.001 -", "- - interp:0.001 vector", "unknown engine"),
+            ("interp:0.001 - -", "interp:0.001 vector -", "unknown engine"),
+            // Unknown idle token.
+            ("interp:0.001 - -", "interp:0.001 - maybe", "unknown idle flag"),
         ];
         for (needle, replacement, expected) in cases {
             let bad = wire.replacen(needle, replacement, 1);
@@ -937,19 +1051,24 @@ mod tests {
             assert!(matches!(err, SimError::Persist(_)), "{err}");
             assert!(err.to_string().contains(expected), "{replacement:?} → {err}");
         }
-        // A v4 cell line torn right after the 18 base tokens must be
+        // A v5 cell line torn right after the idle counters must be
         // rejected too — only genuine pre-v3 headers may omit the
         // options suffix.
-        let torn = wire.replacen(" - - interp:0.001 -", "", 1);
+        let torn = wire.replacen(" - - interp:0.001 - -", "", 1);
         assert_ne!(torn, wire, "tamper target not found");
         let err = report_from_str(&torn).unwrap_err();
         assert!(err.to_string().contains("missing its options section"), "{err}");
+        // Torn even earlier — the idle counters themselves lost.
+        let torn = wire.replacen(" 0 0 - - interp:0.001 - -", "", 1);
+        assert_ne!(torn, wire, "tamper target not found");
+        let err = report_from_str(&torn).unwrap_err();
+        assert!(err.to_string().contains("missing idle_time"), "{err}");
         // Spec options lines are validated the same way.
         let spec_doc = spec_to_string(&spec);
-        let bad = spec_doc.replacen("options - - interp:0.001 -", "options - -", 1);
+        let bad = spec_doc.replacen("options - - interp:0.001 - -", "options - -", 1);
         assert_ne!(bad, spec_doc);
         let err = spec_from_str(&bad).unwrap_err();
-        assert!(err.to_string().contains("options section wants 4 tokens"), "{err}");
+        assert!(err.to_string().contains("options section wants 5 tokens"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,26 @@ use pn_units::{Seconds, Watts};
 use pn_workload::work::WorkAccount;
 use std::collections::VecDeque;
 
+/// Where an in-flight idle (DPM) move stands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum IdlePhase {
+    /// Dropping into the state; completes at `step_deadline`.
+    /// Interrupts are masked and active power still burns.
+    Entering,
+    /// Resident in the state since `entered_at`: idle power, wake
+    /// interrupts live, no deadline until a wake is requested.
+    Resident { entered_at: Seconds },
+    /// Waking; completes at `step_deadline`. Interrupts are masked.
+    Exiting,
+}
+
+/// An idle move in flight: which ladder state and which phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct IdleFlight {
+    index: usize,
+    phase: IdlePhase,
+}
+
 /// Live platform state during a simulation.
 #[derive(Debug, Clone)]
 pub struct SocRuntime {
@@ -18,9 +38,14 @@ pub struct SocRuntime {
     /// executing and completes at `step_deadline`.
     pending: VecDeque<TransitionStep>,
     step_deadline: Option<Seconds>,
+    /// In-flight idle move; mutually exclusive with `pending` (an OPP
+    /// transition and an idle move never overlap).
+    idle: Option<IdleFlight>,
     work: WorkAccount,
     control_cpu: Seconds,
     transitions_started: u64,
+    idle_time: Seconds,
+    idle_entries: u64,
     death_time: Option<Seconds>,
 }
 
@@ -33,9 +58,12 @@ impl SocRuntime {
             alive: true,
             pending: VecDeque::new(),
             step_deadline: None,
+            idle: None,
             work: WorkAccount::new(),
             control_cpu: Seconds::ZERO,
             transitions_started: 0,
+            idle_time: Seconds::ZERO,
+            idle_entries: 0,
             death_time: None,
         }
     }
@@ -92,19 +120,115 @@ impl SocRuntime {
         self.transitions_started
     }
 
+    /// `true` while any idle move is in flight (entering, resident or
+    /// exiting).
+    pub fn is_idle(&self) -> bool {
+        self.idle.is_some()
+    }
+
+    /// `true` while the SoC sits *resident* in an idle state (wake
+    /// interrupts are live).
+    pub fn is_idle_resident(&self) -> bool {
+        matches!(self.idle, Some(IdleFlight { phase: IdlePhase::Resident { .. }, .. }))
+    }
+
+    /// `true` while an idle entry or exit masks interrupts (like an
+    /// OPP transition does).
+    pub fn idle_masks_interrupts(&self) -> bool {
+        matches!(
+            self.idle,
+            Some(IdleFlight { phase: IdlePhase::Entering | IdlePhase::Exiting, .. })
+        )
+    }
+
+    /// Ladder index of the idle state in flight, if any.
+    pub fn idle_state_index(&self) -> Option<usize> {
+        self.idle.map(|f| f.index)
+    }
+
+    /// Accumulated time spent resident in idle states.
+    pub fn idle_time(&self) -> Seconds {
+        self.idle_time
+    }
+
+    /// Number of idle entries started.
+    pub fn idle_entries(&self) -> u64 {
+        self.idle_entries
+    }
+
     /// Board power right now (zero after brownout).
+    ///
+    /// While resident in an idle state the board draws the state's
+    /// power; during idle entry/exit it still draws the active OPP's
+    /// power plus the state's transition energy amortized over the
+    /// entry+exit window.
     pub fn power(&self) -> Watts {
         if !self.alive {
             return Watts::ZERO;
+        }
+        if let Some(flight) = self.idle {
+            let state = &self.platform.idle_states()[flight.index];
+            match flight.phase {
+                IdlePhase::Resident { .. } => return state.power(),
+                IdlePhase::Entering | IdlePhase::Exiting => {
+                    let overhead = state.overhead().value();
+                    let extra = if overhead > 0.0 {
+                        state.transition_energy().value() / overhead
+                    } else {
+                        0.0
+                    };
+                    let opp = self.effective_opp();
+                    return opp
+                        .power(self.platform.power(), self.platform.frequencies())
+                        .unwrap_or(Watts::ZERO)
+                        + Watts::new(extra);
+                }
+            }
         }
         let opp = self.effective_opp();
         opp.power(self.platform.power(), self.platform.frequencies())
             .unwrap_or(Watts::ZERO)
     }
 
-    /// Starts a transition plan at time `t`. An empty plan is a no-op.
+    /// Starts dropping into the platform idle state at ladder index
+    /// `index` (clamped to the deepest state) at time `t`. Refused —
+    /// returning `false` — while dead, transitioning, already idle, or
+    /// on a platform without idle states.
+    pub fn begin_idle(&mut self, index: usize, t: Seconds) -> bool {
+        if !self.alive || self.is_transitioning() || self.idle.is_some() {
+            return false;
+        }
+        let states = self.platform.idle_states();
+        if states.is_empty() {
+            return false;
+        }
+        let index = index.min(states.len() - 1);
+        let entry = states[index].entry_latency();
+        self.idle = Some(IdleFlight { index, phase: IdlePhase::Entering });
+        self.step_deadline = Some(t + entry);
+        self.idle_entries += 1;
+        true
+    }
+
+    /// Requests a wake from the resident idle state at time `t`. The
+    /// exit completes — honouring the state's residency floor — at the
+    /// returned `step_deadline`. Returns `false` unless resident.
+    pub fn request_wake(&mut self, t: Seconds) -> bool {
+        let Some(IdleFlight { index, phase: IdlePhase::Resident { entered_at } }) = self.idle
+        else {
+            return false;
+        };
+        let state = &self.platform.idle_states()[index];
+        let earliest = (entered_at + state.min_residency()).max(t);
+        self.step_deadline = Some(earliest + state.exit_latency());
+        self.idle = Some(IdleFlight { index, phase: IdlePhase::Exiting });
+        true
+    }
+
+    /// Starts a transition plan at time `t`. An empty plan is a no-op,
+    /// as is any plan while an idle move is in flight (wake first).
     pub fn begin_transition(&mut self, plan: Vec<TransitionStep>, t: Seconds) {
-        if plan.is_empty() || !self.alive {
+        if plan.is_empty() || !self.alive || self.idle.is_some() {
             return;
         }
         // A new command pre-empts any queued (not yet guaranteed) steps:
@@ -120,8 +244,23 @@ impl SocRuntime {
     }
 
     /// Completes the executing step at time `t`; returns `true` when
-    /// the whole transition has finished.
+    /// the whole transition (or idle entry/exit) has finished.
     pub fn complete_step(&mut self, t: Seconds) -> bool {
+        if self.pending.is_empty() {
+            // The deadline belongs to an idle move, not an OPP plan.
+            match self.idle {
+                Some(IdleFlight { index, phase: IdlePhase::Entering }) => {
+                    self.idle =
+                        Some(IdleFlight { index, phase: IdlePhase::Resident { entered_at: t } });
+                }
+                Some(IdleFlight { phase: IdlePhase::Exiting, .. }) => {
+                    self.idle = None;
+                }
+                _ => {}
+            }
+            self.step_deadline = None;
+            return true;
+        }
         self.pending.pop_front();
         match self.pending.front() {
             Some(next) => {
@@ -136,9 +275,17 @@ impl SocRuntime {
     }
 
     /// Accrues `dt` of execution at the effective OPP's rates, plus
-    /// `control_dt` of that window spent in the budgeting software.
+    /// `control_dt` of that window spent in the budgeting software. No
+    /// work accrues during an idle move; resident time counts toward
+    /// [`Self::idle_time`].
     pub fn accrue(&mut self, dt: Seconds, control_dt: Seconds) {
         if !self.alive || dt.value() <= 0.0 {
+            return;
+        }
+        if let Some(flight) = self.idle {
+            if matches!(flight.phase, IdlePhase::Resident { .. }) {
+                self.idle_time += dt;
+            }
             return;
         }
         let opp = self.effective_opp();
@@ -166,6 +313,7 @@ impl SocRuntime {
             self.death_time = Some(t);
             self.pending.clear();
             self.step_deadline = None;
+            self.idle = None;
         }
     }
 
@@ -252,5 +400,81 @@ mod tests {
         rt.begin_transition(Vec::new(), Seconds::ZERO);
         assert!(!rt.is_transitioning());
         assert_eq!(rt.transitions_started(), 0);
+    }
+
+    #[test]
+    fn idle_lifecycle_walks_enter_resident_exit() {
+        let mut rt = runtime();
+        let states = rt.platform().idle_states().to_vec();
+        let deep = &states[1];
+        let active = rt.power();
+
+        assert!(rt.begin_idle(usize::MAX, Seconds::ZERO)); // clamps to deepest
+        assert_eq!(rt.idle_state_index(), Some(1));
+        assert!(rt.idle_masks_interrupts());
+        assert!(!rt.is_idle_resident());
+        // Entering burns more than active (transition energy amortized).
+        assert!(rt.power() > active);
+        let entered = rt.step_deadline().unwrap();
+        assert_eq!(entered, Seconds::ZERO + deep.entry_latency());
+
+        assert!(rt.complete_step(entered));
+        assert!(rt.is_idle_resident());
+        assert!(!rt.idle_masks_interrupts());
+        assert_eq!(rt.power(), deep.power());
+        assert_eq!(rt.step_deadline(), None);
+
+        // Resident time accrues as idle time, not work.
+        let work_before = rt.work().instructions();
+        rt.accrue(Seconds::new(2.0), Seconds::ZERO);
+        assert_eq!(rt.work().instructions(), work_before);
+        assert_eq!(rt.idle_time(), Seconds::new(2.0));
+
+        // A wake just after entry is floored by the residency minimum.
+        let wake_at = entered + Seconds::new(2.0);
+        assert!(rt.request_wake(wake_at));
+        let exit_deadline = rt.step_deadline().unwrap();
+        assert_eq!(exit_deadline, (entered + deep.min_residency()).max(wake_at) + deep.exit_latency());
+        assert!(rt.idle_masks_interrupts());
+        assert!(rt.complete_step(exit_deadline));
+        assert!(!rt.is_idle());
+        assert_eq!(rt.idle_entries(), 1);
+        assert_eq!(rt.power(), active);
+    }
+
+    #[test]
+    fn idle_and_transitions_are_mutually_exclusive() {
+        let mut rt = runtime();
+        // While idle, transition plans are refused.
+        assert!(rt.begin_idle(0, Seconds::ZERO));
+        let p = plan(&rt, rt.current_opp(), Opp::new(CoreConfig::new(2, 0).unwrap(), 2));
+        rt.begin_transition(p.clone(), Seconds::ZERO);
+        assert_eq!(rt.transitions_started(), 0);
+        // A second idle entry is refused too.
+        assert!(!rt.begin_idle(0, Seconds::ZERO));
+        // Wake requests outside residency are refused.
+        assert!(!rt.request_wake(Seconds::ZERO));
+
+        // While transitioning, idle entry is refused.
+        let mut rt = runtime();
+        rt.begin_transition(p, Seconds::ZERO);
+        assert!(!rt.begin_idle(0, Seconds::ZERO));
+    }
+
+    #[test]
+    fn brownout_clears_idle_state() {
+        let mut rt = runtime();
+        assert!(rt.begin_idle(0, Seconds::ZERO));
+        rt.brownout(Seconds::new(1.0));
+        assert!(!rt.is_idle());
+        assert_eq!(rt.power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn idle_refused_without_ladder() {
+        let platform = Platform::odroid_xu4().with_idle_states(Vec::new());
+        let mut rt = SocRuntime::new(platform, Opp::lowest());
+        assert!(!rt.begin_idle(0, Seconds::ZERO));
+        assert_eq!(rt.idle_entries(), 0);
     }
 }

@@ -16,7 +16,8 @@
 
 use crate::cores::CoreConfig;
 use crate::SocError;
-use pn_units::{Hertz, Seconds};
+use pn_units::{Hertz, Joules, Seconds, Watts};
+use std::fmt;
 
 /// Direction of a frequency change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,6 +124,153 @@ impl Default for LatencyModel {
     }
 }
 
+/// A platform idle (C-)state: a sleep mode the whole SoC can drop
+/// into between work, trading wake-up latency for residency power.
+///
+/// Entry and exit are *not free*: both take wall-clock time during
+/// which the SoC still burns power and cannot respond to interrupts,
+/// and the transition itself dissipates `transition_energy` (cache
+/// flush, rail ramp, context save/restore). A state only pays off when
+/// the idle gap exceeds its [break-even time](Self::break_even).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdleState {
+    name: &'static str,
+    power: Watts,
+    entry_latency: Seconds,
+    exit_latency: Seconds,
+    min_residency: Seconds,
+    transition_energy: Joules,
+}
+
+impl IdleState {
+    /// Creates an idle state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] for negative or
+    /// non-finite parameters, or an empty name.
+    pub fn new(
+        name: &'static str,
+        power: Watts,
+        entry_latency: Seconds,
+        exit_latency: Seconds,
+        min_residency: Seconds,
+        transition_energy: Joules,
+    ) -> Result<Self, SocError> {
+        let all = [
+            power.value(),
+            entry_latency.value(),
+            exit_latency.value(),
+            min_residency.value(),
+            transition_energy.value(),
+        ];
+        if name.is_empty() {
+            return Err(SocError::InvalidParameter("idle state needs a name"));
+        }
+        if all.iter().any(|x| *x < 0.0 || !x.is_finite()) {
+            return Err(SocError::InvalidParameter("idle state terms must be non-negative"));
+        }
+        Ok(Self { name, power, entry_latency, exit_latency, min_residency, transition_energy })
+    }
+
+    /// The state's name (e.g. `"shallow"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Board power while resident in the state.
+    pub fn power(&self) -> Watts {
+        self.power
+    }
+
+    /// Time to enter the state; interrupts are masked and active power
+    /// is still drawn.
+    pub fn entry_latency(&self) -> Seconds {
+        self.entry_latency
+    }
+
+    /// Time to leave the state after a wake event.
+    pub fn exit_latency(&self) -> Seconds {
+        self.exit_latency
+    }
+
+    /// Minimum time the SoC must stay resident once entered (hardware
+    /// rail-settling floor); wake events during the floor are honoured
+    /// only after it elapses.
+    pub fn min_residency(&self) -> Seconds {
+        self.min_residency
+    }
+
+    /// Energy dissipated by one enter+exit round trip on top of the
+    /// latencies' power draw.
+    pub fn transition_energy(&self) -> Joules {
+        self.transition_energy
+    }
+
+    /// Round-trip latency overhead: entry plus exit.
+    pub fn overhead(&self) -> Seconds {
+        self.entry_latency + self.exit_latency
+    }
+
+    /// The break-even gap length against active draw `active`: the
+    /// shortest idle gap for which entering the state saves energy.
+    ///
+    /// During a gap of length `g` the state spends
+    /// `active·(entry+exit) + E_tr + P_idle·(g − entry − exit)` versus
+    /// `active·g` for staying up, so the saving goes positive at
+    /// `g = (entry+exit) + E_tr/(active − P_idle)` — floored at the
+    /// state's minimum residency plus exit latency. When `active` does
+    /// not exceed the state's own power, the state never pays off and
+    /// the break-even is infinite.
+    pub fn break_even(&self, active: Watts) -> Seconds {
+        let margin = active.value() - self.power.value();
+        if margin <= 0.0 {
+            return Seconds::new(f64::INFINITY);
+        }
+        let payback = self.transition_energy.value() / margin;
+        Seconds::new(self.overhead().value() + payback.max(self.min_residency.value()))
+    }
+
+    /// Whether an idle gap of length `gap` is worth entering the state
+    /// for, given active draw `active`.
+    pub fn worth_entering(&self, active: Watts, gap: Seconds) -> bool {
+        gap >= self.break_even(active)
+    }
+}
+
+impl fmt::Display for IdleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} W)", self.name, self.power.value())
+    }
+}
+
+/// The ODROID XU4 idle ladder: a shallow clock-gated state (WFI-like,
+/// microsecond-scale transitions) and a deep rail-gated state
+/// (suspend-like, millisecond-scale transitions with a residency
+/// floor). Ordered shallow to deep.
+pub fn odroid_xu4_idle_states() -> Vec<IdleState> {
+    vec![
+        IdleState::new(
+            "shallow",
+            Watts::new(1.25),
+            Seconds::from_millis(0.5),
+            Seconds::from_millis(0.5),
+            Seconds::from_millis(1.0),
+            Joules::new(0.5e-3),
+        )
+        .expect("preset shallow idle state is valid"),
+        IdleState::new(
+            "deep",
+            Watts::new(0.85),
+            Seconds::from_millis(4.0),
+            Seconds::from_millis(8.0),
+            Seconds::from_millis(50.0),
+            Joules::new(20e-3),
+        )
+        .expect("preset deep idle state is valid"),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +333,46 @@ mod tests {
     fn constructor_rejects_negative_terms() {
         assert!(LatencyModel::new(-1.0, 0.5, 0.8, 0.8, 0.2, 0.4).is_err());
         assert!(LatencyModel::new(3.0, 0.5, 0.8, 0.8, 0.2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn idle_ladder_orders_shallow_to_deep() {
+        let states = odroid_xu4_idle_states();
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0].name(), "shallow");
+        assert_eq!(states[1].name(), "deep");
+        assert!(states[1].power() < states[0].power());
+        assert!(states[1].overhead() > states[0].overhead());
+        assert!(states[1].min_residency() > states[0].min_residency());
+    }
+
+    #[test]
+    fn break_even_magnitudes_are_sane() {
+        let active = Watts::new(2.5);
+        let states = odroid_xu4_idle_states();
+        let shallow = states[0].break_even(active);
+        let deep = states[1].break_even(active);
+        // Shallow: ~1–2 ms; deep: dominated by its 50 ms residency floor.
+        assert!(shallow.to_millis() > 1.0 && shallow.to_millis() < 3.0, "{shallow:?}");
+        assert!(deep.to_millis() > 60.0 && deep.to_millis() < 80.0, "{deep:?}");
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn break_even_is_infinite_when_idle_draw_dominates() {
+        let states = odroid_xu4_idle_states();
+        // Active draw below the shallow state's own power: no payoff.
+        let be = states[0].break_even(Watts::new(1.0));
+        assert!(be.value().is_infinite());
+        assert!(!states[0].worth_entering(Watts::new(1.0), Seconds::new(1e9)));
+    }
+
+    #[test]
+    fn idle_state_constructor_rejects_bad_terms() {
+        let s = Seconds::from_millis(1.0);
+        assert!(IdleState::new("", Watts::new(1.0), s, s, s, Joules::new(0.0)).is_err());
+        assert!(IdleState::new("x", Watts::new(-1.0), s, s, s, Joules::new(0.0)).is_err());
+        assert!(IdleState::new("x", Watts::new(1.0), s, s, s, Joules::new(f64::NAN)).is_err());
     }
 
     proptest! {

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod cores;
+pub mod domain;
 pub mod freq;
 pub mod latency;
 pub mod opp;

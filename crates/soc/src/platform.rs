@@ -5,7 +5,7 @@
 //! — everything the governor and the co-simulation need.
 
 use crate::freq::FrequencyTable;
-use crate::latency::LatencyModel;
+use crate::latency::{odroid_xu4_idle_states, IdleState, LatencyModel};
 use crate::perf::PerfModel;
 use crate::power::PowerModel;
 use crate::SocError;
@@ -58,6 +58,7 @@ pub struct Platform {
     latency: LatencyModel,
     voltage_window: VoltageWindow,
     target_voltage: Volts,
+    idle_states: Vec<IdleState>,
 }
 
 impl Platform {
@@ -90,7 +91,15 @@ impl Platform {
             latency,
             voltage_window,
             target_voltage,
+            idle_states: odroid_xu4_idle_states(),
         })
+    }
+
+    /// Returns a copy with a different idle-state ladder (ordered
+    /// shallow to deep; may be empty to model a SoC that never sleeps).
+    pub fn with_idle_states(mut self, idle_states: Vec<IdleState>) -> Self {
+        self.idle_states = idle_states;
+        self
     }
 
     /// The ODROID XU4 preset used throughout the paper, with the target
@@ -143,6 +152,11 @@ impl Platform {
     /// paper's experiments).
     pub fn target_voltage(&self) -> Volts {
         self.target_voltage
+    }
+
+    /// The platform's idle-state ladder, shallow to deep.
+    pub fn idle_states(&self) -> &[IdleState] {
+        &self.idle_states
     }
 
     /// Returns a copy with a different target voltage.
@@ -212,6 +226,15 @@ mod tests {
         assert!(w.contains(Volts::new(4.1)));
         assert!(w.contains(Volts::new(5.7)));
         assert!(!w.contains(Volts::new(5.71)));
+    }
+
+    #[test]
+    fn preset_carries_the_idle_ladder() {
+        let p = Platform::odroid_xu4();
+        assert_eq!(p.idle_states().len(), 2);
+        assert_eq!(p.idle_states()[0].name(), "shallow");
+        let awake = p.clone().with_idle_states(Vec::new());
+        assert!(awake.idle_states().is_empty());
     }
 
     #[test]

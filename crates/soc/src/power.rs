@@ -16,6 +16,7 @@
 //! figure.
 
 use crate::cores::{CoreConfig, CoreType};
+use crate::domain::Domain;
 use crate::freq::FrequencyTable;
 use crate::SocError;
 use pn_units::{Hertz, Volts, Watts};
@@ -189,12 +190,19 @@ impl PowerModel {
         self.core_dynamic_power(kind, f) + cluster.static_power
     }
 
+    /// Power drawn by one voltage/frequency domain with `cores` of its
+    /// cores online at frequency `f` (the board base is not included —
+    /// it belongs to no domain).
+    pub fn domain_power(&self, domain: Domain, cores: u8, f: Hertz) -> Watts {
+        self.core_power(domain.core_type(), f) * f64::from(cores)
+    }
+
     /// Total board power for a configuration at frequency `f`, as
-    /// plotted in Fig. 4.
+    /// plotted in Fig. 4: the base plus every domain's contribution.
     pub fn board_power(&self, config: CoreConfig, f: Hertz) -> Watts {
         self.base
-            + self.core_power(CoreType::Little, f) * f64::from(config.little())
-            + self.core_power(CoreType::Big, f) * f64::from(config.big())
+            + self.domain_power(Domain::Little, config.little(), f)
+            + self.domain_power(Domain::Big, config.big(), f)
     }
 
     /// Selects `n` frequencies between the table's bounds such that the

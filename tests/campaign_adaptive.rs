@@ -107,6 +107,8 @@ fn synthetic_report(spec: &CampaignSpec, threshold_mf: f64) -> CampaignReport {
             energy_out_joules: 1.0,
             transitions: 1,
             final_vc: 5.0,
+            idle_time_seconds: 0.0,
+            idle_entries: 0,
         })
         .collect();
     CampaignReport::from_parts(0, cells)

@@ -30,6 +30,8 @@ fn governors() -> Vec<GovernorSpec> {
         GovernorSpec::Conservative,
         GovernorSpec::Interactive,
         GovernorSpec::Hold(Opp::lowest()),
+        GovernorSpec::RaceToIdle,
+        GovernorSpec::BudgetShift,
     ]
 }
 
@@ -60,7 +62,7 @@ proptest! {
     /// supply models.
     #[test]
     fn batched_outcomes_are_bitwise_scalar_ones(
-        g in 0usize..8,
+        g in 0usize..10,
         w in 0usize..6,
         seed in 1u64..5,
         interp in proptest::bool::ANY,
@@ -80,7 +82,7 @@ proptest! {
 
 #[test]
 fn full_governor_axis_matches_in_one_batch() {
-    // All eight governors over one shared day — the widest lane group
+    // All ten governors over one shared day — the widest lane group
     // a single (weather, seed) point can produce.
     let spec = CampaignSpec::new()
         .expect("paper preset valid")
@@ -112,6 +114,26 @@ fn group_dispatched_campaigns_are_thread_count_invariant() {
     let scalar_sequential = run_campaign(&scalar, &Executor::sequential()).unwrap();
     let scalar_wide = run_campaign(&scalar, &Executor::new(4)).unwrap();
     assert_eq!(scalar_wide, scalar_sequential);
+}
+
+#[test]
+fn dpm_governors_match_bitwise_across_every_weather() {
+    // The idle-capable policies are the ones whose lanes pause and
+    // resume mid-run (idle entry/exit discontinuities), so their
+    // batched interleaving gets its own exhaustive weather sweep.
+    for weather in Weather::all() {
+        let spec = CampaignSpec::new()
+            .expect("paper preset valid")
+            .with_weathers(vec![weather])
+            .with_seeds(vec![2])
+            .with_governors(vec![GovernorSpec::RaceToIdle, GovernorSpec::BudgetShift])
+            .with_duration(Seconds::new(5.0));
+        assert_eq!(
+            run_with(&spec, EngineKind::Scalar),
+            run_with(&spec, EngineKind::Batched),
+            "{weather} diverged"
+        );
+    }
 }
 
 #[test]

@@ -65,6 +65,32 @@ fn golden_wire_artifact_is_stable_and_decodes() {
 }
 
 #[test]
+fn golden_dpm_comparison_csv_is_stable() {
+    // Table II-style shoot-out of the two DPM policies against the
+    // power-neutral controller and the surviving Linux baseline, over
+    // a bright and a dark hour. Pins the idle_time_s/idle_entries CSV
+    // columns end to end: race-to-idle must actually park somewhere in
+    // this matrix, so the golden demonstrably exercises the idle axis.
+    let spec = CampaignSpec::new()
+        .unwrap()
+        .with_weathers(vec![Weather::FullSun, Weather::Cloudy])
+        .with_governors(vec![
+            GovernorSpec::PowerNeutral,
+            GovernorSpec::Powersave,
+            GovernorSpec::RaceToIdle,
+            GovernorSpec::BudgetShift,
+        ])
+        .with_duration(Seconds::new(15.0));
+    let report = run_campaign(&spec, &Executor::new(2)).unwrap();
+    assert!(
+        report.cells().iter().any(|c| c.idle_time_seconds > 0.0 && c.idle_entries > 0),
+        "no cell ever parked — the DPM golden would not cover the idle axis"
+    );
+    let csv = persist::report_csv_string(&report).unwrap();
+    assert_matches_golden("campaign_dpm.csv", include_str!("golden/campaign_dpm.csv"), &csv);
+}
+
+#[test]
 fn shard_and_merge_reproduce_the_unsharded_report_bitwise() {
     let spec = quick_spec();
     let executor = Executor::sequential();
@@ -232,6 +258,8 @@ fn fake_outcome(cell: CampaignCell, salt: f64) -> CellOutcome {
         energy_out_joules: 1.0 + salt,
         transitions: (salt * 100.0) as u64,
         final_vc: 5.0 + salt,
+        idle_time_seconds: salt * 0.5,
+        idle_entries: (salt * 7.0) as u64,
     }
 }
 
