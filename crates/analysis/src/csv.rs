@@ -139,28 +139,59 @@ pub fn write_campaign_csv<W: Write>(
 ) -> Result<(), AnalysisError> {
     writeln!(writer, "{CAMPAIGN_CSV_HEADER}")?;
     for r in rows {
-        writeln!(
-            writer,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            r.weather,
-            r.seed,
-            r.buffer_mf,
-            r.governor,
-            r.supply_model,
-            u8::from(r.survived),
-            r.lifetime_seconds,
-            r.vc_stability,
-            r.instructions_billions,
-            r.renders_per_minute,
-            r.energy_in_joules,
-            r.energy_out_joules,
-            r.transitions,
-            r.final_vc,
-            r.idle_time_seconds,
-            r.idle_entries,
-        )?;
+        writeln!(writer, "{}", format_campaign_row(r))?;
     }
     Ok(())
+}
+
+/// Formats one campaign row exactly as [`write_campaign_csv`] writes
+/// it, without the trailing newline — the incremental emission path.
+/// Streaming consumers (the campaign daemon) send rows one at a time
+/// as cells complete; because both paths share this formatter, a CSV
+/// document assembled from streamed rows is byte-identical to the
+/// batch-written one.
+///
+/// # Examples
+///
+/// ```
+/// use pn_analysis::csv::{format_campaign_row, write_campaign_csv, CampaignRow};
+///
+/// # fn row() -> CampaignRow {
+/// #     CampaignRow {
+/// #         weather: "full-sun".into(), seed: 1, buffer_mf: 47.0,
+/// #         governor: "power-neutral".into(), supply_model: "exact".into(),
+/// #         survived: true, lifetime_seconds: 60.0, vc_stability: 1.0,
+/// #         instructions_billions: 1.0, renders_per_minute: 10.0,
+/// #         energy_in_joules: 2.0, energy_out_joules: 1.0, transitions: 3,
+/// #         final_vc: 5.3, idle_time_seconds: 0.0, idle_entries: 0,
+/// #     }
+/// # }
+/// let r = row();
+/// let mut doc = Vec::new();
+/// write_campaign_csv(&mut doc, std::slice::from_ref(&r)).unwrap();
+/// assert!(String::from_utf8(doc).unwrap().ends_with(&format!("{}\n", format_campaign_row(&r))));
+/// ```
+#[must_use]
+pub fn format_campaign_row(r: &CampaignRow) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.weather,
+        r.seed,
+        r.buffer_mf,
+        r.governor,
+        r.supply_model,
+        u8::from(r.survived),
+        r.lifetime_seconds,
+        r.vc_stability,
+        r.instructions_billions,
+        r.renders_per_minute,
+        r.energy_in_joules,
+        r.energy_out_joules,
+        r.transitions,
+        r.final_vc,
+        r.idle_time_seconds,
+        r.idle_entries,
+    )
 }
 
 /// One campaign group (a weather condition or a governor), reduced to
@@ -299,6 +330,8 @@ mod tests {
         assert_eq!(fields[6].parse::<f64>().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
         assert_eq!(fields[14], "1.25", "idle residency rides along");
         assert_eq!(fields[15], "6", "idle entries ride along");
+        // The incremental formatter IS the batch writer's row path.
+        assert_eq!(lines[1], format_campaign_row(&row));
     }
 
     #[test]

@@ -44,13 +44,24 @@
 //! # what the DPM axis itself buys:
 //! cargo run --release -p pn-bench --bin campaign -- \
 //!     --governors race-to-idle --idle off
+//!
+//! # client mode against a running campaignd (same spec flags): submit
+//! # the matrix as 6 shards and stream rows until it completes…
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --smoke --submit 127.0.0.1:7070 --shards 6 --out report.csv
+//! # …submit without waiting, then watch from any number of clients:
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --smoke --submit 127.0.0.1:7070 --detach
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --watch 127.0.0.1:7070 --job 1 --out report.csv
 //! ```
 
 use pn_bench::{banner, print_table};
 use pn_sim::adaptive::{AdaptiveCampaign, AdaptiveConfig};
 use pn_sim::campaign::{
-    resume_campaign, run_campaign, CampaignReport, CampaignSpec, GovernorSpec,
+    resume_campaign_parts, run_campaign, CampaignReport, CampaignSpec, GovernorSpec,
 };
+use pn_sim::daemon;
 use pn_sim::engine::EngineKind;
 use pn_sim::executor::Executor;
 use pn_sim::persist;
@@ -66,7 +77,7 @@ struct Cli {
     out: Option<String>,
     summary_out: Option<String>,
     merge: Vec<String>,
-    resume: Option<String>,
+    resume: Vec<String>,
     adapt: bool,
     tolerance: Option<f64>,
     max_rounds: Option<usize>,
@@ -74,6 +85,11 @@ struct Cli {
     engine: Option<EngineKind>,
     governors: Option<Vec<GovernorSpec>>,
     idle: Option<bool>,
+    submit: Option<String>, // daemon address: submit the spec there
+    watch: Option<String>,  // daemon address: stream an existing job
+    job: Option<u64>,       // job id for --watch
+    shards: Option<usize>,  // daemon-side shard count for --submit
+    detach: bool,           // --submit without waiting for completion
 }
 
 fn parse_shard(arg: &str) -> Result<(usize, usize), String> {
@@ -100,7 +116,7 @@ fn parse_cli() -> Result<Cli, String> {
         out: None,
         summary_out: None,
         merge: Vec::new(),
-        resume: None,
+        resume: Vec::new(),
         adapt: false,
         tolerance: None,
         max_rounds: None,
@@ -108,6 +124,11 @@ fn parse_cli() -> Result<Cli, String> {
         engine: None,
         governors: None,
         idle: None,
+        submit: None,
+        watch: None,
+        job: None,
+        shards: None,
+        detach: false,
     };
     let mut args = std::env::args().skip(1).peekable();
     let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
@@ -131,8 +152,35 @@ fn parse_cli() -> Result<Cli, String> {
             "--save" => cli.save = Some(value(&mut args, "--save")?),
             "--out" => cli.out = Some(value(&mut args, "--out")?),
             "--summary-out" => cli.summary_out = Some(value(&mut args, "--summary-out")?),
-            "--resume" => cli.resume = Some(value(&mut args, "--resume")?),
+            "--resume" => {
+                // Greedy like --merge: any number of saved partial
+                // reports (e.g. the shard checkpoints a killed daemon
+                // left behind), gaps simulated, merge bitwise.
+                while let Some(path) = args.peek() {
+                    if path.starts_with("--") {
+                        break;
+                    }
+                    cli.resume.push(args.next().expect("peeked"));
+                }
+                if cli.resume.is_empty() {
+                    return Err("--resume needs at least one report file".into());
+                }
+            }
             "--adapt" => cli.adapt = true,
+            "--submit" => cli.submit = Some(value(&mut args, "--submit")?),
+            "--watch" => cli.watch = Some(value(&mut args, "--watch")?),
+            "--job" => {
+                cli.job =
+                    Some(value(&mut args, "--job")?.parse().map_err(|e| format!("--job: {e}"))?);
+            }
+            "--shards" => {
+                cli.shards = Some(
+                    value(&mut args, "--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
+            }
+            "--detach" => cli.detach = true,
             "--supply-model" => {
                 let slug = value(&mut args, "--supply-model")?;
                 cli.supply_model = Some(SupplyModel::from_slug(&slug).ok_or_else(|| {
@@ -202,7 +250,7 @@ fn parse_cli() -> Result<Cli, String> {
             || cli.smoke
             || cli.seeds.is_some()
             || cli.threads != 0
-            || cli.resume.is_some()
+            || !cli.resume.is_empty()
             || cli.adapt
             || cli.supply_model.is_some()
             || cli.engine.is_some()
@@ -216,9 +264,55 @@ fn parse_cli() -> Result<Cli, String> {
                 .into(),
         );
     }
-    if cli.resume.is_some() && cli.shard.is_some() {
-        return Err("--resume completes a saved partial report; it cannot be combined \
-                    with --shard (the saved report already pins the missing cells)"
+    if !cli.resume.is_empty() && cli.shard.is_some() {
+        return Err("--resume completes saved partial reports; it cannot be combined \
+                    with --shard (the saved reports already pin the missing cells)"
+            .into());
+    }
+    if cli.submit.is_some() && cli.watch.is_some() {
+        return Err("--submit and --watch are separate client modes; use one".into());
+    }
+    let client = cli.submit.is_some() || cli.watch.is_some();
+    if client
+        && (cli.shard.is_some()
+            || cli.save.is_some()
+            || cli.summary_out.is_some()
+            || !cli.merge.is_empty()
+            || !cli.resume.is_empty()
+            || cli.adapt
+            || cli.threads != 0)
+    {
+        return Err("--submit/--watch talk to a campaign daemon; they cannot be combined \
+                    with --shard, --save, --summary-out, --merge, --resume, --adapt or \
+                    --threads (the daemon owns scheduling and persistence)"
+            .into());
+    }
+    if cli.job.is_some() && cli.watch.is_none() {
+        return Err("--job only applies to --watch".into());
+    }
+    if cli.watch.is_some() && cli.job.is_none() {
+        return Err("--watch needs --job <id>".into());
+    }
+    if cli.shards.is_some() && cli.submit.is_none() {
+        return Err("--shards only applies to --submit".into());
+    }
+    if cli.detach && cli.submit.is_none() {
+        return Err("--detach only applies to --submit".into());
+    }
+    if cli.detach && cli.out.is_some() {
+        return Err("--detach does not wait for rows; it cannot write --out".into());
+    }
+    if cli.watch.is_some()
+        && (cli.smoke
+            || cli.seeds.is_some()
+            || cli.supply_model.is_some()
+            || cli.engine.is_some()
+            || cli.governors.is_some()
+            || cli.idle.is_some())
+    {
+        return Err("--watch streams a job already submitted; the spec flags (--smoke, \
+                    --seeds, --supply-model, --engine, --governors, --idle) only apply \
+                    to --submit or local runs"
             .into());
     }
     if cli.adapt && cli.shard.is_some() {
@@ -249,51 +343,120 @@ fn parse_cli() -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// Assembles the campaign spec from the CLI's spec flags — shared by
+/// the local run path and the `--submit` client mode, so a submitted
+/// matrix is exactly the matrix the same flags would run locally.
+fn build_spec(cli: &Cli) -> CampaignSpec {
+    let mut spec = if cli.smoke { CampaignSpec::smoke() } else { CampaignSpec::diverse() };
+    if let Some(n) = cli.seeds {
+        spec.seeds = (1..=n.max(1)).collect();
+    }
+    if let Some(model) = cli.supply_model {
+        spec = spec.with_supply_model(model);
+    }
+    if let Some(engine) = cli.engine {
+        spec = spec.with_engine(engine);
+    }
+    if let Some(governors) = &cli.governors {
+        spec = spec.with_governors(governors.clone());
+    }
+    if let Some(idle) = cli.idle {
+        spec = spec.with_idle(idle);
+    }
+    spec
+}
+
+fn print_spec_settings(cli: &Cli) {
+    if let Some(model) = cli.supply_model {
+        println!("  supply model: {model}");
+    }
+    if let Some(engine) = cli.engine {
+        println!("  engine: {engine}");
+    }
+    if let Some(governors) = &cli.governors {
+        let labels: Vec<String> = governors.iter().map(GovernorSpec::label).collect();
+        println!("  governors: {}", labels.join(", "));
+    }
+    if let Some(idle) = cli.idle {
+        println!("  idle states: {}", if idle { "on" } else { "off" });
+    }
+}
+
+/// Client mode: submit the spec to a campaign daemon and/or stream a
+/// job's rows as they complete. The assembled CSV is byte-identical to
+/// the one a local `--out` run of the same spec writes.
+fn run_client(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let (addr, job) = if let Some(addr) = &cli.watch {
+        (addr.clone(), cli.job.expect("validated by parse_cli"))
+    } else {
+        let addr = cli.submit.clone().expect("client mode");
+        print_spec_settings(cli);
+        let spec = build_spec(cli);
+        let ticket = daemon::submit(&addr, &spec, cli.shards.unwrap_or(0))?;
+        banner(
+            "campaign",
+            &format!(
+                "submitted job {} ({} cells over {} shards) to {addr}",
+                ticket.id, ticket.cells, ticket.shards
+            ),
+        );
+        if cli.detach {
+            println!("  stream it with: campaign --watch {addr} --job {}", ticket.id);
+            return Ok(());
+        }
+        (addr, ticket.id)
+    };
+    println!("  streaming job {job} from {addr}:");
+    let mut rows: Vec<(usize, String)> = Vec::new();
+    let cells = daemon::watch(&addr, job, &mut |index, row| {
+        println!("  row {index:>4}  {row}");
+        rows.push((index, row.to_string()));
+    })?;
+    let csv = daemon::rows_to_csv(cells, rows)?;
+    println!();
+    println!("  job {job} complete: {cells} cells");
+    if let Some(path) = &cli.out {
+        persist::write_atomic(path, &csv)?;
+        println!("  wrote campaign CSV ({cells} rows) to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cli = parse_cli()?;
+    if cli.submit.is_some() || cli.watch.is_some() {
+        return run_client(&cli);
+    }
     let executor = Executor::new(cli.threads);
 
     let (report, ran) = if cli.merge.is_empty() {
-        let mut spec = if cli.smoke { CampaignSpec::smoke() } else { CampaignSpec::diverse() };
-        if let Some(n) = cli.seeds {
-            spec.seeds = (1..=n.max(1)).collect();
-        }
-        if let Some(model) = cli.supply_model {
-            spec = spec.with_supply_model(model);
-            println!("  supply model: {model}");
-        }
-        if let Some(engine) = cli.engine {
-            spec = spec.with_engine(engine);
-            println!("  engine: {engine}");
-        }
-        if let Some(governors) = &cli.governors {
-            let labels: Vec<String> = governors.iter().map(GovernorSpec::label).collect();
-            spec = spec.with_governors(governors.clone());
-            println!("  governors: {}", labels.join(", "));
-        }
-        if let Some(idle) = cli.idle {
-            spec = spec.with_idle(idle);
-            println!("  idle states: {}", if idle { "on" } else { "off" });
-        }
+        print_spec_settings(&cli);
+        let spec = build_spec(&cli);
         let t0 = std::time::Instant::now();
-        let report = if let Some(path) = &cli.resume {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
-            let saved = persist::report_from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        let report = if !cli.resume.is_empty() {
+            let mut parts = Vec::with_capacity(cli.resume.len());
+            for path in &cli.resume {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                parts
+                    .push(persist::report_from_str(&text).map_err(|e| format!("{path}: {e}"))?);
+            }
+            let saved_cells: usize = parts.iter().map(CampaignReport::len).sum();
             banner(
                 "campaign",
                 &format!(
-                    "resuming {} of {} cells (saved report carries {}) on {} worker threads",
-                    // Saturate: a saved report larger than the matrix is
-                    // rejected by resume_campaign just below.
-                    spec.cell_count().saturating_sub(saved.len()),
+                    "resuming {} of {} cells ({} saved report(s) carry {}) on {} worker threads",
+                    // Saturate: saved reports larger than the matrix are
+                    // rejected by resume_campaign_parts just below.
+                    spec.cell_count().saturating_sub(saved_cells),
                     spec.cell_count(),
-                    saved.len(),
+                    parts.len(),
+                    saved_cells,
                     executor.threads()
                 ),
             );
             let cache = TraceCache::new();
-            resume_campaign(&spec, &saved, &executor, Some(&cache))?
+            resume_campaign_parts(&spec, &parts, &executor, Some(&cache))?
         } else {
             let shard = cli.shard.map(|(i, n)| spec.shard(n).swap_remove(i - 1));
             let what = match &shard {
@@ -434,15 +597,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None
     };
 
+    // Artifact writes are atomic (temp file + rename): a killed writer
+    // can never leave the torn final line resume rightly rejects.
     if let Some(path) = &cli.save {
-        std::fs::write(path, persist::report_to_string(&report))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        persist::write_atomic(path, &persist::report_to_string(&report))?;
         println!();
         println!("  saved report ({} cells, offset {}) to {path}", report.len(), report.start());
     }
     if let Some(path) = &cli.out {
-        std::fs::write(path, persist::report_csv_string(&report)?)
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        persist::write_atomic(path, &persist::report_csv_string(&report)?)?;
         println!();
         println!("  wrote campaign CSV ({} rows) to {path}", report.len());
     }
@@ -450,8 +613,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // With --adapt the summary covers every probed cell, so the
         // boundary search is part of the exported statistics.
         let summarised = summary_source.as_ref().unwrap_or(&report);
-        std::fs::write(path, persist::report_summary_csv_string(summarised)?)
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        persist::write_atomic(path, &persist::report_summary_csv_string(summarised)?)?;
         println!();
         println!(
             "  wrote summary CSV ({} groups over {} cells) to {path}",

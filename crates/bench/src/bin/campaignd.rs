@@ -1,0 +1,76 @@
+//! The campaign daemon: a long-running TCP service that accepts
+//! campaign specs, runs their shards on a worker pool, checkpoints
+//! every finished shard atomically, and streams per-cell CSV rows to
+//! any number of concurrent watchers (`pn_sim::daemon`).
+//!
+//! ```sh
+//! # serve on a free loopback port, checkpointing under ./campaignd:
+//! cargo run --release -p pn-bench --bin campaignd -- --dir campaignd
+//! # the bound address is printed and published atomically to
+//! # <dir>/campaignd.addr for scripts:
+//! campaign --smoke --submit "$(cat campaignd/campaignd.addr)" --detach
+//! ```
+//!
+//! Kill it at any instant (`SIGKILL` included): every artifact is
+//! written atomically, so a restart on the same `--dir` revalidates
+//! the checkpoints, reruns only the missing shards, and finishes every
+//! interrupted job byte-identically to an uninterrupted run. Stop it
+//! gracefully with the protocol's `shutdown` command.
+
+use pn_sim::daemon::{Daemon, DaemonConfig};
+use pn_sim::persist;
+use std::time::Duration;
+
+struct Cli {
+    dir: String,
+    addr: String,
+    workers: usize,
+    throttle_ms: Option<u64>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli =
+        Cli { dir: String::new(), addr: "127.0.0.1:0".into(), workers: 0, throttle_ms: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--dir" => cli.dir = value("--dir")?,
+            "--addr" => cli.addr = value("--addr")?,
+            "--workers" => {
+                cli.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--throttle-ms" => {
+                cli.throttle_ms = Some(
+                    value("--throttle-ms")?
+                        .parse()
+                        .map_err(|e| format!("--throttle-ms: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if cli.dir.is_empty() {
+        return Err("--dir <checkpoint-dir> is required (restartable state lives there)".into());
+    }
+    Ok(cli)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = parse_cli()?;
+    let mut config = DaemonConfig::new(&cli.dir).with_addr(cli.addr).with_workers(cli.workers);
+    if let Some(ms) = cli.throttle_ms {
+        config = config.with_throttle(Duration::from_millis(ms));
+    }
+    let daemon = Daemon::start(config)?;
+    let addr = daemon.addr();
+    // Publish the bound address (atomic, like every artifact) so
+    // scripts that started us with :0 can find the port.
+    let addr_file = std::path::Path::new(&cli.dir).join("campaignd.addr");
+    persist::write_atomic(&addr_file, &format!("{addr}\n"))?;
+    println!("campaignd listening on {addr} (checkpoints in {})", cli.dir);
+    daemon.wait();
+    println!("campaignd: shutdown complete");
+    Ok(())
+}

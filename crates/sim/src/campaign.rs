@@ -894,10 +894,69 @@ pub fn resume_campaign(
     executor: &Executor,
     cache: Option<&TraceCache>,
 ) -> Result<CampaignReport, SimError> {
+    resume_campaign_parts(spec, std::slice::from_ref(saved), executor, cache)
+}
+
+/// [`resume_campaign`] generalised to any number of saved partial
+/// reports — e.g. the per-shard checkpoints a campaign daemon wrote
+/// before it was killed. Every part is validated against the spec
+/// ([`validate_saved_slice`]: position, labels, AND per-cell options),
+/// the uncovered gaps between and around the parts are simulated, and
+/// the whole set merges into a report bitwise-identical to an
+/// uninterrupted [`run_campaign`].
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an empty matrix,
+/// [`SimError::Campaign`] when a part does not line up with the spec's
+/// cells (or two parts overlap), and propagates the first engine
+/// failure in matrix order.
+pub fn resume_campaign_parts(
+    spec: &CampaignSpec,
+    saved: &[CampaignReport],
+    executor: &Executor,
+    cache: Option<&TraceCache>,
+) -> Result<CampaignReport, SimError> {
     let cells = spec.cells();
     if cells.is_empty() {
         return Err(SimError::InvalidConfig("campaign matrix is empty"));
     }
+    for part in saved {
+        validate_saved_slice(&cells, part)?;
+    }
+    let mut order: Vec<&CampaignReport> = saved.iter().collect();
+    order.sort_by_key(|p| (p.start(), p.len()));
+    let mut parts: Vec<CampaignReport> = Vec::with_capacity(order.len() + 1);
+    let mut cursor = 0usize;
+    for part in order {
+        if part.start() > cursor {
+            let gap = evaluate_cells(&cells[cursor..part.start()], executor, cache)?;
+            parts.push(CampaignReport { start: cursor, cells: gap });
+        }
+        cursor = cursor.max(part.start() + part.len());
+        parts.push(part.clone());
+    }
+    if cursor < cells.len() {
+        let tail = evaluate_cells(&cells[cursor..], executor, cache)?;
+        parts.push(CampaignReport { start: cursor, cells: tail });
+    }
+    // Overlapping saved parts survive to here (the gap walk only skips
+    // past them); merge's disjointness check rejects them.
+    CampaignReport::merge(parts)
+}
+
+/// Validates that `saved` is exactly the spec's cells over its matrix
+/// range: same position, same labels, and — crucially — the same
+/// per-cell options, control parameters and duration. A stale
+/// checkpoint written under an edited spec (different engine, supply
+/// model, idle flag, governor set, …) therefore errors instead of
+/// silently merging into a fresh run. Shared by
+/// [`resume_campaign_parts`] and the daemon's checkpoint-recovery
+/// path.
+pub(crate) fn validate_saved_slice(
+    cells: &[CampaignCell],
+    saved: &CampaignReport,
+) -> Result<(), SimError> {
     let start = saved.start();
     let end = start + saved.len();
     if end > cells.len() {
@@ -908,26 +967,84 @@ pub fn resume_campaign(
         )));
     }
     for (i, outcome) in saved.cells().iter().enumerate() {
-        if outcome.cell != cells[start + i] {
+        let expected = &cells[start + i];
+        if outcome.cell != *expected {
             return Err(SimError::Campaign(format!(
-                "saved report does not match the campaign spec: cell {} at matrix index {} \
-                 (expected {})",
-                outcome.cell.label(),
+                "saved report does not match the campaign spec at matrix index {}: {}",
                 start + i,
-                cells[start + i].label(),
+                cell_mismatch(expected, &outcome.cell),
             )));
         }
     }
-    let mut parts = vec![saved.clone()];
-    if start > 0 {
-        let head = evaluate_cells(&cells[..start], executor, cache)?;
-        parts.push(CampaignReport { start: 0, cells: head });
+    Ok(())
+}
+
+/// Explains how a saved cell differs from the spec's cell at the same
+/// matrix index. When the axis labels differ the labels say it all;
+/// when the labels agree the difference hides in the options/params —
+/// exactly the stale-checkpoint-from-an-edited-spec case — so each
+/// differing field is named explicitly.
+fn cell_mismatch(expected: &CampaignCell, got: &CampaignCell) -> String {
+    if got.label() != expected.label() {
+        return format!("saved cell {} where the spec has {}", got.label(), expected.label());
     }
-    if end < cells.len() {
-        let tail = evaluate_cells(&cells[end..], executor, cache)?;
-        parts.push(CampaignReport { start: end, cells: tail });
+    fn opt_slug(engine: Option<EngineKind>) -> String {
+        engine.map_or_else(|| "inherit".to_string(), |e| e.slug().to_string())
     }
-    CampaignReport::merge(parts)
+    fn opt_model(model: &Option<SupplyModel>) -> String {
+        model.as_ref().map_or_else(|| "inherit".to_string(), SupplyModel::slug)
+    }
+    fn opt_seconds(s: &Option<Seconds>) -> String {
+        s.as_ref().map_or_else(|| "inherit".to_string(), |v| v.value().to_string())
+    }
+    let mut diffs: Vec<String> = Vec::new();
+    let (saved, spec) = (&got.options, &expected.options);
+    if saved.engine != spec.engine {
+        diffs.push(format!("engine {} vs {}", opt_slug(saved.engine), opt_slug(spec.engine)));
+    }
+    if saved.supply_model != spec.supply_model {
+        diffs.push(format!(
+            "supply model {} vs {}",
+            opt_model(&saved.supply_model),
+            opt_model(&spec.supply_model)
+        ));
+    }
+    if saved.idle != spec.idle {
+        diffs.push(format!("idle {:?} vs {:?}", saved.idle, spec.idle));
+    }
+    if saved.record_dt != spec.record_dt {
+        diffs.push(format!(
+            "record_dt {} vs {}",
+            opt_seconds(&saved.record_dt),
+            opt_seconds(&spec.record_dt)
+        ));
+    }
+    if saved.max_step != spec.max_step {
+        diffs.push(format!(
+            "max_step {} vs {}",
+            opt_seconds(&saved.max_step),
+            opt_seconds(&spec.max_step)
+        ));
+    }
+    if got.params != expected.params {
+        diffs.push("control params differ".to_string());
+    }
+    if got.duration != expected.duration {
+        diffs.push(format!(
+            "duration {} vs {}",
+            got.duration.value(),
+            expected.duration.value()
+        ));
+    }
+    if diffs.is_empty() {
+        diffs.push("cells differ in an unrecognised field".to_string());
+    }
+    format!(
+        "cell {} matches by label but was saved under different options ({}) — the checkpoint \
+         comes from an edited or stale spec",
+        got.label(),
+        diffs.join(", "),
+    )
 }
 
 /// Evaluates a slice of cells on the executor, failing on the first
@@ -1292,6 +1409,63 @@ mod tests {
         let saved = CampaignReport::from_parts(0, cells);
         let err = resume_campaign(&spec, &saved, &executor, None).unwrap_err();
         assert!(err.to_string().contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_checkpoints_saved_under_edited_options() {
+        // A checkpoint saved under the default spec, then resumed under
+        // a spec whose per-cell options were edited: the labels still
+        // agree, so only the full-cell comparison catches the staleness
+        // — and the error must name the differing field, not just echo
+        // two identical labels.
+        let spec = CampaignSpec::smoke().with_duration(Seconds::new(5.0));
+        let executor = Executor::sequential();
+        let full = run_campaign(&spec, &executor).unwrap();
+        let saved = CampaignReport::from_parts(0, full.cells()[..2].to_vec());
+        let edits: [(CampaignSpec, &str); 3] = [
+            (spec.clone().with_cell_options(SimOverrides::none().with_engine(EngineKind::Scalar)), "engine"),
+            (spec.clone().with_supply_model(SupplyModel::interpolated()), "supply model"),
+            (spec.clone().with_cell_options(SimOverrides::none().with_idle(false)), "idle"),
+        ];
+        for (edited, field) in &edits {
+            let err = resume_campaign(edited, &saved, &executor, None).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("edited or stale spec"), "{field}: {msg}");
+            assert!(msg.contains(field), "expected {field:?} named in: {msg}");
+        }
+        // An edited governor set changes the labels themselves.
+        let edited = spec
+            .clone()
+            .with_governors(vec![GovernorSpec::Performance, GovernorSpec::Powersave]);
+        let err = resume_campaign(&edited, &saved, &executor, None).unwrap_err();
+        assert!(err.to_string().contains("where the spec has"), "{err}");
+    }
+
+    #[test]
+    fn resume_from_multiple_parts_matches_the_full_run() {
+        let spec = CampaignSpec::smoke().with_duration(Seconds::new(5.0));
+        let executor = Executor::sequential();
+        let full = run_campaign(&spec, &executor).unwrap();
+        let n = full.len();
+        // Two disjoint non-adjacent parts, given out of order: the
+        // gaps (middle and tail) are simulated and the merge is exact.
+        let parts = [
+            CampaignReport::from_parts(2, full.cells()[2..3].to_vec()),
+            CampaignReport::from_parts(0, full.cells()[..1].to_vec()),
+        ];
+        let resumed = resume_campaign_parts(&spec, &parts, &executor, None).unwrap();
+        assert_eq!(resumed, full);
+        // No parts at all degenerates to a full run.
+        let resumed = resume_campaign_parts(&spec, &[], &executor, None).unwrap();
+        assert_eq!(resumed, full);
+        // Overlapping parts are rejected by the merge disjointness
+        // check instead of double-counting cells.
+        let overlapping = [
+            CampaignReport::from_parts(0, full.cells()[..2].to_vec()),
+            CampaignReport::from_parts(1, full.cells()[1..n].to_vec()),
+        ];
+        let err = resume_campaign_parts(&spec, &overlapping, &executor, None).unwrap_err();
+        assert!(matches!(err, SimError::Campaign(_)), "{err}");
     }
 
     #[test]

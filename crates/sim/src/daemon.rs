@@ -1,0 +1,995 @@
+//! Long-running campaign daemon: a TCP service that accepts campaign
+//! specs, schedules their shards across a worker pool, checkpoints
+//! every finished shard to disk, and streams per-cell CSV rows to any
+//! number of concurrently subscribed clients as cells complete.
+//!
+//! This is the job-system layer the shard/merge/resume wire format
+//! ([`crate::persist`]) was built for: the daemon speaks that format
+//! verbatim — a submitted spec is a [`spec_to_string`] document, every
+//! checkpoint is a [`report_to_string`] document — so the one-shot
+//! `campaign` bin, `--resume`, and the daemon all interoperate on the
+//! same artifacts.
+//!
+//! # Protocol
+//!
+//! Line-oriented text over TCP, one command per connection:
+//!
+//! | Client sends                           | Daemon replies |
+//! |----------------------------------------|----------------|
+//! | `submit shards <n>` + a spec document  | `job <id> cells <c> shards <s>` |
+//! | `watch <id>`                           | `header <csv-header>`, then `row <matrix-index> <csv-row>` per cell, then `done <id> cells <c>` (or `failed <id> <why>`) |
+//! | `status <id>`                          | `status <id> <state> <done-cells> <total-cells>` |
+//! | `shutdown`                             | `bye` |
+//!
+//! `submit shards 0` asks for one shard per cell — the finest
+//! streaming granularity. Any error is reported as a single
+//! `error <why>` line. Rows stream in completion order, tagged with
+//! their global matrix index; [`rows_to_csv`] reassembles them into a
+//! document byte-identical to [`crate::persist::report_csv_string`] of
+//! the merged report, because both sides share
+//! [`pn_analysis::csv::format_campaign_row`].
+//!
+//! # Checkpoint layout and crash recovery
+//!
+//! Under the daemon's checkpoint directory, each job owns one
+//! subdirectory:
+//!
+//! ```text
+//! <dir>/job-<id>/job.meta       shard count ("pn-campaignd-job v1")
+//! <dir>/job-<id>/spec.pnc       the submitted spec (spec wire format)
+//! <dir>/job-<id>/shard-<i>.pnc  one finished shard (report wire format)
+//! <dir>/job-<id>/report.pnc     the merged report, once complete
+//! ```
+//!
+//! Every file is written with [`crate::persist::write_atomic`], so a
+//! `SIGKILL` at any instant leaves each artifact either absent or
+//! complete — never torn. On start the daemon rescans the directory:
+//! valid shard checkpoints are adopted as-is after revalidation
+//! against the job's spec (the same position + label + per-cell
+//! options check [`resume_campaign`](crate::campaign::resume_campaign)
+//! applies, so a checkpoint from an edited spec is discarded instead
+//! of silently merged), and only the missing shards are re-enqueued.
+//! Because every cell is bitwise deterministic, the recovered run's
+//! merged report and CSV are byte-identical to an uninterrupted run's.
+//!
+//! A panicking cell is contained by the worker (the panic is caught,
+//! the job is marked failed, watchers are told why) without taking the
+//! daemon down; other jobs keep running.
+//!
+//! # Examples
+//!
+//! Submit a campaign to an in-process daemon, stream its rows, and
+//! check the assembled CSV against a one-shot run:
+//!
+//! ```
+//! use pn_sim::campaign::{run_campaign, CampaignSpec};
+//! use pn_sim::daemon::{self, Daemon, DaemonConfig};
+//! use pn_sim::executor::Executor;
+//!
+//! # fn main() -> Result<(), pn_sim::SimError> {
+//! let dir = std::env::temp_dir().join(format!("pn-daemon-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let daemon = Daemon::start(DaemonConfig::new(&dir))?;
+//! let addr = daemon.addr().to_string();
+//!
+//! let spec = CampaignSpec::smoke().with_duration(pn_units::Seconds::new(2.0));
+//! let ticket = daemon::submit(&addr, &spec, 0)?; // 0 → one shard per cell
+//! let streamed = daemon::watch_csv(&addr, ticket.id)?;
+//!
+//! let oneshot = run_campaign(&spec, &Executor::sequential())?;
+//! assert_eq!(streamed, pn_sim::persist::report_csv_string(&oneshot)?);
+//! daemon.stop();
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::campaign::{validate_saved_slice, CampaignCell, CampaignReport, CampaignShard, CampaignSpec};
+use crate::executor::Executor;
+use crate::persist;
+use crate::SimError;
+use pn_analysis::csv::{format_campaign_row, CAMPAIGN_CSV_HEADER};
+use pn_harvest::cache::TraceCache;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Header line of a job's `job.meta` file.
+const JOB_META_HEADER: &str = "pn-campaignd-job v1";
+/// How long blocked waits sleep between shutdown-flag checks.
+const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// Configuration for [`Daemon::start`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; the default `127.0.0.1:0` picks a free port
+    /// (query it with [`Daemon::addr`]).
+    pub addr: String,
+    /// Checkpoint directory (created if missing); restartable state
+    /// lives here and nowhere else.
+    pub dir: PathBuf,
+    /// Worker-thread count; `0` selects
+    /// [`Executor::default_parallelism`].
+    pub workers: usize,
+    /// Optional pause after each finished shard — a scheduling
+    /// throttle for tests and demos that want to interrupt a run
+    /// mid-campaign deterministically.
+    pub throttle: Option<Duration>,
+}
+
+impl DaemonConfig {
+    /// A daemon on a free loopback port, default worker count, no
+    /// throttle, checkpointing into `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { addr: "127.0.0.1:0".into(), dir: dir.into(), workers: 0, throttle: None }
+    }
+
+    /// Sets the bind address (builder style).
+    #[must_use]
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker-thread count (builder style); `0` selects the
+    /// default parallelism.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-shard throttle pause (builder style).
+    #[must_use]
+    pub fn with_throttle(mut self, pause: Duration) -> Self {
+        self.throttle = Some(pause);
+        self
+    }
+}
+
+/// One scheduled unit of work: a shard of a submitted job.
+struct Task {
+    job: Arc<Job>,
+    shard: usize,
+}
+
+/// A submitted campaign with its sharding, per-shard progress, and the
+/// stream of finished rows watchers replay.
+struct Job {
+    id: u64,
+    dir: PathBuf,
+    cells: Vec<CampaignCell>,
+    shards: Vec<CampaignShard>,
+    /// Day traces shared by every worker touching this job.
+    cache: TraceCache,
+    state: Mutex<JobState>,
+    /// Notified whenever rows are appended, the job finishes, or it
+    /// fails — and on daemon shutdown, so watchers can unblock.
+    cond: Condvar,
+}
+
+/// Mutable progress of a job.
+struct JobState {
+    /// Finished shard reports, indexed by shard number.
+    shard_reports: Vec<Option<CampaignReport>>,
+    /// Finished rows in completion order: (global matrix index,
+    /// formatted CSV row). Watchers replay this from the top.
+    rows: Vec<(usize, String)>,
+    /// First failure (engine error or contained worker panic).
+    failed: Option<String>,
+    /// The validated merged report, once every shard is done.
+    merged: Option<CampaignReport>,
+}
+
+impl Job {
+    fn new(id: u64, dir: PathBuf, spec: &CampaignSpec, shard_count: usize) -> Self {
+        let cells = spec.cells();
+        let shards = spec.shard(shard_count);
+        let state = JobState {
+            shard_reports: vec![None; shards.len()],
+            rows: Vec::with_capacity(cells.len()),
+            failed: None,
+            merged: None,
+        };
+        Self { id, dir, cells, shards, cache: TraceCache::new(), state: Mutex::new(state), cond: Condvar::new() }
+    }
+}
+
+/// State shared by the accept loop, connection handlers and workers.
+struct Shared {
+    dir: PathBuf,
+    addr: SocketAddr,
+    throttle: Option<Duration>,
+    jobs: Mutex<Vec<Arc<Job>>>,
+    queue: Mutex<VecDeque<Task>>,
+    queue_cond: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running campaign daemon.
+///
+/// Start one with [`Daemon::start`]; talk to it with the client
+/// helpers ([`submit`], [`watch`], [`status`], [`shutdown`]) or any
+/// line-oriented TCP client. Dropping the handle without calling
+/// [`Daemon::stop`] leaves the daemon running until the process exits.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listener, recovers every job found in the checkpoint
+    /// directory (adopting valid shard checkpoints, re-enqueueing the
+    /// rest), and spawns the worker pool and accept loop.
+    ///
+    /// Recovery happens *before* the listener accepts, so a client
+    /// that connects right after start sees the recovered jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Daemon`] when the checkpoint directory
+    /// cannot be created or the address cannot be bound.
+    pub fn start(config: DaemonConfig) -> Result<Self, SimError> {
+        std::fs::create_dir_all(&config.dir).map_err(|e| {
+            SimError::Daemon(format!(
+                "cannot create checkpoint dir {}: {e}",
+                config.dir.display()
+            ))
+        })?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| SimError::Daemon(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| SimError::Daemon(format!("cannot resolve bound address: {e}")))?;
+        let shared = Arc::new(Shared {
+            dir: config.dir,
+            addr,
+            throttle: config.throttle,
+            jobs: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        recover_jobs(&shared);
+        let worker_count =
+            if config.workers == 0 { Executor::default_parallelism() } else { config.workers };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("campaignd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("campaignd-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+        Ok(Self { shared, accept: Some(accept), workers })
+    }
+
+    /// The bound listen address (useful with the default `:0` port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Signals shutdown and joins the accept loop and workers. Shards
+    /// already running finish (and checkpoint); queued shards stay on
+    /// disk as missing checkpoints for the next start to resume.
+    pub fn stop(mut self) {
+        begin_shutdown(&self.shared);
+        self.join_threads();
+    }
+
+    /// Blocks until a client sends the `shutdown` command, then joins
+    /// the worker pool — the `campaignd` bin's main loop.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        begin_shutdown(&self.shared);
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Flags shutdown, wakes every blocked worker and watcher, and pokes
+/// the accept loop so its blocking `accept` returns.
+fn begin_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue_cond.notify_all();
+    for job in shared.jobs.lock().expect("jobs lock").iter() {
+        job.cond.notify_all();
+    }
+    let _ = TcpStream::connect(shared.addr);
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+/// Rescans the checkpoint directory and re-registers every decodable
+/// job. Jobs whose spec or meta file is missing or torn were never
+/// acknowledged to a client (the meta and spec are written before the
+/// submit reply) and are skipped with a note on stderr.
+fn recover_jobs(shared: &Arc<Shared>) {
+    let Ok(entries) = std::fs::read_dir(&shared.dir) else {
+        return;
+    };
+    let mut found: Vec<(u64, PathBuf)> = entries
+        .filter_map(|entry| {
+            let entry = entry.ok()?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let id: u64 = name.strip_prefix("job-")?.parse().ok()?;
+            entry.file_type().ok()?.is_dir().then(|| (id, entry.path()))
+        })
+        .collect();
+    found.sort_by_key(|&(id, _)| id);
+    for (id, dir) in found {
+        match load_job(id, &dir) {
+            Ok(job) => register_job(shared, &job),
+            Err(e) => eprintln!("campaignd: skipping {}: {e}", dir.display()),
+        }
+    }
+}
+
+/// Loads one job directory: decode spec + meta, then adopt every shard
+/// checkpoint that decodes *and* matches the spec (position, labels,
+/// per-cell options). Torn or stale checkpoints are deleted so the
+/// shard reruns.
+fn load_job(id: u64, dir: &Path) -> Result<Arc<Job>, SimError> {
+    let read = |name: &str| {
+        std::fs::read_to_string(dir.join(name))
+            .map_err(|e| SimError::Daemon(format!("cannot read {name}: {e}")))
+    };
+    let spec = persist::spec_from_str(&read("spec.pnc")?)?;
+    let shard_count = parse_job_meta(&read("job.meta")?)?;
+    let job = Arc::new(Job::new(id, dir.to_path_buf(), &spec, shard_count));
+    let mut state = job.state.lock().expect("job state lock");
+    for (i, shard) in job.shards.iter().enumerate() {
+        let path = dir.join(format!("shard-{i}.pnc"));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // missing: the shard never checkpointed
+        };
+        match decode_checkpoint(&text, &job.cells, shard) {
+            Ok(report) => {
+                push_shard_rows(&mut state, shard.start(), &report);
+                state.shard_reports[i] = Some(report);
+            }
+            Err(e) => {
+                eprintln!(
+                    "campaignd: discarding checkpoint {} (will recompute): {e}",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    drop(state);
+    Ok(job)
+}
+
+/// Decodes one shard checkpoint and validates it against the job's
+/// spec: it must sit exactly at its shard's offset and carry exactly
+/// the spec's cells there — the same check `resume_campaign` applies,
+/// so an edited spec orphans its stale checkpoints instead of merging
+/// them.
+fn decode_checkpoint(
+    text: &str,
+    cells: &[CampaignCell],
+    shard: &CampaignShard,
+) -> Result<CampaignReport, SimError> {
+    let report = persist::report_from_str(text)?;
+    if report.start() != shard.start() || report.len() != shard.cells().len() {
+        return Err(SimError::Campaign(format!(
+            "checkpoint covers matrix indices {}..{} but the shard is {}..{}",
+            report.start(),
+            report.start() + report.len(),
+            shard.start(),
+            shard.start() + shard.cells().len(),
+        )));
+    }
+    validate_saved_slice(cells, &report)?;
+    Ok(report)
+}
+
+fn parse_job_meta(text: &str) -> Result<usize, SimError> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    if lines.next() != Some(JOB_META_HEADER) {
+        return Err(SimError::Daemon("job.meta header mismatch".into()));
+    }
+    let shards = lines
+        .next()
+        .and_then(|l| l.strip_prefix("shards "))
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(|| SimError::Daemon("job.meta shards line malformed".into()))?;
+    Ok(shards)
+}
+
+fn job_meta_string(shard_count: usize) -> String {
+    format!("{JOB_META_HEADER}\nshards {shard_count}\nend\n")
+}
+
+/// Adds a job to the registry and enqueues its unfinished shards (in
+/// shard order); a fully checkpointed job is merged immediately.
+fn register_job(shared: &Arc<Shared>, job: &Arc<Job>) {
+    shared.jobs.lock().expect("jobs lock").push(Arc::clone(job));
+    maybe_finish(job);
+    let missing: Vec<usize> = {
+        let state = job.state.lock().expect("job state lock");
+        if state.merged.is_some() {
+            Vec::new()
+        } else {
+            (0..job.shards.len()).filter(|&i| state.shard_reports[i].is_none()).collect()
+        }
+    };
+    if missing.is_empty() {
+        return;
+    }
+    let mut queue = shared.queue.lock().expect("queue lock");
+    for shard in missing {
+        queue.push_back(Task { job: Arc::clone(job), shard });
+    }
+    drop(queue);
+    shared.queue_cond.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                let (guard, _) = shared
+                    .queue_cond
+                    .wait_timeout(queue, WAIT_TICK)
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        let executed = run_task(&task);
+        if executed {
+            if let Some(pause) = shared.throttle {
+                std::thread::sleep(pause);
+            }
+        }
+    }
+}
+
+/// Runs one shard to completion: simulate (panic contained),
+/// checkpoint atomically, publish its rows, and merge the job when it
+/// was the last shard. Returns whether the shard was actually
+/// simulated (vs. skipped because it was already done or its job had
+/// failed).
+fn run_task(task: &Task) -> bool {
+    let job = &task.job;
+    {
+        let state = job.state.lock().expect("job state lock");
+        if state.failed.is_some() || state.shard_reports[task.shard].is_some() {
+            return false;
+        }
+    }
+    let shard = &job.shards[task.shard];
+    // One sequential executor per shard: parallelism comes from the
+    // worker pool (shards run concurrently), batching from the lane
+    // engine inside the shard. The catch_unwind contains a poisoned
+    // cell to its job — the daemon itself must survive any panic.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shard.run_with(&Executor::sequential(), Some(&job.cache))
+    }));
+    match outcome {
+        Ok(Ok(report)) => {
+            let path = job.dir.join(format!("shard-{}.pnc", task.shard));
+            if let Err(e) = persist::write_atomic(&path, &persist::report_to_string(&report)) {
+                fail_job(job, format!("cannot checkpoint shard {}: {e}", task.shard));
+                return true;
+            }
+            let mut state = job.state.lock().expect("job state lock");
+            push_shard_rows(&mut state, shard.start(), &report);
+            state.shard_reports[task.shard] = Some(report);
+            drop(state);
+            job.cond.notify_all();
+            maybe_finish(job);
+            true
+        }
+        Ok(Err(e)) => {
+            fail_job(job, format!("shard {} failed: {e}", task.shard));
+            true
+        }
+        Err(payload) => {
+            fail_job(job, format!("shard {} worker panicked: {}", task.shard, panic_message(&payload)));
+            true
+        }
+    }
+}
+
+/// Formats the finished shard's cells as CSV rows tagged with their
+/// global matrix indices and appends them to the watch stream.
+fn push_shard_rows(state: &mut JobState, start: usize, report: &CampaignReport) {
+    for (offset, row) in persist::campaign_rows(report).iter().enumerate() {
+        state.rows.push((start + offset, format_campaign_row(row)));
+    }
+}
+
+/// Merges and persists the final report once every shard is done.
+fn maybe_finish(job: &Arc<Job>) {
+    let mut state = job.state.lock().expect("job state lock");
+    if state.merged.is_some() || state.failed.is_some() {
+        return;
+    }
+    if state.shard_reports.iter().any(Option::is_none) {
+        return;
+    }
+    let parts: Vec<CampaignReport> = state.shard_reports.iter().flatten().cloned().collect();
+    let merged = CampaignReport::merge(parts)
+        .and_then(|report| validate_saved_slice(&job.cells, &report).map(|()| report));
+    match merged {
+        Ok(report) => {
+            match persist::write_atomic(
+                job.dir.join("report.pnc"),
+                &persist::report_to_string(&report),
+            ) {
+                Ok(()) => state.merged = Some(report),
+                Err(e) => state.failed = Some(format!("cannot persist merged report: {e}")),
+            }
+        }
+        Err(e) => state.failed = Some(format!("shard merge failed: {e}")),
+    }
+    drop(state);
+    job.cond.notify_all();
+}
+
+fn fail_job(job: &Job, why: String) {
+    let mut state = job.state.lock().expect("job state lock");
+    if state.failed.is_none() {
+        state.failed = Some(why);
+    }
+    drop(state);
+    job.cond.notify_all();
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("campaignd-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &shared);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(()); // the shutdown poke, or a client that gave up
+    }
+    let request = line.trim().to_string();
+    let (command, rest) = request.split_once(' ').unwrap_or((request.as_str(), ""));
+    match command {
+        "submit" => handle_submit(rest, &mut reader, &mut out, shared),
+        "watch" => handle_watch(rest, &mut out, shared),
+        "status" => handle_status(rest, &mut out, shared),
+        "shutdown" => {
+            writeln!(out, "bye")?;
+            out.flush()?;
+            begin_shutdown(shared);
+            Ok(())
+        }
+        other => writeln!(out, "error unknown command {other:?}"),
+    }
+}
+
+fn handle_submit(
+    rest: &str,
+    reader: &mut BufReader<TcpStream>,
+    out: &mut TcpStream,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    let Some(shards) = rest.strip_prefix("shards ").and_then(|n| n.trim().parse::<usize>().ok())
+    else {
+        return writeln!(out, "error submit wants: submit shards <n>");
+    };
+    // The spec document follows, terminated by its own `end` line.
+    let mut doc = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return writeln!(out, "error submit ended before the spec document's end line");
+        }
+        let done = line.trim() == "end";
+        doc.push_str(&line);
+        if done {
+            break;
+        }
+    }
+    let spec = match persist::spec_from_str(&doc) {
+        Ok(spec) => spec,
+        Err(e) => return writeln!(out, "error {e}"),
+    };
+    match submit_job(shared, &spec, shards) {
+        Ok(job) => {
+            writeln!(out, "job {} cells {} shards {}", job.id, job.cells.len(), job.shards.len())
+        }
+        Err(e) => writeln!(out, "error {e}"),
+    }
+}
+
+/// Registers a new job: allocate the next id, persist meta + spec
+/// (both atomic, both before the submit reply), enqueue every shard.
+fn submit_job(
+    shared: &Arc<Shared>,
+    spec: &CampaignSpec,
+    shard_request: usize,
+) -> Result<Arc<Job>, SimError> {
+    let cells = spec.cells();
+    if cells.is_empty() {
+        return Err(SimError::InvalidConfig("campaign matrix is empty"));
+    }
+    let shard_count =
+        if shard_request == 0 { cells.len() } else { shard_request.min(cells.len()) };
+    let job = {
+        let jobs = shared.jobs.lock().expect("jobs lock");
+        let id = jobs.iter().map(|j| j.id).max().unwrap_or(0) + 1;
+        drop(jobs);
+        let dir = shared.dir.join(format!("job-{id}"));
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            SimError::Daemon(format!("cannot create job dir {}: {e}", dir.display()))
+        })?;
+        persist::write_atomic(dir.join("job.meta"), &job_meta_string(shard_count))?;
+        persist::write_atomic(dir.join("spec.pnc"), &persist::spec_to_string(spec))?;
+        Arc::new(Job::new(id, dir, spec, shard_count))
+    };
+    register_job(shared, &job);
+    Ok(job)
+}
+
+fn handle_watch(rest: &str, out: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let Ok(id) = rest.trim().parse::<u64>() else {
+        return writeln!(out, "error watch wants: watch <job-id>");
+    };
+    let Some(job) = find_job(shared, id) else {
+        return writeln!(out, "error unknown job {id}");
+    };
+    writeln!(out, "header {CAMPAIGN_CSV_HEADER}")?;
+    out.flush()?;
+    let mut cursor = 0usize;
+    loop {
+        enum Step {
+            Rows(Vec<(usize, String)>),
+            Done(usize),
+            Failed(String),
+            Shutdown,
+        }
+        let step = {
+            let mut state = job.state.lock().expect("job state lock");
+            loop {
+                if cursor < state.rows.len() {
+                    break Step::Rows(state.rows[cursor..].to_vec());
+                }
+                if let Some(why) = &state.failed {
+                    break Step::Failed(why.clone());
+                }
+                if state.merged.is_some() {
+                    break Step::Done(job.cells.len());
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break Step::Shutdown;
+                }
+                let (guard, _) =
+                    job.cond.wait_timeout(state, WAIT_TICK).expect("job state lock");
+                state = guard;
+            }
+        };
+        match step {
+            Step::Rows(rows) => {
+                cursor += rows.len();
+                for (index, row) in rows {
+                    writeln!(out, "row {index} {row}")?;
+                }
+                out.flush()?;
+            }
+            Step::Done(cells) => {
+                writeln!(out, "done {id} cells {cells}")?;
+                return out.flush();
+            }
+            Step::Failed(why) => {
+                writeln!(out, "failed {id} {why}")?;
+                return out.flush();
+            }
+            // Closing without a terminal line tells the client the
+            // stream died mid-run (mirrors a crash).
+            Step::Shutdown => return Ok(()),
+        }
+    }
+}
+
+fn handle_status(rest: &str, out: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let Ok(id) = rest.trim().parse::<u64>() else {
+        return writeln!(out, "error status wants: status <job-id>");
+    };
+    let Some(job) = find_job(shared, id) else {
+        return writeln!(out, "error unknown job {id}");
+    };
+    let state = job.state.lock().expect("job state lock");
+    let label = if state.failed.is_some() {
+        "failed"
+    } else if state.merged.is_some() {
+        "done"
+    } else {
+        "running"
+    };
+    let done_cells = state.rows.len();
+    drop(state);
+    writeln!(out, "status {id} {label} {done_cells} {}", job.cells.len())
+}
+
+fn find_job(shared: &Shared, id: u64) -> Option<Arc<Job>> {
+    shared.jobs.lock().expect("jobs lock").iter().find(|j| j.id == id).cloned()
+}
+
+// ---------------------------------------------------------------------
+// Client helpers
+// ---------------------------------------------------------------------
+
+/// The daemon's acknowledgement of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTicket {
+    /// Daemon-assigned job id (watch/status handle).
+    pub id: u64,
+    /// Cells in the submitted matrix.
+    pub cells: usize,
+    /// Shards the daemon split the matrix into.
+    pub shards: usize,
+}
+
+/// A job's progress as reported by the `status` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// The job id queried.
+    pub id: u64,
+    /// `running`, `done`, or `failed`.
+    pub state: String,
+    /// Cells finished so far.
+    pub done_cells: usize,
+    /// Cells in the matrix.
+    pub total_cells: usize,
+}
+
+fn connect(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), SimError> {
+    let io_err = |e: std::io::Error| {
+        SimError::Daemon(format!("cannot connect to campaign daemon at {addr}: {e}"))
+    };
+    let stream = TcpStream::connect(addr).map_err(io_err)?;
+    let reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+    Ok((reader, stream))
+}
+
+/// Reads one protocol line; `error <why>` lines become `Err`, EOF is
+/// reported as a dropped connection.
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Result<String, SimError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| SimError::Daemon(format!("daemon connection failed: {e}")))?;
+    if n == 0 {
+        return Err(SimError::Daemon("daemon closed the connection mid-stream".into()));
+    }
+    let line = line.trim_end().to_string();
+    match line.strip_prefix("error ") {
+        Some(why) => Err(SimError::Daemon(why.to_string())),
+        None => Ok(line),
+    }
+}
+
+/// Submits `spec` to the daemon at `addr`, split into `shards` shards
+/// (`0` → one shard per cell).
+///
+/// # Errors
+///
+/// Returns [`SimError::Daemon`] on connection failures or daemon-side
+/// rejections (malformed spec, empty matrix).
+pub fn submit(addr: &str, spec: &CampaignSpec, shards: usize) -> Result<JobTicket, SimError> {
+    let (mut reader, mut out) = connect(addr)?;
+    let send_err = |e: std::io::Error| SimError::Daemon(format!("cannot send submit: {e}"));
+    writeln!(out, "submit shards {shards}").map_err(send_err)?;
+    out.write_all(persist::spec_to_string(spec).as_bytes()).map_err(send_err)?;
+    out.flush().map_err(send_err)?;
+    let reply = read_reply(&mut reader)?;
+    let fields: Vec<&str> = reply.split_whitespace().collect();
+    match fields.as_slice() {
+        ["job", id, "cells", cells, "shards", shards] => {
+            let parse = |s: &str| {
+                s.parse::<u64>().map_err(|_| {
+                    SimError::Daemon(format!("malformed submit reply: {reply:?}"))
+                })
+            };
+            Ok(JobTicket {
+                id: parse(id)?,
+                cells: parse(cells)? as usize,
+                shards: parse(shards)? as usize,
+            })
+        }
+        _ => Err(SimError::Daemon(format!("malformed submit reply: {reply:?}"))),
+    }
+}
+
+/// Watches job `id` on the daemon at `addr`, invoking `on_row` with
+/// every streamed cell (global matrix index, formatted CSV row) until
+/// the job completes. Returns the final cell count.
+///
+/// # Errors
+///
+/// Returns [`SimError::Daemon`] when the job fails, the job id is
+/// unknown, or the daemon dies mid-stream (dropped connection).
+pub fn watch(
+    addr: &str,
+    id: u64,
+    on_row: &mut dyn FnMut(usize, &str),
+) -> Result<usize, SimError> {
+    let (mut reader, mut out) = connect(addr)?;
+    writeln!(out, "watch {id}")
+        .and_then(|()| out.flush())
+        .map_err(|e| SimError::Daemon(format!("cannot send watch: {e}")))?;
+    let header = read_reply(&mut reader)?;
+    if header != format!("header {CAMPAIGN_CSV_HEADER}") {
+        return Err(SimError::Daemon(format!("malformed watch header: {header:?}")));
+    }
+    loop {
+        let line = read_reply(&mut reader)?;
+        if let Some(rest) = line.strip_prefix("row ") {
+            let Some((index, row)) = rest.split_once(' ') else {
+                return Err(SimError::Daemon(format!("malformed row line: {line:?}")));
+            };
+            let index = index
+                .parse::<usize>()
+                .map_err(|_| SimError::Daemon(format!("malformed row index: {line:?}")))?;
+            on_row(index, row);
+        } else if let Some(rest) = line.strip_prefix("done ") {
+            let cells = rest
+                .split_whitespace()
+                .nth(2)
+                .and_then(|n| n.parse::<usize>().ok())
+                .ok_or_else(|| SimError::Daemon(format!("malformed done line: {line:?}")))?;
+            return Ok(cells);
+        } else if let Some(rest) = line.strip_prefix("failed ") {
+            return Err(SimError::Daemon(format!("job {id} failed: {rest}")));
+        } else {
+            return Err(SimError::Daemon(format!("unexpected watch line: {line:?}")));
+        }
+    }
+}
+
+/// [`watch`], assembled into a complete CSV document — byte-identical
+/// to [`crate::persist::report_csv_string`] of the job's merged
+/// report.
+///
+/// # Errors
+///
+/// As [`watch`], plus [`SimError::Daemon`] when the streamed rows do
+/// not cover the matrix exactly.
+pub fn watch_csv(addr: &str, id: u64) -> Result<String, SimError> {
+    let mut rows: Vec<(usize, String)> = Vec::new();
+    let cells = watch(addr, id, &mut |index, row| rows.push((index, row.to_string())))?;
+    rows_to_csv(cells, rows)
+}
+
+/// Reassembles streamed `(matrix index, row)` pairs into the canonical
+/// campaign CSV document: header first, rows in matrix order. The
+/// result is byte-identical to the batch-written CSV of the merged
+/// report because both share [`format_campaign_row`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Daemon`] when the rows do not cover
+/// `0..cells` exactly (a gap, duplicate, or stray index).
+pub fn rows_to_csv(cells: usize, mut rows: Vec<(usize, String)>) -> Result<String, SimError> {
+    rows.sort_by_key(|&(index, _)| index);
+    if rows.len() != cells || rows.iter().enumerate().any(|(i, (index, _))| i != *index) {
+        return Err(SimError::Daemon(format!(
+            "streamed rows do not cover the matrix: got {} rows for {cells} cells",
+            rows.len(),
+        )));
+    }
+    let mut doc = String::with_capacity((cells + 1) * 96);
+    doc.push_str(CAMPAIGN_CSV_HEADER);
+    doc.push('\n');
+    for (_, row) in rows {
+        doc.push_str(&row);
+        doc.push('\n');
+    }
+    Ok(doc)
+}
+
+/// Queries a job's progress.
+///
+/// # Errors
+///
+/// Returns [`SimError::Daemon`] on connection failures or an unknown
+/// job id.
+pub fn status(addr: &str, id: u64) -> Result<JobStatus, SimError> {
+    let (mut reader, mut out) = connect(addr)?;
+    writeln!(out, "status {id}")
+        .and_then(|()| out.flush())
+        .map_err(|e| SimError::Daemon(format!("cannot send status: {e}")))?;
+    let reply = read_reply(&mut reader)?;
+    let fields: Vec<&str> = reply.split_whitespace().collect();
+    match fields.as_slice() {
+        ["status", rid, state, done, total] => {
+            let bad = || SimError::Daemon(format!("malformed status reply: {reply:?}"));
+            Ok(JobStatus {
+                id: rid.parse().map_err(|_| bad())?,
+                state: (*state).to_string(),
+                done_cells: done.parse().map_err(|_| bad())?,
+                total_cells: total.parse().map_err(|_| bad())?,
+            })
+        }
+        _ => Err(SimError::Daemon(format!("malformed status reply: {reply:?}"))),
+    }
+}
+
+/// Asks the daemon to shut down (running shards finish and checkpoint;
+/// queued shards stay on disk for the next start).
+///
+/// # Errors
+///
+/// Returns [`SimError::Daemon`] on connection failures or an
+/// unexpected reply.
+pub fn shutdown(addr: &str) -> Result<(), SimError> {
+    let (mut reader, mut out) = connect(addr)?;
+    writeln!(out, "shutdown")
+        .and_then(|()| out.flush())
+        .map_err(|e| SimError::Daemon(format!("cannot send shutdown: {e}")))?;
+    let reply = read_reply(&mut reader)?;
+    if reply == "bye" {
+        Ok(())
+    } else {
+        Err(SimError::Daemon(format!("unexpected shutdown reply: {reply:?}")))
+    }
+}

@@ -27,6 +27,9 @@ pub enum SimError {
     /// inconsistent — e.g. a cell present in two merged reports, or a
     /// saved report that does not match the spec being resumed.
     Campaign(String),
+    /// The campaign daemon (or a client talking to one) failed: bind,
+    /// connect or stream errors, protocol violations, failed jobs.
+    Daemon(String),
 }
 
 impl fmt::Display for SimError {
@@ -41,6 +44,7 @@ impl fmt::Display for SimError {
             SimError::Analysis(e) => write!(f, "analysis error: {e}"),
             SimError::Persist(why) => write!(f, "persist error: {why}"),
             SimError::Campaign(why) => write!(f, "campaign error: {why}"),
+            SimError::Daemon(why) => write!(f, "daemon error: {why}"),
         }
     }
 }
@@ -57,6 +61,7 @@ impl Error for SimError {
             SimError::Analysis(e) => Some(e),
             SimError::Persist(_) => None,
             SimError::Campaign(_) => None,
+            SimError::Daemon(_) => None,
         }
     }
 }

@@ -17,7 +17,6 @@
 //! counts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Packs a half-open index range `start..end` into one atomic word so
 /// owners and thieves can contend on it with plain compare-exchange.
@@ -72,8 +71,17 @@ impl Executor {
 
     /// Applies `f` to every item and returns the results in item order.
     ///
-    /// `f` receives the item index alongside the item. Worker panics
-    /// propagate to the caller.
+    /// `f` receives the item index alongside the item.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` propagates to the caller with its original
+    /// payload: the surviving workers drain the remaining items, every
+    /// worker is joined, and the first panicking worker's payload is
+    /// re-raised via [`std::panic::resume_unwind`]. Results are
+    /// gathered through join handles rather than a shared lock, so one
+    /// panicking item cannot poison its siblings' result path and bury
+    /// the real message behind a poisoned-mutex error.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -99,24 +107,44 @@ impl Executor {
             })
             .collect();
 
-        let gathered: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(workers));
+        let mut gathered: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
         std::thread::scope(|scope| {
-            for w in 0..workers {
-                let ranges = &ranges;
-                let gathered = &gathered;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    while let Some(idx) = next_item(ranges, w) {
-                        local.push((idx, f(idx, &items[idx])));
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let ranges = &ranges;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        while let Some(idx) = next_item(ranges, w) {
+                            local.push((idx, f(idx, &items[idx])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            // Joining inside the scope (instead of letting the scope
+            // join implicitly) is what keeps a worker panic from
+            // masking itself: each worker's results come back through
+            // its own join handle, and a panicked worker yields its
+            // payload here instead of poisoning a shared collection.
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => gathered.push(local),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
                     }
-                    gathered.lock().expect("result gather poisoned").push(local);
-                });
+                }
             }
         });
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
 
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for chunk in gathered.into_inner().expect("result gather poisoned") {
+        for chunk in gathered {
             for (idx, r) in chunk {
                 debug_assert!(slots[idx].is_none(), "item {idx} executed twice");
                 slots[idx] = Some(r);
@@ -260,6 +288,47 @@ mod tests {
             .map(|&t| Executor::new(t).map(&items, |i, x| x.wrapping_mul(i as u64 + 7)))
             .collect();
         assert_eq!(runs.len(), 1, "thread count changed the result");
+    }
+
+    #[test]
+    fn a_panicking_item_surfaces_its_own_message() {
+        // One poisoned cell must not take its siblings down or bury
+        // its message behind a poisoned-lock panic: every other item
+        // still runs, and the caller sees the original payload.
+        let items: Vec<usize> = (0..97).collect();
+        let completed = AtomicUsize::new(0);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Executor::new(4).map(&items, |_, &x| {
+                if x == 17 {
+                    panic!("item {x} exploded");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+            });
+        }))
+        .expect_err("the worker panic must reach the caller");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload is a message");
+        assert_eq!(message, "item 17 exploded");
+        // The panicked worker abandons only its claimed item; thieves
+        // drain everything else before the batch unwinds.
+        assert_eq!(completed.load(Ordering::Relaxed), items.len() - 1);
+    }
+
+    #[test]
+    fn a_panicking_item_propagates_inline_too() {
+        let items: Vec<usize> = (0..3).collect();
+        let payload = std::panic::catch_unwind(|| {
+            Executor::sequential().map(&items, |_, &x| {
+                assert_ne!(x, 1, "inline boom");
+            });
+        })
+        .expect_err("the inline panic must reach the caller");
+        let message =
+            payload.downcast_ref::<String>().cloned().expect("assert payload is a String");
+        assert!(message.contains("inline boom"), "got: {message}");
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! * [`adaptive`] — the adaptive campaign driver: bisect each
 //!   (weather, governor) group's buffer capacitance to the brown-out
 //!   boundary, steering each round from the previous report,
+//! * [`daemon`] — the long-running campaign service: submit specs
+//!   over TCP, stream per-cell rows to many concurrent watchers,
+//!   atomic shard checkpoints, byte-exact crash recovery,
 //! * [`persist`] — serialized campaign specs/reports (with group
 //!   summaries) and the campaign + summary CSV exports,
 //! * [`experiments`] — one module per paper figure/table, producing the
@@ -55,6 +58,7 @@
 
 pub mod adaptive;
 pub mod campaign;
+pub mod daemon;
 pub mod engine;
 pub mod executor;
 pub mod experiments;

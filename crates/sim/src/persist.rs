@@ -14,7 +14,15 @@
 //!   identity;
 //! * the campaign CSV bridge ([`campaign_rows`] /
 //!   [`report_csv_string`]) onto
-//!   [`pn_analysis::csv::write_campaign_csv`].
+//!   [`pn_analysis::csv::write_campaign_csv`];
+//! * the atomic artifact writer ([`write_atomic`]): temp file in the
+//!   target's directory, fsync, rename into place. Every campaign
+//!   artifact this workspace writes (the `campaign` bin's
+//!   `--save`/`--out`/`--summary-out`, the daemon's shard checkpoints
+//!   and merged reports) goes through it, so a killed writer can leave
+//!   a stale temp file but never a torn artifact. The decoders' exact
+//!   token budgets, which reject a torn trailing line, are thereby a
+//!   second line of defence rather than the only one.
 //!
 //! The in-memory types additionally carry (shim) `serde` derives, so
 //! swapping this hand-rolled format for a serde wire format later is a
@@ -48,6 +56,8 @@ use pn_core::params::ControlParams;
 use pn_harvest::weather::Weather;
 use pn_units::{Seconds, Volts};
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
 
 /// Written spec header: v2 added the `options` line (per-cell
 /// [`SimOverrides`]), v3 the engine token on it, v4 the idle token.
@@ -88,6 +98,55 @@ const REPORT_OPTION_TOKENS: [usize; 5] = [5, 4, 3, 0, 0];
 /// Options-line token budget of a spec document, by header version
 /// index (current first).
 const SPEC_OPTION_TOKENS: [usize; 4] = [5, 4, 3, 3];
+
+/// Writes `contents` to `path` atomically: the bytes go to a fresh
+/// temp file in the same directory (same filesystem, so the final
+/// rename cannot cross a mount boundary), are synced to disk, and the
+/// temp file is renamed over `path`. A concurrent reader — or a resume
+/// after the writer was killed — therefore sees either the complete
+/// previous artifact or the complete new one, never a torn prefix. A
+/// writer killed mid-write leaves at most a stale `.<name>.tmp.<pid>`
+/// sibling, which the next atomic write of the same path from the same
+/// process replaces.
+///
+/// # Errors
+///
+/// Returns [`SimError::Persist`] naming the path when `path` has no
+/// file name or any step (create, write, sync, rename) fails; the temp
+/// file is removed on failure.
+///
+/// # Examples
+///
+/// ```
+/// use pn_sim::persist::write_atomic;
+///
+/// let path = std::env::temp_dir().join(format!("pn-atomic-doc-{}.txt", std::process::id()));
+/// write_atomic(&path, "whole artifact\n").unwrap();
+/// assert_eq!(std::fs::read_to_string(&path).unwrap(), "whole artifact\n");
+/// std::fs::remove_file(&path).ok();
+/// ```
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> Result<(), SimError> {
+    let path = path.as_ref();
+    let Some(file_name) = path.file_name() else {
+        return Err(SimError::Persist(format!("cannot write {}: not a file path", path.display())));
+    };
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let tmp = dir.join(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SimError::Persist(format!("cannot write {}: {e}", path.display())));
+    }
+    Ok(())
+}
 
 /// Serializes a campaign spec to the v4 wire format.
 pub fn spec_to_string(spec: &CampaignSpec) -> String {
@@ -1136,5 +1195,47 @@ mod tests {
         // Governor column uses the lossless slug, not the display label.
         let rows = campaign_rows(&report);
         assert!(rows.iter().all(|r| GovernorSpec::from_slug(&r.governor).is_some()));
+    }
+
+    #[test]
+    fn write_atomic_round_trips_overwrites_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("pn-write-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.pnc");
+        write_atomic(&path, "first\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+        // Overwrite replaces the whole artifact in one step.
+        write_atomic(&path, "second, longer contents\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second, longer contents\n");
+        // No temp-file droppings survive a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_rejects_a_directory_target() {
+        let dir = std::env::temp_dir().join(format!("pn-write-atomic-dir-{}", std::process::id()));
+        let target = dir.join("occupied");
+        std::fs::create_dir_all(&target).unwrap();
+        // Renaming over an existing directory fails; the temp file must
+        // not survive the failure.
+        let err = write_atomic(&target, "x").unwrap_err();
+        assert!(matches!(err, SimError::Persist(_)), "got {err}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        // A missing parent directory fails cleanly too (no panic, no
+        // partial artifact).
+        let missing = dir.join("no-such-dir").join("a.pnc");
+        assert!(write_atomic(&missing, "x").is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

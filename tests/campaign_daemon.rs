@@ -1,0 +1,171 @@
+//! End-to-end contracts of the campaign daemon: streamed rows are
+//! byte-identical to a one-shot run's CSV for any number of concurrent
+//! watchers, a killed daemon restarted on the same checkpoint
+//! directory finishes byte-identically (including after a torn or
+//! stale checkpoint), and a failing job is contained without taking
+//! the daemon down.
+
+use power_neutral::sim::campaign::{run_campaign, CampaignSpec};
+use power_neutral::sim::daemon::{self, Daemon, DaemonConfig};
+use power_neutral::sim::executor::Executor;
+use power_neutral::sim::persist;
+use power_neutral::units::Seconds;
+use std::path::PathBuf;
+
+/// A fresh per-test checkpoint directory under the system temp dir.
+fn checkpoint_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pn-campaignd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The test matrix: small enough to finish fast, big enough to spread
+/// over several shards (2 weathers × 2 seeds × 1 buffer × 2 governors).
+fn spec() -> CampaignSpec {
+    CampaignSpec::smoke().with_seeds(vec![1, 2]).with_duration(Seconds::new(2.0))
+}
+
+fn oneshot_csv(spec: &CampaignSpec) -> String {
+    let report = run_campaign(spec, &Executor::new(2)).expect("one-shot run");
+    persist::report_csv_string(&report).expect("csv")
+}
+
+#[test]
+fn concurrent_watchers_stream_the_one_shot_csv_byte_identically() {
+    let dir = checkpoint_dir("watch");
+    let daemon = Daemon::start(DaemonConfig::new(&dir).with_workers(2)).expect("start");
+    let addr = daemon.addr().to_string();
+
+    let spec = spec();
+    let ticket = daemon::submit(&addr, &spec, 0).expect("submit");
+    assert_eq!(ticket.cells, spec.cell_count());
+    assert_eq!(ticket.shards, spec.cell_count(), "shards 0 → one shard per cell");
+
+    // Two clients watch the same job concurrently; each assembles the
+    // full document independently from the streamed rows.
+    let csvs: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || daemon::watch_csv(&addr, ticket.id).expect("watch"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("watcher thread")).collect()
+    });
+    let expected = oneshot_csv(&spec);
+    assert_eq!(csvs[0], expected, "watcher 0 diverged from the one-shot CSV");
+    assert_eq!(csvs[1], expected, "watcher 1 diverged from the one-shot CSV");
+
+    // The merged on-disk report equals the one-shot report bitwise.
+    let report = run_campaign(&spec, &Executor::new(2)).expect("one-shot run");
+    let on_disk = std::fs::read_to_string(dir.join("job-1").join("report.pnc")).expect("report");
+    assert_eq!(on_disk, persist::report_to_string(&report));
+
+    let status = daemon::status(&addr, ticket.id).expect("status");
+    assert_eq!(status.state, "done");
+    assert_eq!(status.done_cells, spec.cell_count());
+
+    // Unknown jobs are a protocol error, not a hang.
+    let err = daemon::watch_csv(&addr, 999).expect_err("unknown job");
+    assert!(err.to_string().contains("unknown job"), "{err}");
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_after_torn_and_missing_checkpoints_is_byte_exact() {
+    let dir = checkpoint_dir("restart");
+    let spec = spec();
+    let expected = oneshot_csv(&spec);
+
+    // First life: run the job to completion so every checkpoint exists.
+    {
+        let daemon = Daemon::start(DaemonConfig::new(&dir).with_workers(2)).expect("start");
+        let addr = daemon.addr().to_string();
+        let ticket = daemon::submit(&addr, &spec, 3).expect("submit");
+        assert_eq!(ticket.shards, 3);
+        assert_eq!(daemon::watch_csv(&addr, ticket.id).expect("watch"), expected);
+        daemon.stop();
+    }
+
+    // Simulate the crash damage a pre-atomic writer could leave: one
+    // checkpoint torn mid-file, one lost entirely, no merged report.
+    // (write_atomic can no longer produce the torn file itself — this
+    // pins that recovery still *detects* and repairs it.)
+    let job_dir = dir.join("job-1");
+    let shard0 = job_dir.join("shard-0.pnc");
+    let intact = std::fs::read_to_string(&shard0).expect("shard 0");
+    std::fs::write(&shard0, &intact[..intact.len() * 3 / 5]).expect("tear shard 0");
+    std::fs::remove_file(job_dir.join("shard-1.pnc")).expect("drop shard 1");
+    std::fs::remove_file(job_dir.join("report.pnc")).expect("drop merged report");
+
+    // Second life: recovery discards the torn checkpoint, recomputes
+    // the missing shards, and the stream + merged report come out
+    // byte-identical to the uninterrupted run.
+    let daemon = Daemon::start(DaemonConfig::new(&dir).with_workers(2)).expect("restart");
+    let addr = daemon.addr().to_string();
+    assert_eq!(daemon::watch_csv(&addr, 1).expect("watch recovered job"), expected);
+    let rewritten = std::fs::read_to_string(&shard0).expect("rewritten shard 0");
+    assert_eq!(rewritten, intact, "recomputed checkpoint diverged from the original");
+    let report = run_campaign(&spec, &Executor::new(2)).expect("one-shot run");
+    let on_disk = std::fs::read_to_string(job_dir.join("report.pnc")).expect("merged report");
+    assert_eq!(on_disk, persist::report_to_string(&report));
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_checkpoints_from_an_edited_spec_are_recomputed_not_merged() {
+    use power_neutral::sim::engine::EngineKind;
+
+    let dir = checkpoint_dir("edited");
+    let spec = spec();
+    {
+        let daemon = Daemon::start(DaemonConfig::new(&dir).with_workers(2)).expect("start");
+        let addr = daemon.addr().to_string();
+        let ticket = daemon::submit(&addr, &spec, 2).expect("submit");
+        daemon::watch_csv(&addr, ticket.id).expect("watch");
+        daemon.stop();
+    }
+
+    // Edit the persisted spec (scalar engine instead of the default):
+    // the existing checkpoints still match by label, but their options
+    // no longer match the spec, so recovery must discard them and
+    // recompute under the edited spec.
+    let edited = spec.with_engine(EngineKind::Scalar);
+    let job_dir = dir.join("job-1");
+    std::fs::write(job_dir.join("spec.pnc"), persist::spec_to_string(&edited))
+        .expect("edit spec");
+    std::fs::remove_file(job_dir.join("report.pnc")).expect("drop merged report");
+
+    let daemon = Daemon::start(DaemonConfig::new(&dir).with_workers(2)).expect("restart");
+    let addr = daemon.addr().to_string();
+    let streamed = daemon::watch_csv(&addr, 1).expect("watch recovered job");
+    assert_eq!(streamed, oneshot_csv(&edited), "recovered job must follow the edited spec");
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_failing_job_is_contained_and_the_daemon_keeps_serving() {
+    let dir = checkpoint_dir("contain");
+    let daemon = Daemon::start(DaemonConfig::new(&dir).with_workers(1)).expect("start");
+    let addr = daemon.addr().to_string();
+
+    // A matrix whose cells are invalid (negative buffer capacitance):
+    // the job fails with the engine's message, the daemon survives.
+    let broken = spec().with_buffers_mf(vec![-1.0]);
+    let ticket = daemon::submit(&addr, &broken, 1).expect("submit broken");
+    let err = daemon::watch_csv(&addr, ticket.id).expect_err("job must fail");
+    assert!(err.to_string().contains("failed"), "{err}");
+    let status = daemon::status(&addr, ticket.id).expect("status");
+    assert_eq!(status.state, "failed");
+
+    // The daemon still schedules and completes fresh jobs.
+    let good = spec();
+    let ticket = daemon::submit(&addr, &good, 0).expect("submit good");
+    assert_eq!(daemon::watch_csv(&addr, ticket.id).expect("watch"), oneshot_csv(&good));
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
