@@ -103,13 +103,31 @@ pub struct CampaignRow {
     pub idle_time_seconds: f64,
     /// Idle-state entries performed.
     pub idle_entries: u64,
+    /// Thermal-model token (machine-readable slug, `off` when the
+    /// thermal axis is disabled).
+    pub thermal: String,
+    /// Workload-arrival token (machine-readable slug, `saturated` for
+    /// the always-on default).
+    pub arrival: String,
+    /// Harvester-fault token (machine-readable slug, `none` when no
+    /// faults are injected).
+    pub fault: String,
+    /// Hottest die temperature reached, Celsius (0 with thermals off).
+    pub peak_temp_c: f64,
+    /// Time spent under the thermal throttle ceiling, seconds.
+    pub throttle_time_seconds: f64,
+    /// Time spent in the thermal boost state, seconds.
+    pub boost_time_seconds: f64,
+    /// Harvester fault events injected over the window.
+    pub faults_injected: u64,
 }
 
 /// Header row of the campaign CSV document. Pinned: golden-file tests
 /// and downstream plots depend on these column names and their order.
 pub const CAMPAIGN_CSV_HEADER: &str = "weather,seed,buffer_mf,governor,supply_model,survived,\
 lifetime_s,vc_stability,instructions_g,renders_per_min,energy_in_j,energy_out_j,transitions,\
-final_vc,idle_time_s,idle_entries";
+final_vc,idle_time_s,idle_entries,thermal,arrival,fault,peak_temp_c,throttle_time_s,\
+boost_time_s,faults_injected";
 
 /// Writes campaign verdicts as CSV, one row per cell under
 /// [`CAMPAIGN_CSV_HEADER`]. Floats use Rust's shortest-round-trip
@@ -164,6 +182,9 @@ pub fn write_campaign_csv<W: Write>(
 /// #         instructions_billions: 1.0, renders_per_minute: 10.0,
 /// #         energy_in_joules: 2.0, energy_out_joules: 1.0, transitions: 3,
 /// #         final_vc: 5.3, idle_time_seconds: 0.0, idle_entries: 0,
+/// #         thermal: "off".into(), arrival: "saturated".into(), fault: "none".into(),
+/// #         peak_temp_c: 0.0, throttle_time_seconds: 0.0, boost_time_seconds: 0.0,
+/// #         faults_injected: 0,
 /// #     }
 /// # }
 /// let r = row();
@@ -174,7 +195,7 @@ pub fn write_campaign_csv<W: Write>(
 #[must_use]
 pub fn format_campaign_row(r: &CampaignRow) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.weather,
         r.seed,
         r.buffer_mf,
@@ -191,6 +212,13 @@ pub fn format_campaign_row(r: &CampaignRow) -> String {
         r.final_vc,
         r.idle_time_seconds,
         r.idle_entries,
+        r.thermal,
+        r.arrival,
+        r.fault,
+        r.peak_temp_c,
+        r.throttle_time_seconds,
+        r.boost_time_seconds,
+        r.faults_injected,
     )
 }
 
@@ -315,6 +343,13 @@ mod tests {
             final_vc: 5.3,
             idle_time_seconds: 1.25,
             idle_entries: 6,
+            thermal: "rc:25:8:5:75:70:2".into(),
+            arrival: "bursty:0.08:8:0.2".into(),
+            fault: "brownout:0.002:20:0.85".into(),
+            peak_temp_c: 76.5,
+            throttle_time_seconds: 12.25,
+            boost_time_seconds: 3.5,
+            faults_injected: 4,
         };
         let mut out = Vec::new();
         write_campaign_csv(&mut out, std::slice::from_ref(&row)).unwrap();
@@ -330,6 +365,13 @@ mod tests {
         assert_eq!(fields[6].parse::<f64>().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
         assert_eq!(fields[14], "1.25", "idle residency rides along");
         assert_eq!(fields[15], "6", "idle entries ride along");
+        assert_eq!(fields[16], "rc:25:8:5:75:70:2", "thermal slug rides along");
+        assert_eq!(fields[17], "bursty:0.08:8:0.2", "arrival slug rides along");
+        assert_eq!(fields[18], "brownout:0.002:20:0.85", "fault slug rides along");
+        assert_eq!(fields[19], "76.5", "peak temperature rides along");
+        assert_eq!(fields[20], "12.25", "throttle residency rides along");
+        assert_eq!(fields[21], "3.5", "boost residency rides along");
+        assert_eq!(fields[22], "4", "fault count rides along");
         // The incremental formatter IS the batch writer's row path.
         assert_eq!(lines[1], format_campaign_row(&row));
     }

@@ -45,6 +45,15 @@
 //! cargo run --release -p pn-bench --bin campaign -- \
 //!     --governors race-to-idle --idle off
 //!
+//! # turn on the adversarial stress axes — lumped-RC thermal
+//! # throttle/boost, bursty workload arrival, harvester fault storms:
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --thermal --arrivals bursty --faults brownout --out report.csv
+//! # …and bisect the thermal throttle ceiling (instead of the buffer)
+//! # to each group's survival boundary:
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --smoke --thermal --adapt --adapt-axis thermal
+//!
 //! # client mode against a running campaignd (same spec flags): submit
 //! # the matrix as 6 shards and stream rows until it completes…
 //! cargo run --release -p pn-bench --bin campaign -- \
@@ -57,7 +66,8 @@
 //! ```
 
 use pn_bench::{banner, print_table};
-use pn_sim::adaptive::{AdaptiveCampaign, AdaptiveConfig};
+use pn_harvest::faults::FaultSpec;
+use pn_sim::adaptive::{AdaptiveAxis, AdaptiveCampaign, AdaptiveConfig};
 use pn_sim::campaign::{
     resume_campaign_parts, run_campaign, CampaignReport, CampaignSpec, GovernorSpec,
 };
@@ -67,6 +77,8 @@ use pn_sim::executor::Executor;
 use pn_sim::persist;
 use pn_sim::supply::SupplyModel;
 use pn_harvest::cache::TraceCache;
+use pn_soc::thermal::ThermalSpec;
+use pn_workload::arrival::ArrivalSpec;
 
 struct Cli {
     smoke: bool,
@@ -85,6 +97,10 @@ struct Cli {
     engine: Option<EngineKind>,
     governors: Option<Vec<GovernorSpec>>,
     idle: Option<bool>,
+    thermal: bool,
+    arrivals: Option<Vec<ArrivalSpec>>,
+    faults: Option<Vec<FaultSpec>>,
+    adapt_axis: Option<AdaptiveAxis>,
     submit: Option<String>, // daemon address: submit the spec there
     watch: Option<String>,  // daemon address: stream an existing job
     job: Option<u64>,       // job id for --watch
@@ -124,6 +140,10 @@ fn parse_cli() -> Result<Cli, String> {
         engine: None,
         governors: None,
         idle: None,
+        thermal: false,
+        arrivals: None,
+        faults: None,
+        adapt_axis: None,
         submit: None,
         watch: None,
         job: None,
@@ -211,6 +231,46 @@ fn parse_cli() -> Result<Cli, String> {
                     other => return Err(format!("--idle wants on or off, got {other:?}")),
                 });
             }
+            "--thermal" => cli.thermal = true,
+            "--arrivals" => {
+                let list = value(&mut args, "--arrivals")?;
+                let arrivals: Vec<ArrivalSpec> = list
+                    .split(',')
+                    .map(|slug| {
+                        let slug = slug.trim();
+                        if slug == "bursty" {
+                            return Ok(ArrivalSpec::bursty_stress());
+                        }
+                        ArrivalSpec::from_slug(slug).ok_or_else(|| {
+                            format!("--arrivals: unknown arrival slug {slug:?}")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                cli.arrivals = Some(arrivals);
+            }
+            "--faults" => {
+                let list = value(&mut args, "--faults")?;
+                let faults: Vec<FaultSpec> = list
+                    .split(',')
+                    .map(|slug| {
+                        let slug = slug.trim();
+                        match slug {
+                            "shading" => Ok(FaultSpec::shading_stress()),
+                            "brownout" => Ok(FaultSpec::brownout_stress()),
+                            _ => FaultSpec::from_slug(slug).ok_or_else(|| {
+                                format!("--faults: unknown fault slug {slug:?}")
+                            }),
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                cli.faults = Some(faults);
+            }
+            "--adapt-axis" => {
+                let slug = value(&mut args, "--adapt-axis")?;
+                cli.adapt_axis = Some(AdaptiveAxis::from_slug(&slug).ok_or_else(|| {
+                    format!("--adapt-axis wants buffer, thermal or fault, got {slug:?}")
+                })?);
+            }
             "--engine" => {
                 let slug = value(&mut args, "--engine")?;
                 cli.engine = Some(EngineKind::from_slug(&slug).ok_or_else(|| {
@@ -255,12 +315,15 @@ fn parse_cli() -> Result<Cli, String> {
             || cli.supply_model.is_some()
             || cli.engine.is_some()
             || cli.governors.is_some()
-            || cli.idle.is_some())
+            || cli.idle.is_some()
+            || cli.thermal
+            || cli.arrivals.is_some()
+            || cli.faults.is_some())
     {
         return Err(
             "--merge recomposes saved reports without simulating; it cannot be combined \
              with --shard, --smoke, --seeds, --threads, --resume, --adapt, --supply-model, \
-             --engine, --governors or --idle"
+             --engine, --governors, --idle, --thermal, --arrivals or --faults"
                 .into(),
         );
     }
@@ -308,11 +371,14 @@ fn parse_cli() -> Result<Cli, String> {
             || cli.supply_model.is_some()
             || cli.engine.is_some()
             || cli.governors.is_some()
-            || cli.idle.is_some())
+            || cli.idle.is_some()
+            || cli.thermal
+            || cli.arrivals.is_some()
+            || cli.faults.is_some())
     {
         return Err("--watch streams a job already submitted; the spec flags (--smoke, \
-                    --seeds, --supply-model, --engine, --governors, --idle) only apply \
-                    to --submit or local runs"
+                    --seeds, --supply-model, --engine, --governors, --idle, --thermal, \
+                    --arrivals, --faults) only apply to --submit or local runs"
             .into());
     }
     if cli.adapt && cli.shard.is_some() {
@@ -322,6 +388,9 @@ fn parse_cli() -> Result<Cli, String> {
     }
     if cli.max_rounds.is_some() && !cli.adapt {
         return Err("--max-rounds only applies to --adapt".into());
+    }
+    if cli.adapt_axis.is_some() && !cli.adapt {
+        return Err("--adapt-axis only applies to --adapt".into());
     }
     let interp = matches!(cli.supply_model, Some(SupplyModel::Interpolated { .. }));
     if cli.tolerance.is_some() && !cli.adapt && !interp {
@@ -363,6 +432,15 @@ fn build_spec(cli: &Cli) -> CampaignSpec {
     if let Some(idle) = cli.idle {
         spec = spec.with_idle(idle);
     }
+    if cli.thermal {
+        spec = spec.with_thermals(vec![ThermalSpec::stress()]);
+    }
+    if let Some(arrivals) = &cli.arrivals {
+        spec = spec.with_arrivals(arrivals.clone());
+    }
+    if let Some(faults) = &cli.faults {
+        spec = spec.with_faults(faults.clone());
+    }
     spec
 }
 
@@ -379,6 +457,17 @@ fn print_spec_settings(cli: &Cli) {
     }
     if let Some(idle) = cli.idle {
         println!("  idle states: {}", if idle { "on" } else { "off" });
+    }
+    if cli.thermal {
+        println!("  thermal: {}", ThermalSpec::stress().slug());
+    }
+    if let Some(arrivals) = &cli.arrivals {
+        let slugs: Vec<String> = arrivals.iter().map(ArrivalSpec::slug).collect();
+        println!("  arrivals: {}", slugs.join(", "));
+    }
+    if let Some(faults) = &cli.faults {
+        let slugs: Vec<String> = faults.iter().map(FaultSpec::slug).collect();
+        println!("  faults: {}", slugs.join(", "));
     }
 }
 
@@ -543,29 +632,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The adaptive refinement loop: bisect each (weather, governor)
-    // group's buffer capacitance to the brown-out boundary, emitting
-    // every round as an ordinary campaign on the same executor.
+    // group along the chosen axis — buffer capacitance (default),
+    // thermal throttle ceiling or harvester fault depth — to the
+    // brown-out boundary, emitting every round as an ordinary campaign
+    // on the same executor.
     let summary_source = if cli.adapt {
+        let axis = cli.adapt_axis.unwrap_or_default();
+        let defaults = AdaptiveConfig::for_axis(axis);
         let config = AdaptiveConfig {
-            tolerance_mf: cli.tolerance.unwrap_or(AdaptiveConfig::default().tolerance_mf),
-            max_rounds: cli.max_rounds.unwrap_or(AdaptiveConfig::default().max_rounds),
-            ..AdaptiveConfig::default()
+            tolerance_mf: cli.tolerance.unwrap_or(defaults.tolerance_mf),
+            max_rounds: cli.max_rounds.unwrap_or(defaults.max_rounds),
+            ..defaults
         };
         let mut adaptive = AdaptiveCampaign::from_report(&report, config)?;
         let cache = TraceCache::new();
         let t0 = std::time::Instant::now();
         let brackets = adaptive.run(&executor, Some(&cache))?;
-        let fmt_mf = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
+        // Survival is monotone *up* in buffer capacitance but *down*
+        // in throttle ceiling and fault depth, so the bracket ends
+        // swap meaning on the inverted axes.
+        let (unit, decimals, lo_label, hi_label) = match axis {
+            AdaptiveAxis::BufferMf => ("mF", 1, "browns out ≤", "survives ≥"),
+            AdaptiveAxis::ThermalLimitC => ("°C", 1, "survives ≤", "browns out ≥"),
+            AdaptiveAxis::FaultDepth => ("depth", 3, "survives ≤", "browns out ≥"),
+        };
+        let fmt_val = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.decimals$}"));
         let bracket_rows: Vec<Vec<String>> = brackets
             .iter()
             .map(|b| {
                 vec![
                     format!("{}", b.weather),
                     b.governor.label(),
-                    fmt_mf(b.lo_mf),
-                    fmt_mf(b.hi_mf),
-                    fmt_mf(b.width_mf()),
-                    fmt_mf(b.boundary_estimate_mf()),
+                    fmt_val(b.lo_mf),
+                    fmt_val(b.hi_mf),
+                    fmt_val(b.width_mf()),
+                    fmt_val(b.boundary_estimate_mf()),
                     b.status.to_string(),
                     format!("{}", b.probes),
                 ]
@@ -573,18 +674,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         println!();
         println!(
-            "  brown-out boundary brackets (tolerance {} mF, {} rounds, {} probe cells, {:.2} s):",
+            "  {axis} boundary brackets (tolerance {} {unit}, {} rounds, {} probe cells, {:.2} s):",
             config.tolerance_mf,
             adaptive.rounds(),
             adaptive.history().len() - report.len(),
             t0.elapsed().as_secs_f64()
         );
+        let lo_header = format!("{lo_label} ({unit})");
+        let hi_header = format!("{hi_label} ({unit})");
         print_table(
             &[
                 "weather",
                 "governor",
-                "browns out ≤ (mF)",
-                "survives ≥ (mF)",
+                &lo_header,
+                &hi_header,
                 "width",
                 "estimate",
                 "status",

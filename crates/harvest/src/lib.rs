@@ -36,6 +36,7 @@ pub mod cache;
 pub mod clearsky;
 pub mod clouds;
 pub mod estimator;
+pub mod faults;
 pub mod irradiance;
 pub mod weather;
 

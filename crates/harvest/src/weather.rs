@@ -465,8 +465,17 @@ mod tests {
         assert_ne!(*a, *other_sky);
     }
 
+    /// The cap-overflow tests each push `DAY_CACHE_CAPACITY`-scale
+    /// entry counts through the process-wide memo; two of them running
+    /// concurrently would evict each other's days mid-assertion, so
+    /// they serialize here. (The small tests insert a handful of days
+    /// at most — far too few to flush a 64-entry FIFO — and need no
+    /// lock.)
+    static BIG_CACHE_TESTS: Mutex<()> = Mutex::new(());
+
     #[test]
     fn overflowing_the_memo_cap_still_shares_fresh_days() {
+        let _serial = BIG_CACHE_TESTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // Regression: the memo used to stop inserting once it held
         // DAY_CACHE_CAPACITY days, so a campaign's 65th distinct
         // (weather, seed) group rebuilt its day on every request. With
@@ -491,6 +500,57 @@ mod tests {
         // The flag round-trips for plain cache hits too.
         let early = profile(DAY_CACHE_CAPACITY as u64 - 1).build_shared_traced(dt).unwrap();
         assert!(early.1, "a just-inserted day should still be resident");
+    }
+
+    #[test]
+    fn memo_evicts_in_insertion_order() {
+        let _serial = BIG_CACHE_TESTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dt = Seconds::new(30.0);
+        let profile = |seed: u64| {
+            DayProfile::new(Weather::Cloudy, 0xF1F0_0000 + seed)
+                .with_span(Seconds::from_hours(12.0), Seconds::from_hours(12.25))
+        };
+        // Memoise cap + 8 distinct days, oldest first.
+        let n = (DAY_CACHE_CAPACITY + 8) as u64;
+        for seed in 0..n {
+            profile(seed).build_shared(dt).unwrap();
+        }
+        // FIFO: exactly the first-inserted days are gone. Probing them
+        // oldest-first keeps the assertion stable — each probe's
+        // re-insert can only evict days older than the ones still to
+        // be probed.
+        for seed in 0..8 {
+            let (_, hit) = profile(seed).build_shared_traced(dt).unwrap();
+            assert!(!hit, "day {seed} survived eviction — not insertion order");
+        }
+        let (_, hit) = profile(n - 1).build_shared_traced(dt).unwrap();
+        assert!(hit, "the newest day fell out despite FIFO eviction");
+    }
+
+    #[test]
+    fn memo_hits_do_not_refresh_eviction_position() {
+        // The memo is FIFO, not LRU: a cache hit must not move a day
+        // to the back of the eviction queue. Documented behaviour —
+        // campaign groups touch their day in bursts, so recency
+        // tracking would only add bookkeeping to the hot path.
+        let _serial = BIG_CACHE_TESTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dt = Seconds::new(30.0);
+        let profile = |seed: u64| {
+            DayProfile::new(Weather::Stormy, 0xF1F1_0000 + seed)
+                .with_span(Seconds::from_hours(12.0), Seconds::from_hours(12.25))
+        };
+        // Fill the whole cap, then touch the oldest of our days — a
+        // hit that an LRU policy would treat as a refresh.
+        for seed in 0..DAY_CACHE_CAPACITY as u64 {
+            profile(seed).build_shared(dt).unwrap();
+        }
+        let (_, touched) = profile(0).build_shared_traced(dt).unwrap();
+        assert!(touched, "day 0 should still be resident right after the fill");
+        // One more distinct day evicts the front of the queue — which
+        // under FIFO is still day 0, its recent touch notwithstanding.
+        profile(DAY_CACHE_CAPACITY as u64).build_shared(dt).unwrap();
+        let (_, hit) = profile(0).build_shared_traced(dt).unwrap();
+        assert!(!hit, "a hit refreshed day 0's position — FIFO became LRU");
     }
 
     #[test]

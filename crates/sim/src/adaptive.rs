@@ -22,6 +22,13 @@
 //! that point (across the group's seeds and parameter sets) fails to
 //! survive its window — the boundary found is the worst-case one.
 //!
+//! The same machinery bisects the adversarial stress axes: with
+//! [`AdaptiveAxis::ThermalLimitC`] the driver searches the thermal
+//! throttle ceiling, with [`AdaptiveAxis::FaultDepth`] the harvester
+//! fault depth. Both are *survives-low* axes (survival improves as the
+//! value shrinks), so the search runs with the survival sense
+//! inverted; the bisection itself is identical.
+//!
 //! # Examples
 //!
 //! Drive one refinement round by hand (no simulation involved —
@@ -51,6 +58,10 @@
 //!         final_vc: 5.0,
 //!         idle_time_seconds: 0.0,
 //!         idle_entries: 0,
+//!         peak_temp_c: 0.0,
+//!         throttle_time_seconds: 0.0,
+//!         boost_time_seconds: 0.0,
+//!         faults_injected: 0,
 //!     })
 //!     .collect();
 //! let report = CampaignReport::from_parts(0, cells);
@@ -63,42 +74,154 @@
 //! # }
 //! ```
 
-use crate::campaign::{CampaignReport, CampaignSpec, CellOutcome, GovernorSpec};
+use crate::campaign::{CampaignCell, CampaignReport, CampaignSpec, CellOutcome, GovernorSpec};
 use crate::engine::SimOverrides;
 use crate::executor::Executor;
 use crate::SimError;
 use pn_core::params::ControlParams;
 use pn_harvest::cache::TraceCache;
+use pn_harvest::faults::FaultSpec;
 use pn_harvest::weather::Weather;
+use pn_soc::thermal::{RcThermal, ThermalSpec};
 use pn_units::Seconds;
+use pn_workload::arrival::ArrivalSpec;
 use std::fmt;
 
-/// Tuning knobs of the adaptive driver.
+/// Which campaign axis the adaptive driver bisects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptiveAxis {
+    /// Buffer capacitance, millifarads. Survival is monotone
+    /// *increasing* in the value (a larger buffer rides out longer
+    /// droughts); the boundary is the smallest surviving capacitance.
+    /// The default.
+    #[default]
+    BufferMf,
+    /// Thermal throttle ceiling, °C. Survival is monotone *decreasing*
+    /// in the value (a lower trip point caps power earlier), so the
+    /// search runs inverted: `lo` is the largest surviving ceiling,
+    /// `hi` the smallest browned-out one. Probe cells substitute the
+    /// ceiling into the group's RC template, shifting the release to
+    /// preserve the hysteresis gap and dropping the boost so its band
+    /// cannot pinch the search range.
+    ThermalLimitC,
+    /// Harvester fault depth, fraction in `(0, 1]`. Deeper faults
+    /// drain more energy, so survival is monotone decreasing and the
+    /// search runs inverted like the thermal axis; the boundary is the
+    /// deepest tolerable fault.
+    FaultDepth,
+}
+
+impl AdaptiveAxis {
+    /// Stable machine token (`buffer`, `thermal`, `fault`) for CLI
+    /// flags and logs.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            AdaptiveAxis::BufferMf => "buffer",
+            AdaptiveAxis::ThermalLimitC => "thermal",
+            AdaptiveAxis::FaultDepth => "fault",
+        }
+    }
+
+    /// Parses an [`AdaptiveAxis::slug`] token back into an axis.
+    pub fn from_slug(slug: &str) -> Option<AdaptiveAxis> {
+        match slug {
+            "buffer" => Some(AdaptiveAxis::BufferMf),
+            "thermal" => Some(AdaptiveAxis::ThermalLimitC),
+            "fault" => Some(AdaptiveAxis::FaultDepth),
+            _ => None,
+        }
+    }
+
+    /// `true` when survival is monotone increasing in the axis value.
+    fn survives_high(self) -> bool {
+        matches!(self, AdaptiveAxis::BufferMf)
+    }
+
+    /// The axis value a finished cell contributes, or `None` when the
+    /// cell does not exercise the axis (no thermal model, no fault).
+    fn value_of(self, cell: &CampaignCell) -> Option<f64> {
+        match self {
+            AdaptiveAxis::BufferMf => Some(cell.buffer_mf),
+            AdaptiveAxis::ThermalLimitC => match cell.thermal {
+                ThermalSpec::Rc(rc) => Some(rc.throttle_c),
+                ThermalSpec::Off => None,
+            },
+            AdaptiveAxis::FaultDepth => cell.fault.depth(),
+        }
+    }
+}
+
+impl fmt::Display for AdaptiveAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AdaptiveAxis::BufferMf => "buffer capacitance (mF)",
+            AdaptiveAxis::ThermalLimitC => "thermal throttle ceiling (°C)",
+            AdaptiveAxis::FaultDepth => "harvester fault depth",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tuning knobs of the adaptive driver. The `_mf` field names are
+/// historical — the values are in the probed axis' own units
+/// (millifarads, °C, or depth fraction).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveConfig {
+    /// Campaign axis to bisect.
+    pub axis: AdaptiveAxis,
     /// Stop refining a group once its bracket is at most this wide
-    /// (millifarads).
+    /// (axis units).
     pub tolerance_mf: f64,
     /// Hard cap on refinement rounds; groups still refining when it is
     /// reached are marked [`BracketStatus::RoundLimit`].
     pub max_rounds: usize,
-    /// Smallest capacitance the downward expansion probes; a group
-    /// surviving even here is [`BracketStatus::BelowFloor`].
+    /// Smallest axis value the expansion probes; a group on the
+    /// surviving side even here is [`BracketStatus::BelowFloor`].
     pub floor_mf: f64,
-    /// Largest capacitance the upward expansion probes; a group
-    /// browning out even here is [`BracketStatus::AboveCeiling`].
+    /// Largest axis value the expansion probes; a group on the failing
+    /// side even here is [`BracketStatus::AboveCeiling`].
     pub ceiling_mf: f64,
 }
 
 impl Default for AdaptiveConfig {
-    /// Tolerance 4 mF (under a tenth of the paper's 47 mF rig), 24
-    /// rounds, and an expansion range of 1 mF – 10 F.
+    /// The buffer axis: tolerance 4 mF (under a tenth of the paper's
+    /// 47 mF rig), 24 rounds, and an expansion range of 1 mF – 10 F.
     fn default() -> Self {
-        Self { tolerance_mf: 4.0, max_rounds: 24, floor_mf: 1.0, ceiling_mf: 10_000.0 }
+        Self {
+            axis: AdaptiveAxis::BufferMf,
+            tolerance_mf: 4.0,
+            max_rounds: 24,
+            floor_mf: 1.0,
+            ceiling_mf: 10_000.0,
+        }
     }
 }
 
 impl AdaptiveConfig {
+    /// Axis-appropriate defaults: the buffer axis keeps
+    /// [`AdaptiveConfig::default`]; the thermal axis searches
+    /// 35–150 °C to a 1 °C tolerance; the fault axis searches depths
+    /// 0.01–1 to 0.02.
+    pub fn for_axis(axis: AdaptiveAxis) -> Self {
+        match axis {
+            AdaptiveAxis::BufferMf => Self::default(),
+            AdaptiveAxis::ThermalLimitC => Self {
+                axis,
+                tolerance_mf: 1.0,
+                floor_mf: 35.0,
+                ceiling_mf: 150.0,
+                ..Self::default()
+            },
+            AdaptiveAxis::FaultDepth => Self {
+                axis,
+                tolerance_mf: 0.02,
+                floor_mf: 0.01,
+                ceiling_mf: 1.0,
+                ..Self::default()
+            },
+        }
+    }
+
     fn validate(&self) -> Result<(), SimError> {
         if !(self.tolerance_mf > 0.0) {
             return Err(SimError::InvalidConfig("adaptive tolerance must be positive"));
@@ -165,10 +288,13 @@ pub struct BoundaryBracket {
     pub weather: Weather,
     /// Governor of the group.
     pub governor: GovernorSpec,
-    /// Largest capacitance observed to brown out (millifarads), if
-    /// any.
+    /// Lower bracket end, in the probed axis' units: the largest value
+    /// observed to brown out (or, for survives-low axes like the
+    /// thermal limit and fault depth, the largest value observed to
+    /// survive).
     pub lo_mf: Option<f64>,
-    /// Smallest capacitance observed to survive (millifarads), if any.
+    /// Upper bracket end: the smallest value observed to survive (for
+    /// survives-low axes, the smallest value observed to brown out).
     pub hi_mf: Option<f64>,
     /// Search verdict for the group.
     pub status: BracketStatus,
@@ -201,10 +327,16 @@ impl BoundaryBracket {
 struct Probe {
     weather: Weather,
     governor: GovernorSpec,
+    axis: AdaptiveAxis,
     // Probe cells reuse the axes observed for the group, so refinement
-    // evaluates exactly the population the seed report did.
+    // evaluates exactly the population the seed report did (except the
+    // probed axis itself, which the probe value replaces).
     seeds: Vec<u64>,
     params: Vec<ControlParams>,
+    buffers_mf: Vec<f64>,
+    thermals: Vec<ThermalSpec>,
+    arrivals: Vec<ArrivalSpec>,
+    faults: Vec<FaultSpec>,
     duration: Seconds,
     options: Option<SimOverrides>,
     lo_mf: Option<f64>,
@@ -220,12 +352,17 @@ enum Action {
 }
 
 impl Probe {
-    fn new(weather: Weather, governor: GovernorSpec) -> Self {
+    fn new(weather: Weather, governor: GovernorSpec, axis: AdaptiveAxis) -> Self {
         Self {
             weather,
             governor,
+            axis,
             seeds: Vec::new(),
             params: Vec::new(),
+            buffers_mf: Vec::new(),
+            thermals: Vec::new(),
+            arrivals: Vec::new(),
+            faults: Vec::new(),
             duration: Seconds::ZERO,
             options: None,
             lo_mf: None,
@@ -285,19 +422,55 @@ impl Probe {
         }
     }
 
-    /// The single-group campaign spec probing `buffer_mf`.
-    fn spec_for(&self, buffer_mf: f64) -> CampaignSpec {
-        CampaignSpec {
+    /// The single-group campaign spec probing axis value `value`: the
+    /// probed axis collapses to that one point, every other axis
+    /// replays what the seed report exercised.
+    fn spec_for(&self, value: f64) -> CampaignSpec {
+        let mut spec = CampaignSpec {
             weathers: vec![self.weather],
             seeds: self.seeds.clone(),
-            buffers_mf: vec![buffer_mf],
+            thermals: self.thermals.clone(),
+            arrivals: self.arrivals.clone(),
+            faults: self.faults.clone(),
+            buffers_mf: self.buffers_mf.clone(),
             governors: vec![self.governor],
             params: self.params.clone(),
             duration: self.duration,
             // Probe cells replay the seed report's engine options, so
             // a fast interpolated sweep refines with the same model.
             options: self.options.unwrap_or_default(),
+        };
+        match self.axis {
+            AdaptiveAxis::BufferMf => spec.buffers_mf = vec![value],
+            AdaptiveAxis::ThermalLimitC => {
+                // Substitute the ceiling into the group's RC template,
+                // shifting the release to preserve the hysteresis gap
+                // and dropping the boost so its band cannot pinch the
+                // search range. A group reaches this arm only when it
+                // contributed an RC cell (value_of gates observation).
+                let template = self.thermals.iter().find_map(|t| match t {
+                    ThermalSpec::Rc(rc) => Some(*rc),
+                    ThermalSpec::Off => None,
+                });
+                if let Some(rc) = template {
+                    let gap = rc.throttle_c - rc.release_c;
+                    spec.thermals = vec![ThermalSpec::Rc(RcThermal {
+                        throttle_c: value,
+                        release_c: value - gap,
+                        boost: None,
+                        ..rc
+                    })];
+                }
+            }
+            AdaptiveAxis::FaultDepth => {
+                let template =
+                    self.faults.iter().find(|f| **f != FaultSpec::None).copied();
+                if let Some(fault) = template {
+                    spec.faults = vec![fault.with_depth(value)];
+                }
+            }
         }
+        spec
     }
 
     fn bracket(&self) -> BoundaryBracket {
@@ -333,9 +506,11 @@ impl AdaptiveCampaign {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidConfig`] for an empty report or an
-    /// invalid configuration (non-positive tolerance or floor, zero
-    /// rounds, ceiling at or below the floor).
+    /// Returns [`SimError::InvalidConfig`] for an empty report, a
+    /// report with no cell exercising the configured axis (e.g. the
+    /// thermal axis against an all-`off` report), or an invalid
+    /// configuration (non-positive tolerance or floor, zero rounds,
+    /// ceiling at or below the floor).
     pub fn from_report(
         report: &CampaignReport,
         config: AdaptiveConfig,
@@ -346,32 +521,42 @@ impl AdaptiveCampaign {
         }
         let mut driver = Self { config, probes: Vec::new(), rounds: 0, history: Vec::new() };
         driver.observe(report);
+        if driver.probes.is_empty() {
+            return Err(SimError::InvalidConfig(
+                "adaptive axis is not exercised by any cell of the seed report",
+            ));
+        }
         Ok(driver)
     }
 
     /// Folds a finished report (the seed report, or one round's probe
     /// report) into the per-group brackets. Outcomes are grouped by
-    /// (weather, governor); a capacitance point counts as browned out
-    /// when any of its cells failed to survive.
+    /// (weather, governor); an axis point counts as browned out when
+    /// any of its cells failed to survive. Cells that do not exercise
+    /// the configured axis are ignored. For survives-low axes
+    /// (thermal limit, fault depth) the survival sense is inverted
+    /// before folding, so the bisection machinery stays monotone-up.
     pub fn observe(&mut self, report: &CampaignReport) {
         self.history.extend_from_slice(report.cells());
-        // Settle each (group, capacitance) point: it survives only if
+        // Settle each (group, axis value) point: it survives only if
         // every cell at it survived.
+        let axis = self.config.axis;
         let mut points: Vec<(usize, f64, bool)> = Vec::new();
         for outcome in report.cells() {
+            let Some(value) = axis.value_of(&outcome.cell) else { continue };
             let group = self.group_index(outcome);
-            let buffer = outcome.cell.buffer_mf;
             match points
                 .iter_mut()
-                .find(|(g, b, _)| *g == group && b.to_bits() == buffer.to_bits())
+                .find(|(g, v, _)| *g == group && v.to_bits() == value.to_bits())
             {
                 Some((_, _, survived)) => *survived &= outcome.survived,
-                None => points.push((group, buffer, outcome.survived)),
+                None => points.push((group, value, outcome.survived)),
             }
         }
-        for (group, buffer, survived) in points {
+        for (group, value, survived) in points {
             if !self.probes[group].status.is_terminal() {
-                self.probes[group].apply(buffer, survived);
+                let folded = if axis.survives_high() { survived } else { !survived };
+                self.probes[group].apply(value, folded);
             }
         }
     }
@@ -387,7 +572,7 @@ impl AdaptiveCampaign {
         {
             Some(i) => i,
             None => {
-                self.probes.push(Probe::new(cell.weather, cell.governor));
+                self.probes.push(Probe::new(cell.weather, cell.governor, self.config.axis));
                 self.probes.len() - 1
             }
         };
@@ -397,6 +582,18 @@ impl AdaptiveCampaign {
         }
         if !probe.params.contains(&cell.params) {
             probe.params.push(cell.params);
+        }
+        if !probe.buffers_mf.iter().any(|b| b.to_bits() == cell.buffer_mf.to_bits()) {
+            probe.buffers_mf.push(cell.buffer_mf);
+        }
+        if !probe.thermals.contains(&cell.thermal) {
+            probe.thermals.push(cell.thermal);
+        }
+        if !probe.arrivals.contains(&cell.arrival) {
+            probe.arrivals.push(cell.arrival);
+        }
+        if !probe.faults.contains(&cell.fault) {
+            probe.faults.push(cell.fault);
         }
         if probe.duration.value() == 0.0 {
             probe.duration = cell.duration;
@@ -530,20 +727,33 @@ mod tests {
             final_vc: 5.0,
             idle_time_seconds: 0.0,
             idle_entries: 0,
+            peak_temp_c: 0.0,
+            throttle_time_seconds: 0.0,
+            boost_time_seconds: 0.0,
+            faults_injected: 0,
         }
     }
 
-    /// Drives the adaptive loop against the synthetic rule without any
-    /// simulation, returning the settled driver.
-    fn drive(seed_spec: &CampaignSpec, threshold_mf: f64, config: AdaptiveConfig) -> AdaptiveCampaign {
-        let seed = synthetic_report(seed_spec, threshold_mf);
+    /// Drives the adaptive loop against an arbitrary synthetic outcome
+    /// rule without any simulation, returning the settled driver.
+    fn drive_with(
+        seed_spec: &CampaignSpec,
+        config: AdaptiveConfig,
+        rule: impl Fn(&CampaignSpec) -> CampaignReport,
+    ) -> AdaptiveCampaign {
+        let seed = rule(seed_spec);
         let mut adaptive = AdaptiveCampaign::from_report(&seed, config).unwrap();
         while let Some(specs) = adaptive.next_round() {
             for spec in specs {
-                adaptive.observe(&synthetic_report(&spec, threshold_mf));
+                adaptive.observe(&rule(&spec));
             }
         }
         adaptive
+    }
+
+    /// Drives the adaptive loop against the synthetic buffer rule.
+    fn drive(seed_spec: &CampaignSpec, threshold_mf: f64, config: AdaptiveConfig) -> AdaptiveCampaign {
+        drive_with(seed_spec, config, |spec| synthetic_report(spec, threshold_mf))
     }
 
     fn base_spec() -> CampaignSpec {
@@ -671,6 +881,144 @@ mod tests {
         // The probe history accumulates every observed outcome.
         assert_eq!(adaptive.history().len(), 4);
         assert_eq!(adaptive.probe_report().len(), 4);
+    }
+
+    /// An RC thermal spec with the given throttle ceiling (5 °C
+    /// hysteresis gap, no boost) for axis tests.
+    fn thermal_at(throttle_c: f64) -> ThermalSpec {
+        match ThermalSpec::stress() {
+            ThermalSpec::Rc(rc) => ThermalSpec::Rc(RcThermal {
+                throttle_c,
+                release_c: throttle_c - 5.0,
+                boost: None,
+                ..rc
+            }),
+            ThermalSpec::Off => unreachable!("stress preset is RC"),
+        }
+    }
+
+    /// Fabricates outcomes under a synthetic survives-low thermal
+    /// rule: a cell survives iff its throttle ceiling is at most
+    /// `limit_c` (an earlier trip caps power soon enough to stay
+    /// power-neutral).
+    fn synthetic_thermal_report(spec: &CampaignSpec, limit_c: f64) -> CampaignReport {
+        let cells = spec
+            .cells()
+            .iter()
+            .map(|&cell| {
+                let ceiling = match cell.thermal {
+                    ThermalSpec::Rc(rc) => rc.throttle_c,
+                    ThermalSpec::Off => f64::INFINITY,
+                };
+                synthetic_outcome(cell, ceiling <= limit_c)
+            })
+            .collect();
+        CampaignReport::from_parts(0, cells)
+    }
+
+    #[test]
+    fn thermal_limit_bisection_converges_from_both_expand_directions() {
+        // Mirror of the capacitance expansion test on the inverted
+        // axis: a seed entirely on the surviving side (low ceiling —
+        // the driver must expand upward) and one entirely on the
+        // failing side (high ceiling — expand downward) must both
+        // bracket the same boundary.
+        let limit_c = 91.0;
+        let config = AdaptiveConfig::for_axis(AdaptiveAxis::ThermalLimitC);
+        let mut estimates = Vec::new();
+        for seed_ceiling in [40.0, 140.0] {
+            let spec = CampaignSpec::new()
+                .unwrap()
+                .with_thermals(vec![thermal_at(seed_ceiling)]);
+            let adaptive =
+                drive_with(&spec, config, |s| synthetic_thermal_report(s, limit_c));
+            assert!(adaptive.settled());
+            let b = &adaptive.brackets()[0];
+            assert_eq!(b.status, BracketStatus::Converged, "seed {seed_ceiling}: {b:?}");
+            let (lo, hi) = (b.lo_mf.unwrap(), b.hi_mf.unwrap());
+            // Inverted sense: lo survived, hi browned out.
+            assert!(
+                lo <= limit_c && limit_c < hi,
+                "seed {seed_ceiling}: bracket [{lo}, {hi}] misses the limit {limit_c}"
+            );
+            assert!(hi - lo <= config.tolerance_mf, "seed {seed_ceiling}: width {}", hi - lo);
+            estimates.push(b.boundary_estimate_mf().unwrap());
+        }
+        assert!(
+            (estimates[0] - estimates[1]).abs() <= config.tolerance_mf,
+            "expand-up and expand-down disagree: {estimates:?}"
+        );
+    }
+
+    #[test]
+    fn thermal_probe_specs_substitute_the_ceiling_and_drop_the_boost() {
+        let spec = CampaignSpec::new()
+            .unwrap()
+            .with_thermals(vec![ThermalSpec::stress()])
+            .with_arrivals(vec![ArrivalSpec::bursty_stress()])
+            .with_faults(vec![FaultSpec::shading_stress()]);
+        let seed = synthetic_thermal_report(&spec, 91.0);
+        let config = AdaptiveConfig::for_axis(AdaptiveAxis::ThermalLimitC);
+        let mut adaptive = AdaptiveCampaign::from_report(&seed, config).unwrap();
+        let round = adaptive.next_round().unwrap();
+        assert_eq!(round.len(), 1);
+        let probe = &round[0];
+        // The probed thermal keeps the RC body, shifts release by the
+        // template's gap, and carries no boost; every other axis
+        // replays the seed report.
+        let ThermalSpec::Rc(rc) = probe.thermals[0] else {
+            panic!("probe lost its RC model: {:?}", probe.thermals)
+        };
+        assert_eq!(rc.throttle_c - rc.release_c, 5.0, "hysteresis gap drifted");
+        assert!(rc.boost.is_none(), "probe kept the boost band");
+        assert!(rc.validate().is_ok(), "probe thermal fails validation: {rc:?}");
+        assert_eq!(probe.arrivals, spec.arrivals);
+        assert_eq!(probe.faults, spec.faults);
+        assert_eq!(probe.buffers_mf, spec.buffers_mf);
+    }
+
+    #[test]
+    fn fault_depth_bisection_finds_the_deepest_tolerable_fault() {
+        let tolerable = 0.37;
+        let config = AdaptiveConfig::for_axis(AdaptiveAxis::FaultDepth);
+        let spec = CampaignSpec::new()
+            .unwrap()
+            .with_faults(vec![FaultSpec::brownout_stress().with_depth(0.5)]);
+        let adaptive = drive_with(&spec, config, |s| {
+            let cells = s
+                .cells()
+                .iter()
+                .map(|&cell| {
+                    synthetic_outcome(cell, cell.fault.depth().is_none_or(|d| d <= tolerable))
+                })
+                .collect();
+            CampaignReport::from_parts(0, cells)
+        });
+        let b = &adaptive.brackets()[0];
+        assert_eq!(b.status, BracketStatus::Converged, "{b:?}");
+        let (lo, hi) = (b.lo_mf.unwrap(), b.hi_mf.unwrap());
+        assert!(lo <= tolerable && tolerable < hi, "bracket [{lo}, {hi}]");
+        assert!(hi - lo <= config.tolerance_mf);
+        // Probes keep the brown-out shape, only the depth moves.
+        assert!(adaptive
+            .history()
+            .iter()
+            .all(|c| matches!(c.cell.fault, FaultSpec::Brownout { .. })));
+    }
+
+    #[test]
+    fn stress_axes_need_exercised_cells() {
+        // A report whose cells never ran the thermal model (or a
+        // fault) cannot seed a search along that axis.
+        let report = synthetic_report(&base_spec(), 100.0);
+        for axis in [AdaptiveAxis::ThermalLimitC, AdaptiveAxis::FaultDepth] {
+            let result =
+                AdaptiveCampaign::from_report(&report, AdaptiveConfig::for_axis(axis));
+            assert!(
+                matches!(result, Err(SimError::InvalidConfig(_))),
+                "{axis} accepted an all-default report"
+            );
+        }
     }
 
     #[test]

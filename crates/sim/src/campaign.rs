@@ -43,11 +43,15 @@ use pn_governors::{
     Userspace,
 };
 use pn_harvest::cache::TraceCache;
+use pn_harvest::faults::FaultSpec;
 use pn_harvest::weather::Weather;
 use pn_soc::cores::CoreConfig;
 use pn_soc::opp::Opp;
+use pn_soc::thermal::ThermalSpec;
 use pn_units::{Farads, Ohms, Seconds};
+use pn_workload::arrival::ArrivalSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which power-management policy drives a campaign cell.
 ///
@@ -196,6 +200,15 @@ pub struct CampaignSpec {
     pub weathers: Vec<Weather>,
     /// RNG seeds for the cloud field (one full day each).
     pub seeds: Vec<u64>,
+    /// Die thermal models (throttle/boost stress axis). The default
+    /// single `Off` entry adds no cells and no thermal machinery.
+    pub thermals: Vec<ThermalSpec>,
+    /// Workload-arrival processes (stochastic demand stress axis). The
+    /// default single `Saturated` entry reproduces the benchmark.
+    pub arrivals: Vec<ArrivalSpec>,
+    /// Harvester fault injections (shading/brown-out stress axis),
+    /// composable with any weather. Defaults to a single `None`.
+    pub faults: Vec<FaultSpec>,
     /// Buffer capacitances in millifarads (paper rig: 47 mF).
     pub buffers_mf: Vec<f64>,
     /// Policies to drive each scenario with.
@@ -225,6 +238,9 @@ impl CampaignSpec {
         Ok(Self {
             weathers: vec![Weather::FullSun],
             seeds: vec![1],
+            thermals: vec![ThermalSpec::Off],
+            arrivals: vec![ArrivalSpec::Saturated],
+            faults: vec![FaultSpec::None],
             buffers_mf: vec![47.0],
             governors: vec![GovernorSpec::PowerNeutral],
             params: vec![ControlParams::paper_optimal()?],
@@ -262,6 +278,24 @@ impl CampaignSpec {
     /// Replaces the seed axis (builder style).
     pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
         self.seeds = seeds;
+        self
+    }
+
+    /// Replaces the thermal-model axis (builder style).
+    pub fn with_thermals(mut self, thermals: Vec<ThermalSpec>) -> Self {
+        self.thermals = thermals;
+        self
+    }
+
+    /// Replaces the workload-arrival axis (builder style).
+    pub fn with_arrivals(mut self, arrivals: Vec<ArrivalSpec>) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Replaces the harvester-fault axis (builder style).
+    pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -339,7 +373,13 @@ impl CampaignSpec {
             .iter()
             .map(|g| if matches!(g, GovernorSpec::PowerNeutral) { self.params.len() } else { 1 })
             .sum();
-        self.weathers.len() * self.seeds.len() * self.buffers_mf.len() * per_point
+        self.weathers.len()
+            * self.seeds.len()
+            * self.thermals.len()
+            * self.arrivals.len()
+            * self.faults.len()
+            * self.buffers_mf.len()
+            * per_point
     }
 
     /// Enumerates every cell of the matrix in a fixed order (see
@@ -347,25 +387,38 @@ impl CampaignSpec {
     pub fn cells(&self) -> Vec<CampaignCell> {
         let mut out = Vec::with_capacity(self.cell_count());
         let Some(first_params) = self.params.first() else { return out };
+        // Stress axes nest inside (weather, seed) so every cell of one
+        // rendered day stays contiguous — lane grouping still batches a
+        // whole day into one executor item.
         for &weather in &self.weathers {
             for &seed in &self.seeds {
-                for &buffer_mf in &self.buffers_mf {
-                    for &governor in &self.governors {
-                        let params_axis = if matches!(governor, GovernorSpec::PowerNeutral) {
-                            self.params.as_slice()
-                        } else {
-                            std::slice::from_ref(first_params)
-                        };
-                        for &params in params_axis {
-                            out.push(CampaignCell {
-                                weather,
-                                seed,
-                                buffer_mf,
-                                governor,
-                                params,
-                                duration: self.duration,
-                                options: self.options,
-                            });
+                for &thermal in &self.thermals {
+                    for &arrival in &self.arrivals {
+                        for &fault in &self.faults {
+                            for &buffer_mf in &self.buffers_mf {
+                                for &governor in &self.governors {
+                                    let params_axis =
+                                        if matches!(governor, GovernorSpec::PowerNeutral) {
+                                            self.params.as_slice()
+                                        } else {
+                                            std::slice::from_ref(first_params)
+                                        };
+                                    for &params in params_axis {
+                                        out.push(CampaignCell {
+                                            weather,
+                                            seed,
+                                            thermal,
+                                            arrival,
+                                            fault,
+                                            buffer_mf,
+                                            governor,
+                                            params,
+                                            duration: self.duration,
+                                            options: self.options,
+                                        });
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -471,6 +524,12 @@ pub struct CampaignCell {
     pub weather: Weather,
     /// Cloud-field seed.
     pub seed: u64,
+    /// Die thermal model for this cell.
+    pub thermal: ThermalSpec,
+    /// Workload-arrival process for this cell (seeded by `seed`).
+    pub arrival: ArrivalSpec,
+    /// Harvester fault injection applied to this cell's irradiance.
+    pub fault: FaultSpec,
     /// Buffer capacitance in millifarads.
     pub buffer_mf: f64,
     /// Driving policy.
@@ -486,15 +545,29 @@ pub struct CampaignCell {
 }
 
 impl CampaignCell {
-    /// Human-readable cell label.
+    /// Human-readable cell label. Stress axes appear only when they
+    /// deviate from their defaults, so pre-stress labels are unchanged.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/seed{}/{:.0}mF/{}",
             self.weather,
             self.seed,
             self.buffer_mf,
             self.governor.label()
-        )
+        );
+        if self.thermal != ThermalSpec::Off {
+            label.push('/');
+            label.push_str(&self.thermal.slug());
+        }
+        if self.arrival != ArrivalSpec::Saturated {
+            label.push('/');
+            label.push_str(&self.arrival.slug());
+        }
+        if self.fault != FaultSpec::None {
+            label.push('/');
+            label.push_str(&self.fault.slug());
+        }
+        label
     }
 
     /// Builds the runnable scenario for this cell.
@@ -531,17 +604,44 @@ impl CampaignCell {
                 let shared = cache.get_or_build_shared(self.weather, self.seed, || {
                     Ok(scenario::weather_day_trace_shared(self.weather, self.seed))
                 })?;
-                scenario::weather_day_with_trace(shared)
+                scenario::weather_day_with_trace(self.faulted_trace(shared)?)
             }
-            None => scenario::weather_day(self.weather, self.seed),
+            None if self.fault == FaultSpec::None => {
+                scenario::weather_day(self.weather, self.seed)
+            }
+            None => {
+                let shared = scenario::weather_day_trace_shared(self.weather, self.seed);
+                scenario::weather_day_with_trace(self.faulted_trace(shared)?)
+            }
         };
         let mut built =
             day.with_duration(self.duration).with_buffer(buffer).with_params(self.params);
+        if self.thermal != ThermalSpec::Off || self.arrival != ArrivalSpec::Saturated {
+            let options = built
+                .options()
+                .with_thermal(self.thermal)
+                .with_arrival(self.arrival, self.seed);
+            built = built.with_options(options);
+        }
         if !self.options.is_none() {
             let options = built.options().with_overrides(&self.options);
             built = built.with_options(options);
         }
         Ok(built)
+    }
+
+    /// Applies this cell's fault injection to the day's rendered
+    /// irradiance. `FaultSpec::None` hands the shared trace straight
+    /// through (same `Arc`, zero copies); an active fault derives an
+    /// attenuated private copy with bitwise-untouched sample times.
+    fn faulted_trace(
+        &self,
+        shared: Arc<pn_harvest::irradiance::IrradianceTrace>,
+    ) -> Result<Arc<pn_harvest::irradiance::IrradianceTrace>, SimError> {
+        if self.fault == FaultSpec::None {
+            return Ok(shared);
+        }
+        Ok(Arc::new(self.fault.attenuate(&shared, self.seed)?))
     }
 
     /// The supply model this cell runs under (its override, or the
@@ -589,6 +689,9 @@ impl CampaignCell {
         let vc_stability = fraction_within_band(recorder.vc(), target.value(), 0.05)?;
         let energy_in_joules = time_integral(recorder.power_in())?;
         let energy_out_joules = time_integral(recorder.power_out())?;
+        let opts = scenario.options();
+        let faults_injected =
+            self.fault.count_in(self.seed, opts.t_start.value(), opts.t_end.value());
         Ok(CellOutcome {
             cell: *self,
             survived: report.survived(),
@@ -602,6 +705,10 @@ impl CampaignCell {
             final_vc: report.final_vc().value(),
             idle_time_seconds: report.idle_time().value(),
             idle_entries: report.idle_entries(),
+            peak_temp_c: report.peak_temp_c(),
+            throttle_time_seconds: report.throttle_time().value(),
+            boost_time_seconds: report.boost_time().value(),
+            faults_injected,
         })
     }
 }
@@ -633,6 +740,14 @@ pub struct CellOutcome {
     pub idle_time_seconds: f64,
     /// Idle-state entries performed.
     pub idle_entries: u64,
+    /// Hottest die temperature reached, °C (0.0 with thermal off).
+    pub peak_temp_c: f64,
+    /// Time spent with the thermal throttle ceiling engaged, seconds.
+    pub throttle_time_seconds: f64,
+    /// Time spent in the thermal boost state, seconds.
+    pub boost_time_seconds: f64,
+    /// Harvester fault events intersecting the simulated window.
+    pub faults_injected: u64,
 }
 
 /// Aggregated statistics for one group of cells (a weather condition,
@@ -1231,6 +1346,9 @@ mod tests {
         let bad_duration = CampaignCell {
             weather: Weather::FullSun,
             seed: 1,
+            thermal: ThermalSpec::Off,
+            arrival: ArrivalSpec::Saturated,
+            fault: FaultSpec::None,
             buffer_mf: 47.0,
             governor: GovernorSpec::Powersave,
             params: ControlParams::paper_optimal().unwrap(),
@@ -1254,6 +1372,10 @@ mod tests {
             final_vc: 5.3,
             idle_time_seconds: 0.0,
             idle_entries: 0,
+            peak_temp_c: 0.0,
+            throttle_time_seconds: 0.0,
+            boost_time_seconds: 0.0,
+            faults_injected: 0,
         }
     }
 
@@ -1518,6 +1640,9 @@ mod tests {
         let cell = CampaignCell {
             weather: Weather::FullSun,
             seed: 1,
+            thermal: ThermalSpec::Off,
+            arrival: ArrivalSpec::Saturated,
+            fault: FaultSpec::None,
             buffer_mf: 47.0,
             governor: GovernorSpec::Powersave,
             params: ControlParams::paper_optimal().unwrap(),
@@ -1545,6 +1670,9 @@ mod tests {
         let base = CampaignCell {
             weather: Weather::FullSun,
             seed: 1,
+            thermal: ThermalSpec::Off,
+            arrival: ArrivalSpec::Saturated,
+            fault: FaultSpec::None,
             buffer_mf: 47.0,
             governor: GovernorSpec::Powersave,
             params: ControlParams::paper_optimal().unwrap(),
@@ -1606,6 +1734,9 @@ mod tests {
         let cell = CampaignCell {
             weather: Weather::Cloudy,
             seed: 4,
+            thermal: ThermalSpec::Off,
+            arrival: ArrivalSpec::Saturated,
+            fault: FaultSpec::None,
             buffer_mf: 47.0,
             governor: GovernorSpec::PowerNeutral,
             params: ControlParams::paper_optimal().unwrap(),
@@ -1624,6 +1755,9 @@ mod tests {
         let cell = CampaignCell {
             weather: Weather::Stormy,
             seed: 9,
+            thermal: ThermalSpec::Off,
+            arrival: ArrivalSpec::Saturated,
+            fault: FaultSpec::None,
             buffer_mf: 150.0,
             governor: GovernorSpec::PowerNeutral,
             params: ControlParams::paper_optimal().unwrap(),

@@ -22,8 +22,10 @@ use pn_core::events::{Governor, GovernorAction, GovernorEvent, IdleRequest, Thre
 use pn_monitor::monitor::VoltageMonitor;
 use pn_soc::opp::Opp;
 use pn_soc::platform::Platform;
+use pn_soc::thermal::{ThermalSpec, ThermalState};
 use pn_soc::transition::{plan_transition, TransitionStrategy};
 use pn_units::{Seconds, Volts, Watts};
+use pn_workload::arrival::{ArrivalSpec, ArrivalTimeline};
 use pn_workload::work::WorkAccount;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +104,16 @@ pub struct SimOptions {
     /// [`Simulation::run`] is unaffected — the knob decides whether
     /// campaigns group this cell into lane batches.
     pub engine: EngineKind,
+    /// Die thermal model (throttle ceiling + boost). `Off` — the
+    /// default — tracks no temperature and is bitwise-identical to the
+    /// pre-thermal engine.
+    pub thermal: ThermalSpec,
+    /// Workload-arrival process. `Saturated` — the default — pins
+    /// demand at 100 % and is bitwise-identical to the pre-arrival
+    /// engine.
+    pub arrival: ArrivalSpec,
+    /// Seed for the bursty-arrival stream (ignored by `Saturated`).
+    pub arrival_seed: u64,
 }
 
 impl SimOptions {
@@ -119,6 +131,9 @@ impl SimOptions {
             idle_enabled: true,
             supply_model: SupplyModel::Exact,
             engine: EngineKind::default(),
+            thermal: ThermalSpec::Off,
+            arrival: ArrivalSpec::Saturated,
+            arrival_seed: 0,
         }
     }
 
@@ -156,6 +171,20 @@ impl SimOptions {
     /// Enables or disables idle (DPM) requests (builder style).
     pub fn with_idle(mut self, enabled: bool) -> Self {
         self.idle_enabled = enabled;
+        self
+    }
+
+    /// Selects the die thermal model (builder style).
+    pub fn with_thermal(mut self, thermal: ThermalSpec) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// Selects the workload-arrival process and its stream seed
+    /// (builder style).
+    pub fn with_arrival(mut self, arrival: ArrivalSpec, seed: u64) -> Self {
+        self.arrival = arrival;
+        self.arrival_seed = seed;
         self
     }
 
@@ -256,6 +285,9 @@ pub struct SimReport {
     transitions: u64,
     idle_time: Seconds,
     idle_entries: u64,
+    peak_temp_c: f64,
+    throttle_time: Seconds,
+    boost_time: Seconds,
     final_vc: Volts,
 }
 
@@ -321,6 +353,22 @@ impl SimReport {
     /// Number of idle-state entries performed.
     pub fn idle_entries(&self) -> u64 {
         self.idle_entries
+    }
+
+    /// Hottest die temperature reached, °C. Ambient (or 0.0 with the
+    /// thermal model off) when the die never heated.
+    pub fn peak_temp_c(&self) -> f64 {
+        self.peak_temp_c
+    }
+
+    /// Time spent with the thermal throttle ceiling engaged.
+    pub fn throttle_time(&self) -> Seconds {
+        self.throttle_time
+    }
+
+    /// Time spent in the thermal boost state.
+    pub fn boost_time(&self) -> Seconds {
+        self.boost_time
     }
 
     /// Final capacitor voltage.
@@ -456,6 +504,13 @@ impl Simulation {
 
         let next_tick = self.governor.tick_period().map(|p| t + p.value());
 
+        let thermal = match opts.thermal {
+            ThermalSpec::Off => None,
+            ThermalSpec::Rc(rc) => Some(ThermalState::new(rc)),
+        };
+        let arrival = ArrivalTimeline::build(opts.arrival, opts.arrival_seed, t_start, t_end);
+        let arrival_duty = arrival.duty_at(t_start);
+
         let mut lane = Lane {
             supply: self.supply,
             buffer: self.buffer,
@@ -476,7 +531,13 @@ impl Simulation {
             next_tick,
             recheck_at: None,
             next_record: t + opts.record_dt.value(),
+            thermal,
+            arrival,
+            arrival_duty,
         };
+        // A stress boost can engage at cold start; the scales must be
+        // in force before the first snapshot and the first advance.
+        lane.refresh_scales();
         lane.snapshot()?;
         Ok(lane)
     }
@@ -510,6 +571,14 @@ pub(crate) struct Lane {
     next_tick: Option<f64>,
     recheck_at: Option<f64>,
     next_record: f64,
+    /// Die thermal state — `None` iff [`SimOptions::thermal`] is `Off`,
+    /// in which case no thermal code touches the hot path at all.
+    thermal: Option<ThermalState>,
+    /// Expanded arrival timeline (one flat segment for `Saturated`).
+    arrival: ArrivalTimeline,
+    /// Duty of the arrival segment containing `t` (cached; refreshed
+    /// at segment edges).
+    arrival_duty: f64,
 }
 
 impl Lane {
@@ -525,6 +594,16 @@ impl Lane {
     /// crossings, which resolve inline through the governor), then
     /// handle whichever discrete boundaries were reached.
     pub(crate) fn step(&mut self) -> Result<(), SimError> {
+        // Load power at the top of the step: it is constant until the
+        // next discontinuity, so it both drives the ODE and determines
+        // when the thermal state next crosses a threshold.
+        let alive = self.runtime.is_alive();
+        let p_load = if alive {
+            (self.runtime.power() + self.monitor.power()).value()
+        } else {
+            0.0
+        };
+
         // Next discrete boundary.
         let mut boundary = self.t_end;
         if let Some(d) = self.runtime.step_deadline() {
@@ -537,6 +616,21 @@ impl Lane {
             boundary = boundary.min(r);
         }
         boundary = boundary.min(self.next_record);
+        // Thermal threshold crossings and arrival-segment edges are
+        // discontinuities like ticks: absent (adding no boundary and
+        // no float traffic) when the axes are at their defaults.
+        let thermal_event = self
+            .thermal
+            .as_ref()
+            .and_then(|st| st.next_event_in(p_load))
+            .map(|(dt, event)| (self.t + dt, event));
+        if let Some((at, _)) = thermal_event {
+            boundary = boundary.min(at);
+        }
+        let arrival_edge = self.arrival.next_edge_after(self.t);
+        if let Some(edge) = arrival_edge {
+            boundary = boundary.min(edge);
+        }
 
         if boundary > self.t + 1e-12 {
             // Continuous phase: advance toward the boundary.
@@ -551,17 +645,12 @@ impl Lane {
             } else {
                 (None, None)
             };
-            let alive = self.runtime.is_alive();
             let ctx = AdvanceCtx {
                 supply: &self.supply,
                 supply_state: &mut self.supply_state,
                 buffer: &self.buffer,
                 solver: &mut self.solver,
-                p_load: if alive {
-                    (self.runtime.power() + self.monitor.power()).value()
-                } else {
-                    0.0
-                },
+                p_load,
                 vmin: alive.then_some(self.vmin),
                 high,
                 low,
@@ -572,6 +661,11 @@ impl Lane {
                 Seconds::new(dt),
                 Seconds::new(dt * self.housekeeping_share),
             );
+            if let Some(st) = self.thermal.as_mut() {
+                // Heat for the elapsed span even when the advance stops
+                // early at a voltage crossing below.
+                st.advance(p_load, dt);
+            }
             self.t = outcome.t;
             self.vc = outcome.vc;
             match outcome.event {
@@ -630,12 +724,12 @@ impl Lane {
             let period = self.governor.tick_period().expect("tick governor").value();
             self.next_tick = Some(self.t + period);
             if self.runtime.is_alive() {
-                // The ray-tracing workload saturates every online
-                // core: load is pinned at 100 %.
+                // The governor sees the arrival process's demand level
+                // (pinned at 100 % for the saturated benchmark).
                 let event = GovernorEvent::Tick {
                     t: Seconds::new(self.t),
                     vc: Volts::new(self.vc),
-                    load: 1.0,
+                    load: self.arrival_duty,
                 };
                 let action = self.governor.on_event(&event, self.runtime.current_opp());
                 let _ = apply_action(
@@ -686,10 +780,79 @@ impl Lane {
                 }
             }
         }
+        if thermal_event.is_some_and(|(at, _)| (at - self.t).abs() <= 1e-9) {
+            let (_, event) = thermal_event.expect("checked above");
+            let (throttled_now, cap) = {
+                let st = self.thermal.as_mut().expect("thermal event without state");
+                st.apply_event(event);
+                (st.throttled(), st.level_cap())
+            };
+            self.runtime.set_level_cap(cap);
+            self.refresh_scales();
+            if throttled_now {
+                self.enforce_level_cap()?;
+            }
+            self.solver.notify_discontinuity();
+        }
+        if arrival_edge.is_some_and(|edge| (edge - self.t).abs() <= 1e-9) {
+            // duty_at at the exact edge resolves to the new segment.
+            self.arrival_duty = self.arrival.duty_at(self.t);
+            self.refresh_scales();
+            self.solver.notify_discontinuity();
+        }
         if self.t >= self.next_record - 1e-9 {
             self.snapshot()?;
             self.next_record = self.t + self.opts.record_dt.value();
         }
+        Ok(())
+    }
+
+    /// Pushes the composed thermal × arrival multipliers into the
+    /// runtime. The default axes (`Off`, `Saturated`) compose to the
+    /// literal 1.0 scales — the duty envelope is only ever *computed*
+    /// off the saturated path, so defaults stay bitwise-identical.
+    fn refresh_scales(&mut self) {
+        let (thermal_power, thermal_perf) = match &self.thermal {
+            Some(st) => (st.power_factor(), st.perf_factor()),
+            None => (1.0, 1.0),
+        };
+        let duty = self.arrival_duty;
+        let (power, perf) = if duty == 1.0 {
+            (thermal_power, thermal_perf)
+        } else {
+            // Partial demand still burns a static floor: idling cores
+            // clock-gate but stay powered (leakage + uncore).
+            (thermal_power * (0.35 + 0.65 * duty), thermal_perf * duty)
+        };
+        self.runtime.set_scales(power, perf);
+    }
+
+    /// Forces an immediate down-shift when the throttle ceiling lands
+    /// below the running OPP. A lane mid-transition or parked in idle
+    /// keeps its state — the cap still gates every later request via
+    /// `clamp_level`, which is how real DVFS throttling behaves (the
+    /// ceiling applies at the next opportunity, not retroactively).
+    fn enforce_level_cap(&mut self) -> Result<(), SimError> {
+        let Some(cap) = self.runtime.level_cap() else {
+            return Ok(());
+        };
+        if self.runtime.is_transitioning() || self.runtime.is_idle() || !self.runtime.is_alive()
+        {
+            return Ok(());
+        }
+        let current = self.runtime.current_opp();
+        if current.level() <= cap {
+            return Ok(());
+        }
+        let target = Opp::new(current.config(), cap);
+        let plan = plan_transition(
+            current,
+            target,
+            TransitionStrategy::FrequencyFirst,
+            self.runtime.platform().frequencies(),
+            self.runtime.platform().latency(),
+        )?;
+        self.runtime.begin_transition(plan, Seconds::new(self.t));
         Ok(())
     }
 
@@ -707,6 +870,9 @@ impl Lane {
             transitions: self.runtime.transitions_started(),
             idle_time: self.runtime.idle_time(),
             idle_entries: self.runtime.idle_entries(),
+            peak_temp_c: self.thermal.map_or(0.0, |st| st.peak_c()),
+            throttle_time: Seconds::new(self.thermal.map_or(0.0, |st| st.throttle_time_s())),
+            boost_time: Seconds::new(self.thermal.map_or(0.0, |st| st.boost_time_s())),
             final_vc: Volts::new(self.vc),
         })
     }
@@ -1266,6 +1432,125 @@ mod tests {
         }
         assert_eq!(solo_a, lane_a.finish().unwrap());
         assert_eq!(solo_b, lane_b.finish().unwrap());
+    }
+
+    #[test]
+    fn default_axes_are_bitwise_inert() {
+        // Explicitly setting thermal Off + saturated arrivals must
+        // reproduce the untouched-options run bit for bit: no scale,
+        // cap, or boundary code may fire on the default path.
+        let base = build(pn_governor(), pv_supply(560.0, 20.0), 20.0, Opp::lowest());
+        let plain = base.run().unwrap();
+        let mut spelled = build(pn_governor(), pv_supply(560.0, 20.0), 20.0, Opp::lowest());
+        spelled.options = spelled
+            .options
+            .with_thermal(ThermalSpec::Off)
+            .with_arrival(ArrivalSpec::Saturated, 99);
+        assert_eq!(plain, spelled.run().unwrap());
+    }
+
+    #[test]
+    fn thermal_stress_throttles_and_reports_heat() {
+        // A stiff 5.3 V rail keeps the board alive while ~7 W through
+        // 8 °C/W drives the die far past the 75 °C ceiling.
+        let waveform = VoltageWaveform::new(vec![
+            (Seconds::ZERO, Volts::new(5.3)),
+            (Seconds::new(400.0), Volts::new(5.3)),
+        ])
+        .unwrap();
+        let mut sim = build(
+            Box::new(Performance::new()),
+            Supply::Controlled { waveform },
+            400.0,
+            Opp::new(pn_soc::cores::CoreConfig::MAX, 7),
+        );
+        sim.options = sim.options.with_thermal(ThermalSpec::stress());
+        let report = sim.run().unwrap();
+        assert!(report.survived());
+        assert!(report.peak_temp_c() > 74.0, "peak {}", report.peak_temp_c());
+        assert!(
+            report.throttle_time().value() > 1.0,
+            "throttle time {}",
+            report.throttle_time()
+        );
+        // Boost engages from the cold start and burns its budget.
+        assert!(report.boost_time().value() > 0.0);
+        assert!(report.boost_time().value() <= 10.0 + 1e-9);
+        // The capped ladder shows up in the recorded frequency trace.
+        let min_freq = report
+            .recorder()
+            .frequency_ghz()
+            .values()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_freq < 1.0, "ladder never capped: min {min_freq} GHz");
+    }
+
+    #[test]
+    fn thermal_off_reports_zero_heat() {
+        let report =
+            build(pn_governor(), pv_supply(560.0, 10.0), 10.0, Opp::lowest()).run().unwrap();
+        assert_eq!(report.peak_temp_c(), 0.0);
+        assert_eq!(report.throttle_time(), Seconds::ZERO);
+        assert_eq!(report.boost_time(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn bursty_arrivals_cut_work_and_power() {
+        let make = |arrival: ArrivalSpec| {
+            let mut sim = build(
+                Box::new(Powersave::new()),
+                pv_supply(560.0, 300.0),
+                300.0,
+                Opp::new(pn_soc::cores::CoreConfig::MAX, 0),
+            );
+            sim.options = sim.options.with_arrival(arrival, 17);
+            sim.run().unwrap()
+        };
+        let saturated = make(ArrivalSpec::Saturated);
+        let bursty = make(ArrivalSpec::bursty_stress());
+        assert!(
+            bursty.work().instructions() < saturated.work().instructions(),
+            "gaps must cost work: {} vs {}",
+            bursty.work().instructions(),
+            saturated.work().instructions()
+        );
+        // Same arrival seed replays bitwise.
+        assert_eq!(bursty, make(ArrivalSpec::bursty_stress()));
+        // A different seed produces a different trajectory.
+        let mut other = build(
+            Box::new(Powersave::new()),
+            pv_supply(560.0, 300.0),
+            300.0,
+            Opp::new(pn_soc::cores::CoreConfig::MAX, 0),
+        );
+        other.options = other.options.with_arrival(ArrivalSpec::bursty_stress(), 18);
+        assert_ne!(bursty, other.run().unwrap());
+    }
+
+    #[test]
+    fn stepped_thermal_lane_matches_run_bitwise() {
+        let make = || {
+            let mut sim = build(
+                pn_governor(),
+                pv_supply(700.0, 60.0),
+                60.0,
+                Opp::new(pn_soc::cores::CoreConfig::MAX, 7),
+            );
+            sim.options = sim
+                .options
+                .with_thermal(ThermalSpec::stress())
+                .with_arrival(ArrivalSpec::bursty_stress(), 5);
+            sim.options.stop_on_brownout = false;
+            sim
+        };
+        let whole = make().run().unwrap();
+        let mut lane = make().start().unwrap();
+        while !lane.done() {
+            lane.step().unwrap();
+        }
+        assert_eq!(whole, lane.finish().unwrap());
     }
 
     #[test]

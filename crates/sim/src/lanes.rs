@@ -1,7 +1,8 @@
 //! Batched structure-of-arrays lane engine.
 //!
 //! A campaign evaluates many cells that differ only in governor,
-//! buffer size or control parameters while sharing one irradiance
+//! buffer size, control parameters or stress axes (thermal envelope,
+//! workload arrival, harvester faults) while sharing one irradiance
 //! trace. Running those cells one after another re-walks the same
 //! trace once per cell with cold caches; running them *batched* steps
 //! every in-flight simulation once per sweep, so one pass over the

@@ -53,15 +53,22 @@ use crate::SimError;
 use pn_analysis::csv::{write_campaign_csv, write_summary_csv, CampaignRow, SummaryRow};
 use pn_analysis::summary::Aggregate;
 use pn_core::params::ControlParams;
+use pn_harvest::faults::FaultSpec;
 use pn_harvest::weather::Weather;
+use pn_soc::thermal::ThermalSpec;
 use pn_units::{Seconds, Volts};
+use pn_workload::arrival::ArrivalSpec;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
 /// Written spec header: v2 added the `options` line (per-cell
-/// [`SimOverrides`]), v3 the engine token on it, v4 the idle token.
-const SPEC_HEADER: &str = "pn-campaign-spec v4";
+/// [`SimOverrides`]), v3 the engine token on it, v4 the idle token, v5
+/// the stress axes (`thermals`, `arrivals`, `faults` lines).
+const SPEC_HEADER: &str = "pn-campaign-spec v5";
+/// Still-readable v4 spec header (documents written before the stress
+/// axes existed; they decode with the axes at their defaults).
+const SPEC_HEADER_V4: &str = "pn-campaign-spec v4";
 /// Still-readable v3 spec header (documents written before the idle
 /// token existed; their options decode with no idle override).
 const SPEC_HEADER_V3: &str = "pn-campaign-spec v3";
@@ -73,8 +80,14 @@ const SPEC_HEADER_V2: &str = "pn-campaign-spec v2";
 const SPEC_HEADER_V1: &str = "pn-campaign-spec v1";
 /// Written report header: v2 added the optional `summary` section, v3
 /// the per-cell options suffix on `cell` lines, v4 the engine token in
-/// that suffix, v5 the idle counters and the idle options token.
-const REPORT_HEADER: &str = "pn-campaign-report v5";
+/// that suffix, v5 the idle counters and the idle options token, v6
+/// the stress-axis tokens (thermal/arrival/fault slugs plus heat and
+/// fault metrics).
+const REPORT_HEADER: &str = "pn-campaign-report v6";
+/// Still-readable v5 header (documents written before the stress axes
+/// existed; their cells decode with the axes at their defaults and
+/// zeroed stress metrics).
+const REPORT_HEADER_V5: &str = "pn-campaign-report v5";
 /// Still-readable v4 header (documents written before the idle
 /// counters and options token existed).
 const REPORT_HEADER_V4: &str = "pn-campaign-report v4";
@@ -89,15 +102,16 @@ const REPORT_HEADER_V2: &str = "pn-campaign-report v2";
 const REPORT_HEADER_V1: &str = "pn-campaign-report v1";
 
 /// Post-header token budget of a report `cell` line beyond the 18
-/// outcome fields, by header version index (current first): v5 carries
-/// two idle counters plus a five-token options suffix, v4 a four-token
-/// options suffix, v3 a three-token one, v2/v1 nothing. Exact counts
-/// make a torn suffix undecodable rather than silently readable as an
-/// older dialect.
-const REPORT_OPTION_TOKENS: [usize; 5] = [5, 4, 3, 0, 0];
+/// outcome fields, by header version index (current first): v6 and v5
+/// carry two idle counters plus a five-token options suffix (v6 also
+/// seven stress tokens between them), v4 a four-token options suffix,
+/// v3 a three-token one, v2/v1 nothing. Exact counts make a torn
+/// suffix undecodable rather than silently readable as an older
+/// dialect.
+const REPORT_OPTION_TOKENS: [usize; 6] = [5, 5, 4, 3, 0, 0];
 /// Options-line token budget of a spec document, by header version
 /// index (current first).
-const SPEC_OPTION_TOKENS: [usize; 4] = [5, 4, 3, 3];
+const SPEC_OPTION_TOKENS: [usize; 5] = [5, 5, 4, 3, 3];
 
 /// Writes `contents` to `path` atomically: the bytes go to a fresh
 /// temp file in the same directory (same filesystem, so the final
@@ -148,7 +162,7 @@ pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> Result<(), SimErr
     Ok(())
 }
 
-/// Serializes a campaign spec to the v4 wire format.
+/// Serializes a campaign spec to the v5 wire format.
 pub fn spec_to_string(spec: &CampaignSpec) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{SPEC_HEADER}");
@@ -158,6 +172,21 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
         spec.weathers.iter().map(|w| w.slug()).collect::<Vec<_>>().join(" ")
     );
     let _ = writeln!(out, "seeds {}", join_display(&spec.seeds));
+    let _ = writeln!(
+        out,
+        "thermals {}",
+        spec.thermals.iter().map(ThermalSpec::slug).collect::<Vec<_>>().join(" ")
+    );
+    let _ = writeln!(
+        out,
+        "arrivals {}",
+        spec.arrivals.iter().map(ArrivalSpec::slug).collect::<Vec<_>>().join(" ")
+    );
+    let _ = writeln!(
+        out,
+        "faults {}",
+        spec.faults.iter().map(FaultSpec::slug).collect::<Vec<_>>().join(" ")
+    );
     let _ = writeln!(out, "buffers {}", join_display(&spec.buffers_mf));
     let _ = writeln!(
         out,
@@ -180,9 +209,10 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
     out
 }
 
-/// Decodes a campaign spec from the wire format (v4, or the v3/v2/v1
-/// dialects written before the idle token / engine token / per-cell
-/// options existed).
+/// Decodes a campaign spec from the wire format (v5, or the
+/// v4/v3/v2/v1 dialects written before the stress axes / idle token /
+/// engine token / per-cell options existed — missing axis lines decode
+/// as the defaults).
 ///
 /// # Errors
 ///
@@ -190,11 +220,19 @@ pub fn spec_to_string(spec: &CampaignSpec) -> String {
 /// parameter lines that fail [`ControlParams`] validation.
 pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     let mut lines = Lines::new(text);
-    let version =
-        lines.expect_header(&[SPEC_HEADER, SPEC_HEADER_V3, SPEC_HEADER_V2, SPEC_HEADER_V1])?;
+    let version = lines.expect_header(&[
+        SPEC_HEADER,
+        SPEC_HEADER_V4,
+        SPEC_HEADER_V3,
+        SPEC_HEADER_V2,
+        SPEC_HEADER_V1,
+    ])?;
     let mut spec = CampaignSpec {
         weathers: Vec::new(),
         seeds: Vec::new(),
+        thermals: vec![ThermalSpec::Off],
+        arrivals: vec![ArrivalSpec::Saturated],
+        faults: vec![FaultSpec::None],
         buffers_mf: Vec::new(),
         governors: Vec::new(),
         params: Vec::new(),
@@ -216,6 +254,16 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
                     .collect::<Result<_, _>>()?;
             }
             "seeds" => spec.seeds = parse_list(no, rest)?,
+            "thermals" => {
+                spec.thermals = parse_slug_list(no, rest, "thermal spec", ThermalSpec::from_slug)?;
+            }
+            "arrivals" => {
+                spec.arrivals =
+                    parse_slug_list(no, rest, "arrival spec", ArrivalSpec::from_slug)?;
+            }
+            "faults" => {
+                spec.faults = parse_slug_list(no, rest, "fault spec", FaultSpec::from_slug)?;
+            }
             "buffers" => spec.buffers_mf = parse_list(no, rest)?,
             "governors" => {
                 spec.governors = rest
@@ -246,11 +294,12 @@ pub fn spec_from_str(text: &str) -> Result<CampaignSpec, SimError> {
     Ok(spec)
 }
 
-/// Serializes a (full or shard) campaign report to the v5 wire format.
+/// Serializes a (full or shard) campaign report to the v6 wire format.
 ///
 /// Besides one `cell` line per outcome — each carrying its idle
-/// counters and its per-cell [`SimOverrides`] as a five-token options
-/// suffix (v5) — the document carries the report's per-weather and
+/// counters, its stress-axis tokens (thermal/arrival/fault slugs plus
+/// heat and fault metrics, v6) and its per-cell [`SimOverrides`] as a
+/// five-token options suffix — the document carries the report's per-weather and
 /// per-governor [`GroupSummary`] aggregates as `summary` lines, so a
 /// consumer can read fleet-level statistics without re-reducing the
 /// cells (the decoder cross-checks them against the cells it parsed).
@@ -262,7 +311,7 @@ pub fn report_to_string(report: &CampaignReport) -> String {
     for c in report.cells() {
         let _ = writeln!(
             out,
-            "cell {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            "cell {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
             c.cell.weather.slug(),
             c.cell.seed,
             c.cell.buffer_mf,
@@ -283,6 +332,13 @@ pub fn report_to_string(report: &CampaignReport) -> String {
             c.final_vc,
             c.idle_time_seconds,
             c.idle_entries,
+            c.cell.thermal.slug(),
+            c.cell.arrival.slug(),
+            c.cell.fault.slug(),
+            c.peak_temp_c,
+            c.throttle_time_seconds,
+            c.boost_time_seconds,
+            c.faults_injected,
             overrides_fields(&c.cell.options),
         );
     }
@@ -319,11 +375,12 @@ fn aggregate_fields(agg: &Aggregate) -> String {
     )
 }
 
-/// Decodes a campaign report from the wire format (v5, or the
-/// v4/v3/v2/v1 dialects written before the idle counters / engine
-/// token / per-cell options / the summary section existed — missing
-/// pieces decode as unset or zero). Every `f64` is reproduced bitwise,
-/// so `report_from_str(&report_to_string(r)) == r` exactly.
+/// Decodes a campaign report from the wire format (v6, or the
+/// v5/v4/v3/v2/v1 dialects written before the stress axes / idle
+/// counters / engine token / per-cell options / the summary section
+/// existed — missing pieces decode as unset, zero or the axis
+/// default). Every `f64` is reproduced bitwise, so
+/// `report_from_str(&report_to_string(r)) == r` exactly.
 ///
 /// `summary` sections are optional (documents written before they
 /// existed still decode), but when present they must agree with the
@@ -340,6 +397,7 @@ pub fn report_from_str(text: &str) -> Result<CampaignReport, SimError> {
     let mut lines = Lines::new(text);
     let version = lines.expect_header(&[
         REPORT_HEADER,
+        REPORT_HEADER_V5,
         REPORT_HEADER_V4,
         REPORT_HEADER_V3,
         REPORT_HEADER_V2,
@@ -482,11 +540,38 @@ fn parse_cell_line(no: usize, line: &str, version: usize) -> Result<CellOutcome,
     let final_vc = parse_token(no, next("final_vc")?)?;
     // v5 appended the idle counters; dialects before it decode with
     // zeros (their cells never idled — the axis did not exist).
-    let (idle_time_seconds, idle_entries) = if version == 0 {
+    let (idle_time_seconds, idle_entries) = if version <= 1 {
         (parse_token(no, next("idle_time")?)?, parse_token(no, next("idle_entries")?)?)
     } else {
         (0.0, 0u64)
     };
+    // v6 appended the stress axes (thermal/arrival/fault slugs) and
+    // their outcome metrics; older dialects decode with the axes at
+    // their defaults and zeroed metrics (the disturbances did not
+    // exist, so none occurred).
+    let (thermal, arrival, fault, peak_temp_c, throttle_time_seconds, boost_time_seconds, faults_injected) =
+        if version == 0 {
+            let s = next("thermal")?;
+            let thermal = ThermalSpec::from_slug(s)
+                .ok_or_else(|| persist_err(no, format!("unknown thermal spec {s:?}")))?;
+            let s = next("arrival")?;
+            let arrival = ArrivalSpec::from_slug(s)
+                .ok_or_else(|| persist_err(no, format!("unknown arrival spec {s:?}")))?;
+            let s = next("fault")?;
+            let fault = FaultSpec::from_slug(s)
+                .ok_or_else(|| persist_err(no, format!("unknown fault spec {s:?}")))?;
+            (
+                thermal,
+                arrival,
+                fault,
+                parse_token(no, next("peak_temp")?)?,
+                parse_token(no, next("throttle_time")?)?,
+                parse_token(no, next("boost_time")?)?,
+                parse_token(no, next("faults_injected")?)?,
+            )
+        } else {
+            (ThermalSpec::Off, ArrivalSpec::Saturated, FaultSpec::None, 0.0, 0.0, 0.0, 0)
+        };
     // v3 appended the per-cell options (record_dt, max_step, supply
     // model; `-` for unset); v4 added the engine token, v5 the idle
     // token. Pre-v3 lines simply end here and decode with no
@@ -509,7 +594,18 @@ fn parse_cell_line(no: usize, line: &str, version: usize) -> Result<CellOutcome,
         parse_overrides(no, &rest, expected)?
     };
     Ok(CellOutcome {
-        cell: CampaignCell { weather, seed, buffer_mf, governor, params, duration, options },
+        cell: CampaignCell {
+            weather,
+            seed,
+            thermal,
+            arrival,
+            fault,
+            buffer_mf,
+            governor,
+            params,
+            duration,
+            options,
+        },
         survived,
         lifetime_seconds,
         vc_stability,
@@ -521,6 +617,10 @@ fn parse_cell_line(no: usize, line: &str, version: usize) -> Result<CellOutcome,
         final_vc,
         idle_time_seconds,
         idle_entries,
+        peak_temp_c,
+        throttle_time_seconds,
+        boost_time_seconds,
+        faults_injected,
     })
 }
 
@@ -618,6 +718,13 @@ pub fn campaign_rows(report: &CampaignReport) -> Vec<CampaignRow> {
             final_vc: c.final_vc,
             idle_time_seconds: c.idle_time_seconds,
             idle_entries: c.idle_entries,
+            thermal: c.cell.thermal.slug(),
+            arrival: c.cell.arrival.slug(),
+            fault: c.cell.fault.slug(),
+            peak_temp_c: c.peak_temp_c,
+            throttle_time_seconds: c.throttle_time_seconds,
+            boost_time_seconds: c.boost_time_seconds,
+            faults_injected: c.faults_injected,
         })
         .collect()
 }
@@ -684,6 +791,19 @@ fn parse_token<T: std::str::FromStr>(no: usize, token: &str) -> Result<T, SimErr
 
 fn parse_list<T: std::str::FromStr>(no: usize, rest: &str) -> Result<Vec<T>, SimError> {
     rest.split_whitespace().map(|t| parse_token(no, t)).collect()
+}
+
+/// Parses a whitespace-separated list of machine slugs (weather-style
+/// axis lines), naming the kind and the offending token on failure.
+fn parse_slug_list<T>(
+    no: usize,
+    rest: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, SimError> {
+    rest.split_whitespace()
+        .map(|s| parse(s).ok_or_else(|| persist_err(no, format!("unknown {what} {s:?}"))))
+        .collect()
 }
 
 fn parse_array<const N: usize>(no: usize, rest: &str) -> Result<[f64; N], SimError> {
@@ -769,6 +889,10 @@ mod tests {
                 final_vc: 5.3,
                 idle_time_seconds: i as f64 * (1.0 / 3.0),
                 idle_entries: i as u64 % 5,
+                peak_temp_c: 25.0 + i as f64 * (1.0 / 7.0),
+                throttle_time_seconds: i as f64 * 0.25,
+                boost_time_seconds: (i % 3) as f64 * (1.0 / 3.0),
+                faults_injected: i as u64 % 4,
             })
             .collect();
         CampaignReport::from_parts(0, cells)
@@ -781,6 +905,25 @@ mod tests {
             .cells()
             .iter()
             .map(|c| CellOutcome { idle_time_seconds: 0.0, idle_entries: 0, ..*c })
+            .collect();
+        CampaignReport::from_parts(report.start(), cells)
+    }
+
+    /// `report` with its stress metrics zeroed — what decoding a
+    /// pre-v6 rendering of it must produce (the axes did not exist;
+    /// `sample_report` keeps the axis specs themselves at their
+    /// defaults, so only the metrics differ).
+    fn without_stress(report: &CampaignReport) -> CampaignReport {
+        let cells = report
+            .cells()
+            .iter()
+            .map(|c| CellOutcome {
+                peak_temp_c: 0.0,
+                throttle_time_seconds: 0.0,
+                boost_time_seconds: 0.0,
+                faults_injected: 0,
+                ..*c
+            })
             .collect();
         CampaignReport::from_parts(report.start(), cells)
     }
@@ -832,7 +975,7 @@ mod tests {
     fn malformed_documents_are_rejected_with_line_numbers() {
         let cases = [
             ("", "unexpected end"),
-            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v5\""),
+            ("pn-campaign-spec v1\nend\n", "expected \"pn-campaign-report v6\""),
             ("pn-campaign-report v1\nstart 0\ncells 1\nend\n", "expected a cell line"),
             ("pn-campaign-report v1\nstart 0\ncells 0\nEND\n", "end marker"),
             ("pn-campaign-report v1\nstart zero\ncells 0\nend\n", "undecodable token"),
@@ -912,15 +1055,15 @@ mod tests {
     #[test]
     fn version_skew_is_reported_as_a_persist_error() {
         let wire = report_to_string(&sample_report());
-        let skewed = wire.replacen("pn-campaign-report v5", "pn-campaign-report v6", 1);
+        let skewed = wire.replacen("pn-campaign-report v6", "pn-campaign-report v7", 1);
         let err = report_from_str(&skewed).unwrap_err();
         assert!(matches!(err, SimError::Persist(_)), "{err}");
         let msg = err.to_string();
         assert!(msg.contains("unsupported"), "{msg}");
-        assert!(msg.contains("v5"), "message {msg:?} does not name the supported version");
+        assert!(msg.contains("v6"), "message {msg:?} does not name the supported version");
         // Specs skew independently.
         let spec_doc = spec_to_string(&CampaignSpec::smoke());
-        let skewed = spec_doc.replacen("v4", "v7", 1);
+        let skewed = spec_doc.replacen("pn-campaign-spec v5", "pn-campaign-spec v9", 1);
         let err = spec_from_str(&skewed).unwrap_err();
         assert!(err.to_string().contains("unsupported"), "{err}");
     }
@@ -946,26 +1089,33 @@ mod tests {
                 s
             });
         assert_eq!(report_from_str(&stripped).unwrap(), report);
-        // Relabelling a v5 body as v1 is corruption, not a dialect:
-        // v1 cell lines never carried the idle or options tokens.
-        let v1 = stripped.replacen("pn-campaign-report v5", "pn-campaign-report v1", 1);
+        // Relabelling a v6 body as v1 is corruption, not a dialect:
+        // v1 cell lines never carried the idle, stress or options
+        // tokens.
+        let v1 = stripped.replacen("pn-campaign-report v6", "pn-campaign-report v1", 1);
         let err = report_from_str(&v1).unwrap_err();
         assert!(err.to_string().contains("unexpected trailing tokens"), "{err}");
     }
 
     /// Renders `wire` as an older report dialect: keeps the 18
-    /// outcome tokens of every cell line plus the first
-    /// `option_tokens` of its options suffix (dropping the v5 idle
-    /// counters), strips summaries, and relabels the header.
-    fn as_legacy_report(wire: &str, header: &str, option_tokens: usize) -> String {
+    /// outcome tokens of every cell line (plus, for v5, the two idle
+    /// counters) and the first `option_tokens` of its options suffix
+    /// (always dropping the seven v6 stress tokens), strips summaries,
+    /// and relabels the header.
+    fn as_legacy_report(wire: &str, header: &str, option_tokens: usize, keep_idle: bool) -> String {
         wire.lines()
             .filter(|l| !l.starts_with("summary "))
             .map(|l| {
                 if let Some(rest) = l.strip_prefix("cell ") {
                     let tokens: Vec<&str> = rest.split_whitespace().collect();
-                    assert_eq!(tokens.len(), 25, "v5 cell lines carry idle + options tokens");
-                    let mut line = format!("cell {}", tokens[..18].join(" "));
-                    for option in &tokens[20..][..option_tokens] {
+                    assert_eq!(
+                        tokens.len(),
+                        32,
+                        "v6 cell lines carry idle + stress + options tokens"
+                    );
+                    let keep = if keep_idle { 20 } else { 18 };
+                    let mut line = format!("cell {}", tokens[..keep].join(" "));
+                    for option in &tokens[27..][..option_tokens] {
                         line.push(' ');
                         line.push_str(option);
                     }
@@ -976,49 +1126,66 @@ mod tests {
                 }
             })
             .collect::<String>()
-            .replacen("pn-campaign-report v5", header, 1)
+            .replacen("pn-campaign-report v6", header, 1)
     }
 
     #[test]
-    fn pre_v5_documents_without_idle_engine_or_options_still_decode() {
-        // Pre-v5 dialects never carried the idle counters, so their
-        // cells decode with zeroed idle accounting.
+    fn pre_v6_documents_without_stress_idle_engine_or_options_still_decode() {
+        // Pre-v6 dialects never carried the stress tokens (and pre-v5
+        // ones not the idle counters either), so their cells decode
+        // with zeroed stress metrics and idle accounting.
         let report = sample_report();
-        let expected = without_idle(&report);
+        let expected_v5 = without_stress(&report);
+        let expected = without_idle(&expected_v5);
         let wire = report_to_string(&report);
         // v1/v2: bare 18-token cell lines, no overrides at all.
         for legacy_header in ["pn-campaign-report v1", "pn-campaign-report v2"] {
-            let doc = as_legacy_report(&wire, legacy_header, 0);
+            let doc = as_legacy_report(&wire, legacy_header, 0, false);
             let decoded = report_from_str(&doc).unwrap();
             assert_eq!(decoded, expected, "{legacy_header} document drifted");
             assert!(decoded.cells().iter().all(|c| c.cell.options == SimOverrides::none()));
         }
         // v3: three-token options suffix (no engine, no idle token).
         let decoded =
-            report_from_str(&as_legacy_report(&wire, "pn-campaign-report v3", 3)).unwrap();
+            report_from_str(&as_legacy_report(&wire, "pn-campaign-report v3", 3, false)).unwrap();
         assert_eq!(decoded, expected, "v3 document drifted");
         assert!(decoded.cells().iter().all(|c| c.cell.options.engine.is_none()));
         // v4: four-token options suffix (engine but no idle token).
         let decoded =
-            report_from_str(&as_legacy_report(&wire, "pn-campaign-report v4", 4)).unwrap();
+            report_from_str(&as_legacy_report(&wire, "pn-campaign-report v4", 4, false)).unwrap();
         assert_eq!(decoded, expected, "v4 document drifted");
         assert!(decoded.cells().iter().all(|c| c.cell.options.idle.is_none()));
-        // Pre-v2 specs decode with no overrides too.
+        // v5: idle counters and full options, but no stress tokens —
+        // the axes decode at their defaults with zeroed metrics.
+        let decoded =
+            report_from_str(&as_legacy_report(&wire, "pn-campaign-report v5", 5, true)).unwrap();
+        assert_eq!(decoded, expected_v5, "v5 document drifted");
+        assert!(decoded.cells().iter().all(|c| c.cell.thermal == ThermalSpec::Off
+            && c.cell.arrival == ArrivalSpec::Saturated
+            && c.cell.fault == FaultSpec::None));
+        // Pre-v2 specs decode with no overrides too (and, being
+        // pre-v5, carry no stress-axis lines either).
         let spec = CampaignSpec::smoke();
         let spec_doc = spec_to_string(&spec);
-        let legacy: String = spec_doc
-            .lines()
-            .filter(|l| !l.starts_with("options "))
-            .map(|l| format!("{l}\n"))
-            .collect();
-        let legacy = legacy.replacen("pn-campaign-spec v4", "pn-campaign-spec v1", 1);
+        let strip = |doc: &str, keys: &[&str]| -> String {
+            doc.lines()
+                .filter(|l| !keys.iter().any(|k| l.starts_with(k)))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        let legacy = strip(&spec_doc, &["options ", "thermals ", "arrivals ", "faults "]);
+        let legacy = legacy.replacen("pn-campaign-spec v5", "pn-campaign-spec v1", 1);
         assert_eq!(spec_from_str(&legacy).unwrap(), spec);
         // A v3 spec: four-token options line (no idle token).
-        let v3 = spec_doc
+        let v3 = strip(&spec_doc, &["thermals ", "arrivals ", "faults "])
             .replacen("options - - - - -", "options - - - -", 1)
-            .replacen("pn-campaign-spec v4", "pn-campaign-spec v3", 1);
+            .replacen("pn-campaign-spec v5", "pn-campaign-spec v3", 1);
         assert_ne!(v3, spec_doc, "expected the default options line");
         assert_eq!(spec_from_str(&v3).unwrap(), spec);
+        // A v4 spec: full options line, no stress-axis lines.
+        let v4 = strip(&spec_doc, &["thermals ", "arrivals ", "faults "])
+            .replacen("pn-campaign-spec v5", "pn-campaign-spec v4", 1);
+        assert_eq!(spec_from_str(&v4).unwrap(), spec);
     }
 
     #[test]
@@ -1046,6 +1213,10 @@ mod tests {
                 final_vc: 5.3,
                 idle_time_seconds: 0.125,
                 idle_entries: 3,
+                peak_temp_c: 0.0,
+                throttle_time_seconds: 0.0,
+                boost_time_seconds: 0.0,
+                faults_injected: 0,
             })
             .collect();
         let report = CampaignReport::from_parts(0, cells);
@@ -1063,6 +1234,62 @@ mod tests {
         // The CSV bridge exports the effective supply model slug.
         let rows = campaign_rows(&report);
         assert!(rows.iter().all(|r| r.supply_model == overrides.supply_model.unwrap().slug()));
+    }
+
+    #[test]
+    fn stress_axes_round_trip_bitwise() {
+        let spec = CampaignSpec::smoke()
+            .with_thermals(vec![ThermalSpec::Off, ThermalSpec::stress()])
+            .with_arrivals(vec![ArrivalSpec::Saturated, ArrivalSpec::bursty_stress()])
+            .with_faults(vec![
+                FaultSpec::None,
+                FaultSpec::shading_stress(),
+                FaultSpec::brownout_stress(),
+            ]);
+        let decoded = spec_from_str(&spec_to_string(&spec)).unwrap();
+        assert_eq!(decoded, spec);
+        // Awkward-float axis parameters survive the slug trip bitwise.
+        let odd = FaultSpec::Brownout { rate_hz: 1.0 / 3.0, len_s: 0.1 + 0.2, depth: 0.95 };
+        let spec = spec.with_faults(vec![odd]);
+        let decoded = spec_from_str(&spec_to_string(&spec)).unwrap();
+        assert_eq!(decoded.faults, vec![odd]);
+        // Cells carry their axes through a report round trip, stress
+        // metrics and all.
+        let cells: Vec<CellOutcome> = spec
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, &cell)| CellOutcome {
+                cell,
+                survived: true,
+                lifetime_seconds: 30.0,
+                vc_stability: 0.5,
+                instructions_billions: 1.0,
+                renders_per_minute: 2.0,
+                energy_in_joules: 3.0,
+                energy_out_joules: 1.5,
+                transitions: 4,
+                final_vc: 5.3,
+                idle_time_seconds: 0.0,
+                idle_entries: 0,
+                peak_temp_c: 61.0 + i as f64 * (1.0 / 7.0),
+                throttle_time_seconds: i as f64 * (1.0 / 3.0),
+                boost_time_seconds: 0.1 + 0.2,
+                faults_injected: 2 + i as u64,
+            })
+            .collect();
+        let report = CampaignReport::from_parts(0, cells);
+        let wire = report_to_string(&report);
+        let decoded = report_from_str(&wire).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(report_to_string(&decoded), wire);
+        // The CSV bridge exports the axis slugs and stress metrics.
+        let rows = campaign_rows(&decoded);
+        assert!(rows.iter().all(|r| r.fault.starts_with("brownout:")));
+        assert!(rows.iter().any(|r| r.thermal != "off"));
+        assert!(rows.iter().any(|r| r.arrival.starts_with("bursty:")));
+        assert_eq!(rows[0].peak_temp_c.to_bits(), 61.0f64.to_bits());
+        assert_eq!(rows[0].boost_time_seconds.to_bits(), (0.1f64 + 0.2).to_bits());
     }
 
     #[test]
@@ -1086,6 +1313,10 @@ mod tests {
                 final_vc: 5.3,
                 idle_time_seconds: 0.0,
                 idle_entries: 0,
+                peak_temp_c: 0.0,
+                throttle_time_seconds: 0.0,
+                boost_time_seconds: 0.0,
+                faults_injected: 0,
             })
             .collect();
         let wire = report_to_string(&CampaignReport::from_parts(0, cells));
@@ -1102,6 +1333,10 @@ mod tests {
             ("interp:0.001 - -", "interp:0.001 vector -", "unknown engine"),
             // Unknown idle token.
             ("interp:0.001 - -", "interp:0.001 - maybe", "unknown idle flag"),
+            // Unknown stress-axis slugs.
+            (" off saturated none ", " lava saturated none ", "unknown thermal spec"),
+            (" off saturated none ", " off sporadic none ", "unknown arrival spec"),
+            (" off saturated none ", " off saturated blackout ", "unknown fault spec"),
         ];
         for (needle, replacement, expected) in cases {
             let bad = wire.replacen(needle, replacement, 1);
@@ -1110,15 +1345,20 @@ mod tests {
             assert!(matches!(err, SimError::Persist(_)), "{err}");
             assert!(err.to_string().contains(expected), "{replacement:?} → {err}");
         }
-        // A v5 cell line torn right after the idle counters must be
+        // A v6 cell line torn right after the stress tokens must be
         // rejected too — only genuine pre-v3 headers may omit the
         // options suffix.
         let torn = wire.replacen(" - - interp:0.001 - -", "", 1);
         assert_ne!(torn, wire, "tamper target not found");
         let err = report_from_str(&torn).unwrap_err();
         assert!(err.to_string().contains("missing its options section"), "{err}");
+        // Torn before the stress tokens — the thermal slug lost.
+        let torn = wire.replacen(" off saturated none 0 0 0 0 - - interp:0.001 - -", "", 1);
+        assert_ne!(torn, wire, "tamper target not found");
+        let err = report_from_str(&torn).unwrap_err();
+        assert!(err.to_string().contains("missing thermal"), "{err}");
         // Torn even earlier — the idle counters themselves lost.
-        let torn = wire.replacen(" 0 0 - - interp:0.001 - -", "", 1);
+        let torn = wire.replacen(" 0 0 off saturated none 0 0 0 0 - - interp:0.001 - -", "", 1);
         assert_ne!(torn, wire, "tamper target not found");
         let err = report_from_str(&torn).unwrap_err();
         assert!(err.to_string().contains("missing idle_time"), "{err}");

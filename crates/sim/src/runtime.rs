@@ -47,6 +47,14 @@ pub struct SocRuntime {
     idle_time: Seconds,
     idle_entries: u64,
     death_time: Option<Seconds>,
+    /// Thermal-throttle ceiling on requested frequency levels, if any.
+    level_cap: Option<usize>,
+    /// Multiplier on the active OPP's power draw (boost). Exactly 1.0
+    /// outside boost, so the default path multiplies by the identity.
+    power_scale: f64,
+    /// Multiplier on the active OPP's throughput (boost × arrival
+    /// duty). Exactly 1.0 for the default saturated, unboosted path.
+    perf_scale: f64,
 }
 
 impl SocRuntime {
@@ -65,6 +73,9 @@ impl SocRuntime {
             idle_time: Seconds::ZERO,
             idle_entries: 0,
             death_time: None,
+            level_cap: None,
+            power_scale: 1.0,
+            perf_scale: 1.0,
         }
     }
 
@@ -186,8 +197,12 @@ impl SocRuntime {
             }
         }
         let opp = self.effective_opp();
-        opp.power(self.platform.power(), self.platform.frequencies())
-            .unwrap_or(Watts::ZERO)
+        let p = opp
+            .power(self.platform.power(), self.platform.frequencies())
+            .unwrap_or(Watts::ZERO);
+        // `power_scale` is exactly 1.0 outside boost, and x·1.0 is the
+        // bitwise identity — the default path is unchanged.
+        Watts::new(p.value() * self.power_scale)
     }
 
     /// Starts dropping into the platform idle state at ladder index
@@ -293,7 +308,9 @@ impl SocRuntime {
         let Ok(f) = table.frequency(opp.level()) else { return };
         let fps = self.platform.perf().frames_per_second(opp.config(), f);
         let ips = self.platform.perf().instructions_per_second(opp.config(), f);
-        self.work.accrue(dt.value(), fps, ips);
+        // `perf_scale` is exactly 1.0 for the saturated, unboosted
+        // default, so the multiplication is a bitwise no-op there.
+        self.work.accrue(dt.value(), fps * self.perf_scale, ips * self.perf_scale);
         self.control_cpu += control_dt.min(dt);
     }
 
@@ -317,10 +334,32 @@ impl SocRuntime {
         }
     }
 
-    /// Resolves a requested level index against the platform table:
-    /// `usize::MAX` (and anything out of range) clamps to the top.
+    /// Resolves a requested level index against the platform table —
+    /// `usize::MAX` (and anything out of range) clamps to the top —
+    /// and against the thermal-throttle ceiling when one is in force.
     pub fn clamp_level(&self, level: usize) -> usize {
-        level.min(self.platform.frequencies().max_level())
+        level.min(self.platform.frequencies().max_level()).min(self.level_cap.unwrap_or(usize::MAX))
+    }
+
+    /// The thermal-throttle level ceiling in force, if any.
+    pub fn level_cap(&self) -> Option<usize> {
+        self.level_cap
+    }
+
+    /// Installs (or lifts, with `None`) the thermal-throttle level
+    /// ceiling applied by [`Self::clamp_level`]. The cap gates future
+    /// requests; it does not move the current OPP by itself — the
+    /// engine plans the forced down-transition.
+    pub fn set_level_cap(&mut self, cap: Option<usize>) {
+        self.level_cap = cap;
+    }
+
+    /// Installs the boost/arrival multipliers applied to the active
+    /// OPP's power draw and throughput. Both are exactly 1.0 on the
+    /// default path, where the multiplications are bitwise no-ops.
+    pub fn set_scales(&mut self, power_scale: f64, perf_scale: f64) {
+        self.power_scale = power_scale;
+        self.perf_scale = perf_scale;
     }
 }
 
@@ -392,6 +431,39 @@ mod tests {
         let rt = runtime();
         assert_eq!(rt.clamp_level(usize::MAX), 7);
         assert_eq!(rt.clamp_level(3), 3);
+    }
+
+    #[test]
+    fn level_cap_gates_requests_until_lifted() {
+        let mut rt = runtime();
+        rt.set_level_cap(Some(2));
+        assert_eq!(rt.level_cap(), Some(2));
+        assert_eq!(rt.clamp_level(usize::MAX), 2);
+        assert_eq!(rt.clamp_level(7), 2);
+        assert_eq!(rt.clamp_level(1), 1);
+        rt.set_level_cap(None);
+        assert_eq!(rt.clamp_level(7), 7);
+    }
+
+    #[test]
+    fn scales_multiply_power_and_work() {
+        let mut rt = runtime();
+        let base_power = rt.power();
+        rt.accrue(Seconds::new(1.0), Seconds::ZERO);
+        let base_work = rt.work().instructions();
+        // Unit scales are the bitwise identity.
+        rt.set_scales(1.0, 1.0);
+        assert_eq!(rt.power().value().to_bits(), base_power.value().to_bits());
+        // Boost scales both power and throughput.
+        rt.set_scales(1.35, 1.2);
+        assert_eq!(rt.power().value().to_bits(), (base_power.value() * 1.35).to_bits());
+        rt.accrue(Seconds::new(1.0), Seconds::ZERO);
+        let boosted = rt.work().instructions() - base_work;
+        assert!(
+            (boosted - base_work * 1.2).abs() < base_work * 1e-12,
+            "boosted second accrued {boosted}, want {}",
+            base_work * 1.2
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod opp;
 pub mod perf;
 pub mod platform;
 pub mod power;
+pub mod thermal;
 pub mod transition;
 
 mod error;

@@ -15,6 +15,7 @@
 //!   integrated over time into completed frames, renders and
 //!   instructions (the Table II metrics).
 
+pub mod arrival;
 pub mod geometry;
 pub mod render;
 pub mod scene;

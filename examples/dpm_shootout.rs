@@ -11,10 +11,13 @@
 //! ```
 
 use power_neutral::core::params::ControlParams;
+use power_neutral::harvest::faults::FaultSpec;
 use power_neutral::harvest::weather::Weather;
 use power_neutral::sim::campaign::{CampaignCell, GovernorSpec};
 use power_neutral::sim::engine::SimOverrides;
+use power_neutral::soc::thermal::ThermalSpec;
 use power_neutral::units::Seconds;
+use power_neutral::workload::arrival::ArrivalSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -31,6 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let cell = CampaignCell {
                 weather,
                 seed: 1,
+                thermal: ThermalSpec::Off,
+                arrival: ArrivalSpec::Saturated,
+                fault: FaultSpec::None,
                 buffer_mf,
                 governor: gov,
                 params: ControlParams::paper_optimal()?,

@@ -16,8 +16,20 @@
 //! per test name, so failures reproduce exactly across runs.
 
 pub mod test_runner {
-    /// Number of random cases each `proptest!` test executes.
+    /// Default number of random cases each `proptest!` test executes.
     pub const CASES: u32 = 128;
+
+    /// The effective case count: [`CASES`] unless the `PROPTEST_CASES`
+    /// environment variable overrides it (the same knob real proptest
+    /// reads, so CI stress jobs can raise the count without a rebuild).
+    /// Invalid or zero values fall back to the default.
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(CASES)
+    }
 
     use rand::{Rng, SeedableRng};
 
@@ -202,7 +214,8 @@ pub mod prelude {
 
 /// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
 /// item expands to a normal test that runs
-/// [`CASES`](test_runner::CASES) sampled cases.
+/// [`test_runner::cases`] sampled cases ([`test_runner::CASES`] by
+/// default, the `PROPTEST_CASES` environment variable to override).
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
@@ -211,7 +224,8 @@ macro_rules! proptest {
             #[allow(clippy::redundant_closure_call)]
             fn $name() {
                 let mut __pn_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-                for __pn_case in 0..$crate::test_runner::CASES {
+                let __pn_cases = $crate::test_runner::cases();
+                for __pn_case in 0..__pn_cases {
                     $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __pn_rng);)+
                     let __pn_result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
                         (|| {
@@ -223,7 +237,7 @@ macro_rules! proptest {
                             "proptest {} failed at case {}/{}: {}",
                             stringify!($name),
                             __pn_case + 1,
-                            $crate::test_runner::CASES,
+                            __pn_cases,
                             e
                         );
                     }

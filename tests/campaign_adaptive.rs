@@ -16,10 +16,11 @@
 //!   `PN_BLESS=1 cargo test --test campaign_adaptive`.
 
 use power_neutral::harvest::cache::TraceCache;
-use power_neutral::sim::adaptive::{AdaptiveCampaign, AdaptiveConfig, BracketStatus};
-use power_neutral::sim::campaign::{CampaignReport, CampaignSpec, CellOutcome};
+use power_neutral::sim::adaptive::{AdaptiveAxis, AdaptiveCampaign, AdaptiveConfig, BracketStatus};
+use power_neutral::sim::campaign::{CampaignCell, CampaignReport, CampaignSpec, CellOutcome};
 use power_neutral::sim::executor::Executor;
 use power_neutral::sim::persist;
+use power_neutral::soc::thermal::{RcThermal, ThermalSpec};
 use power_neutral::units::Seconds;
 use proptest::prelude::*;
 
@@ -89,16 +90,18 @@ fn adaptive_runs_are_deterministic_across_thread_counts() {
     }
 }
 
-/// Fabricates the report `spec` would produce under a synthetic
-/// monotone survival rule: a cell survives iff its buffer capacitance
-/// is at least `threshold_mf`.
-fn synthetic_report(spec: &CampaignSpec, threshold_mf: f64) -> CampaignReport {
+/// Fabricates the report `spec` would produce under an arbitrary
+/// synthetic survival rule (no simulation involved).
+fn synthetic_report_with(
+    spec: &CampaignSpec,
+    survives: impl Fn(&CampaignCell) -> bool,
+) -> CampaignReport {
     let cells = spec
         .cells()
         .iter()
         .map(|&cell| CellOutcome {
             cell,
-            survived: cell.buffer_mf >= threshold_mf,
+            survived: survives(&cell),
             lifetime_seconds: 1.0,
             vc_stability: 0.9,
             instructions_billions: 1.0,
@@ -109,29 +112,100 @@ fn synthetic_report(spec: &CampaignSpec, threshold_mf: f64) -> CampaignReport {
             final_vc: 5.0,
             idle_time_seconds: 0.0,
             idle_entries: 0,
+            peak_temp_c: 0.0,
+            throttle_time_seconds: 0.0,
+            boost_time_seconds: 0.0,
+            faults_injected: 0,
         })
         .collect();
     CampaignReport::from_parts(0, cells)
 }
 
-/// Drives the adaptive loop against the synthetic rule (no simulation
-/// involved), returning the settled driver.
-fn drive(
+/// Drives the adaptive loop against an arbitrary synthetic rule (no
+/// simulation involved), returning the settled driver.
+fn drive_with(
     seed_spec: &CampaignSpec,
-    threshold_mf: f64,
     config: AdaptiveConfig,
+    survives: impl Fn(&CampaignCell) -> bool + Copy,
 ) -> AdaptiveCampaign {
-    let seed = synthetic_report(seed_spec, threshold_mf);
+    let seed = synthetic_report_with(seed_spec, survives);
     let mut adaptive = AdaptiveCampaign::from_report(&seed, config).expect("valid seed");
     let mut rounds = 0usize;
     while let Some(specs) = adaptive.next_round() {
         rounds += 1;
         assert!(rounds <= config.max_rounds, "driver exceeded its own round cap");
         for spec in specs {
-            adaptive.observe(&synthetic_report(&spec, threshold_mf));
+            adaptive.observe(&synthetic_report_with(&spec, survives));
         }
     }
     adaptive
+}
+
+/// Drives the buffer-axis rule.
+fn drive(
+    seed_spec: &CampaignSpec,
+    threshold_mf: f64,
+    config: AdaptiveConfig,
+) -> AdaptiveCampaign {
+    drive_with(seed_spec, config, |cell| cell.buffer_mf >= threshold_mf)
+}
+
+/// An RC template whose throttle ceiling sits at `throttle_c` with the
+/// hysteresis gap and no boost — the shape thermal-axis probe specs
+/// themselves use.
+fn thermal_at(throttle_c: f64) -> ThermalSpec {
+    ThermalSpec::Rc(RcThermal {
+        ambient_c: 25.0,
+        r_c_per_w: 8.0,
+        c_j_per_c: 5.0,
+        throttle_c,
+        release_c: throttle_c - 5.0,
+        cap_level: 2,
+        boost: None,
+    })
+}
+
+#[test]
+fn thermal_limit_bisection_converges_from_both_expand_directions() {
+    // Survival is monotone *decreasing* in the throttle ceiling: a
+    // cell survives iff its ceiling is at most `limit`. Seeding the
+    // search from far below the boundary (pure expand-up) and from far
+    // above it (pure expand-down) must bracket the same limit, each to
+    // within the thermal axis' 1 °C tolerance.
+    let limit = 88.0;
+    let config = AdaptiveConfig::for_axis(AdaptiveAxis::ThermalLimitC);
+    let rule = |cell: &CampaignCell| match cell.thermal {
+        ThermalSpec::Rc(rc) => rc.throttle_c <= limit,
+        ThermalSpec::Off => false,
+    };
+    let mut estimates: Vec<Vec<f64>> = Vec::new();
+    for seed_ceiling in [40.0, 140.0] {
+        let spec = CampaignSpec::smoke()
+            .with_duration(Seconds::new(10.0))
+            .with_thermals(vec![thermal_at(seed_ceiling)]);
+        let adaptive = drive_with(&spec, config, rule);
+        assert!(adaptive.settled());
+        let brackets = adaptive.brackets();
+        assert!(!brackets.is_empty());
+        for b in &brackets {
+            assert_eq!(b.status, BracketStatus::Converged, "seed {seed_ceiling}: {:?}", b.status);
+            // Inverted axis: lo is the largest surviving ceiling, hi
+            // the smallest browned-out one.
+            let (lo, hi) = (b.lo_mf.unwrap(), b.hi_mf.unwrap());
+            assert!(
+                lo <= limit && limit < hi,
+                "seed {seed_ceiling}: bracket [{lo}, {hi}] misses the {limit} °C limit"
+            );
+            assert!(hi - lo <= config.tolerance_mf, "seed {seed_ceiling}: width {}", hi - lo);
+        }
+        estimates.push(brackets.iter().map(|b| b.boundary_estimate_mf().unwrap()).collect());
+    }
+    for (up, down) in estimates[0].iter().zip(&estimates[1]) {
+        assert!(
+            (up - down).abs() <= config.tolerance_mf,
+            "expand directions disagree: {up} vs {down}"
+        );
+    }
 }
 
 proptest! {

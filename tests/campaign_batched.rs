@@ -7,6 +7,7 @@
 //! supply-model axes, plus the executor-facing consequences (thread
 //! invariance of group dispatch, byte-identical CSV exports).
 
+use power_neutral::harvest::faults::FaultSpec;
 use power_neutral::harvest::weather::Weather;
 use power_neutral::sim::campaign::{
     run_campaign, CampaignSpec, CellOutcome, GovernorSpec,
@@ -16,7 +17,9 @@ use power_neutral::sim::executor::Executor;
 use power_neutral::sim::persist;
 use power_neutral::sim::supply::SupplyModel;
 use power_neutral::soc::opp::Opp;
+use power_neutral::soc::thermal::{RcThermal, ThermalSpec};
 use power_neutral::units::Seconds;
+use power_neutral::workload::arrival::ArrivalSpec;
 use proptest::prelude::*;
 
 /// Every governor the campaign layer can drive.
@@ -78,6 +81,90 @@ proptest! {
         }
         prop_assert_eq!(run_with(&spec, EngineKind::Scalar), run_with(&spec, EngineKind::Batched));
     }
+}
+
+/// The thermal palette the stress generator matrix samples: no model,
+/// the CLI stress preset, and a fast-tripping variant (τ = 4 s, trip
+/// 1 °C above ambient) whose throttle/release crossings land inside
+/// the short proptest windows.
+fn thermals() -> Vec<ThermalSpec> {
+    vec![
+        ThermalSpec::Off,
+        ThermalSpec::stress(),
+        ThermalSpec::Rc(RcThermal {
+            ambient_c: 25.0,
+            r_c_per_w: 8.0,
+            c_j_per_c: 0.5,
+            throttle_c: 26.0,
+            release_c: 25.5,
+            cap_level: 1,
+            boost: None,
+        }),
+    ]
+}
+
+/// The arrival palette: saturated, the CLI bursty preset, and a dense
+/// variant with edges every couple of seconds and a zero idle duty.
+fn arrivals() -> Vec<ArrivalSpec> {
+    vec![
+        ArrivalSpec::Saturated,
+        ArrivalSpec::bursty_stress(),
+        ArrivalSpec::Bursty { rate_hz: 0.5, mean_burst_s: 1.0, idle_duty: 0.0 },
+    ]
+}
+
+/// The fault palette: clean harvest, the CLI shading preset, and a
+/// brown-out storm frequent enough to strike a 3-second window.
+fn faults() -> Vec<FaultSpec> {
+    vec![
+        FaultSpec::None,
+        FaultSpec::shading_stress(),
+        FaultSpec::Brownout { rate_hz: 0.2, len_s: 2.0, depth: 0.9 },
+    ]
+}
+
+proptest! {
+    /// The oracle property over the adversarial stress axes: throttle
+    /// and boost crossings, arrival edges and harvester fault storms
+    /// are all lane discontinuities the batched interleaver must land
+    /// on exactly, so outcomes stay bitwise those of the scalar path
+    /// for every (thermal, arrival, fault) combination.
+    #[test]
+    fn stress_axes_stay_bitwise_across_engines(
+        t in 0usize..3,
+        a in 0usize..3,
+        f in 0usize..3,
+        w in 0usize..6,
+        seed in 1u64..4,
+    ) {
+        let spec = CampaignSpec::new()
+            .expect("paper preset valid")
+            .with_weathers(vec![Weather::all()[w]])
+            .with_seeds(vec![seed])
+            .with_governors(vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave])
+            .with_thermals(vec![thermals()[t]])
+            .with_arrivals(vec![arrivals()[a]])
+            .with_faults(vec![faults()[f]])
+            .with_duration(Seconds::new(3.0));
+        prop_assert_eq!(run_with(&spec, EngineKind::Scalar), run_with(&spec, EngineKind::Batched));
+    }
+}
+
+#[test]
+fn all_stress_axes_at_once_match_in_one_batch() {
+    // The worst case for the interleaver: every palette entry armed in
+    // the same lane group, so thermal, arrival and fault boundaries
+    // from different lanes interleave within single loop iterations.
+    let spec = CampaignSpec::new()
+        .expect("paper preset valid")
+        .with_weathers(vec![Weather::PartialSun])
+        .with_seeds(vec![2])
+        .with_governors(vec![GovernorSpec::PowerNeutral, GovernorSpec::Powersave])
+        .with_thermals(thermals())
+        .with_arrivals(arrivals())
+        .with_faults(faults())
+        .with_duration(Seconds::new(4.0));
+    assert_eq!(run_with(&spec, EngineKind::Scalar), run_with(&spec, EngineKind::Batched));
 }
 
 #[test]

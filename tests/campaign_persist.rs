@@ -18,6 +18,9 @@
 
 use power_neutral::core::params::ControlParams;
 use power_neutral::harvest::cache::TraceCache;
+use power_neutral::harvest::faults::FaultSpec;
+use power_neutral::soc::thermal::{RcThermal, ThermalSpec};
+use power_neutral::workload::arrival::ArrivalSpec;
 use power_neutral::sim::engine::SimOverrides;
 use power_neutral::sim::supply::SupplyModel;
 use power_neutral::harvest::weather::Weather;
@@ -88,6 +91,66 @@ fn golden_dpm_comparison_csv_is_stable() {
     );
     let csv = persist::report_csv_string(&report).unwrap();
     assert_matches_golden("campaign_dpm.csv", include_str!("golden/campaign_dpm.csv"), &csv);
+}
+
+/// The adversarial stress matrix the throttle-then-recover golden
+/// pins: a fast-tripping RC die (τ = 4 s, trip 1 °C above ambient, so
+/// the ceiling engages and releases within the window), the bursty
+/// arrival preset (whose gaps cool the die back below the release
+/// point) and a dense brown-out storm on the harvester.
+fn stress_spec() -> CampaignSpec {
+    CampaignSpec::smoke()
+        .with_thermals(vec![ThermalSpec::Rc(RcThermal {
+            ambient_c: 25.0,
+            r_c_per_w: 8.0,
+            c_j_per_c: 0.5,
+            throttle_c: 26.0,
+            release_c: 25.5,
+            cap_level: 1,
+            boost: None,
+        })])
+        .with_arrivals(vec![ArrivalSpec::bursty_stress()])
+        .with_faults(vec![FaultSpec::Brownout { rate_hz: 0.2, len_s: 2.0, depth: 0.9 }])
+        .with_duration(Seconds::new(15.0))
+}
+
+#[test]
+fn golden_stress_artifacts_pin_throttle_then_recover() {
+    let report = run_campaign(&stress_spec(), &Executor::new(2)).unwrap();
+    // The golden must demonstrably exercise all three axes: some cell
+    // throttles AND spends part of its lifetime back below the
+    // ceiling (throttle-then-recover), and the storm actually lands.
+    assert!(
+        report
+            .cells()
+            .iter()
+            .any(|c| c.throttle_time_seconds > 0.0 && c.throttle_time_seconds < c.lifetime_seconds),
+        "no cell both throttled and recovered — the golden would not cover the thermal axis"
+    );
+    assert!(
+        report.cells().iter().any(|c| c.faults_injected > 0),
+        "no fault event ever landed — the golden would not cover the fault axis"
+    );
+    let csv = persist::report_csv_string(&report).unwrap();
+    assert_matches_golden("campaign_stress.csv", include_str!("golden/campaign_stress.csv"), &csv);
+    let wire = persist::report_to_string(&report);
+    assert_matches_golden("campaign_stress.pnc", include_str!("golden/campaign_stress.pnc"), &wire);
+    if std::env::var_os("PN_BLESS").is_none() {
+        let decoded =
+            persist::report_from_str(include_str!("golden/campaign_stress.pnc")).unwrap();
+        assert_eq!(decoded, report, "persisted thermal state does not round-trip bitwise");
+    }
+}
+
+#[test]
+fn stress_spec_documents_re_emit_byte_identically() {
+    // Spec v5 determinism: parse → emit must reproduce the document
+    // byte for byte, so shard coordinators can fingerprint specs by
+    // their serialized form.
+    let wire = persist::spec_to_string(&stress_spec());
+    let parsed = persist::spec_from_str(&wire).unwrap();
+    assert_eq!(parsed, stress_spec());
+    assert_eq!(persist::spec_to_string(&parsed), wire);
 }
 
 #[test]
@@ -212,6 +275,9 @@ fn cached_cells_record_bitwise_identical_traces() {
     let cell = CampaignCell {
         weather: Weather::PartialSun,
         seed: 11,
+        thermal: ThermalSpec::Off,
+        arrival: ArrivalSpec::Saturated,
+        fault: FaultSpec::None,
         buffer_mf: 47.0,
         governor: GovernorSpec::PowerNeutral,
         params: ControlParams::paper_optimal().unwrap(),
@@ -260,6 +326,10 @@ fn fake_outcome(cell: CampaignCell, salt: f64) -> CellOutcome {
         final_vc: 5.0 + salt,
         idle_time_seconds: salt * 0.5,
         idle_entries: (salt * 7.0) as u64,
+        peak_temp_c: 25.0 + salt * 50.0,
+        throttle_time_seconds: salt * 2.0,
+        boost_time_seconds: salt * 0.25,
+        faults_injected: (salt * 3.0) as u64,
     }
 }
 
