@@ -63,6 +63,15 @@
 //!     --smoke --submit 127.0.0.1:7070 --detach
 //! cargo run --release -p pn-bench --bin campaign -- \
 //!     --watch 127.0.0.1:7070 --job 1 --out report.csv
+//!
+//! # harden the client against a flaky daemon or network: up to 16
+//! # connection attempts with seeded exponential backoff, the watch
+//! # resuming mid-stream (`watch <id> from <row>`) after every drop;
+//! # --from skips rows an earlier connection already delivered:
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --watch 127.0.0.1:7070 --job 1 --retry 16 --out report.csv
+//! cargo run --release -p pn-bench --bin campaign -- \
+//!     --watch 127.0.0.1:7070 --job 1 --from 12
 //! ```
 
 use pn_bench::{banner, print_table};
@@ -106,6 +115,8 @@ struct Cli {
     job: Option<u64>,       // job id for --watch
     shards: Option<usize>,  // daemon-side shard count for --submit
     detach: bool,           // --submit without waiting for completion
+    retry: Option<u32>,     // client connection attempts (default 1)
+    from: Option<usize>,    // --watch resume offset into the row stream
 }
 
 fn parse_shard(arg: &str) -> Result<(usize, usize), String> {
@@ -149,6 +160,8 @@ fn parse_cli() -> Result<Cli, String> {
         job: None,
         shards: None,
         detach: false,
+        retry: None,
+        from: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
@@ -201,6 +214,18 @@ fn parse_cli() -> Result<Cli, String> {
                 );
             }
             "--detach" => cli.detach = true,
+            "--retry" => {
+                cli.retry = Some(
+                    value(&mut args, "--retry")?
+                        .parse()
+                        .map_err(|e| format!("--retry: {e}"))?,
+                );
+            }
+            "--from" => {
+                cli.from = Some(
+                    value(&mut args, "--from")?.parse().map_err(|e| format!("--from: {e}"))?,
+                );
+            }
             "--supply-model" => {
                 let slug = value(&mut args, "--supply-model")?;
                 cli.supply_model = Some(SupplyModel::from_slug(&slug).ok_or_else(|| {
@@ -365,6 +390,20 @@ fn parse_cli() -> Result<Cli, String> {
     if cli.detach && cli.out.is_some() {
         return Err("--detach does not wait for rows; it cannot write --out".into());
     }
+    if cli.retry.is_some() && !client {
+        return Err("--retry only applies to the client modes (--submit/--watch)".into());
+    }
+    if cli.retry == Some(0) {
+        return Err("--retry wants at least 1 attempt".into());
+    }
+    if cli.from.is_some() && cli.watch.is_none() {
+        return Err("--from only applies to --watch (resume offset into the row stream)".into());
+    }
+    if cli.from.is_some_and(|from| from > 0) && cli.out.is_some() {
+        return Err("--from resumes mid-stream, so the rows cannot assemble a complete \
+                    CSV; drop --out or watch from 0"
+            .into());
+    }
     if cli.watch.is_some()
         && (cli.smoke
             || cli.seeds.is_some()
@@ -475,13 +514,16 @@ fn print_spec_settings(cli: &Cli) {
 /// job's rows as they complete. The assembled CSV is byte-identical to
 /// the one a local `--out` run of the same spec writes.
 fn run_client(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    // One attempt by default; `--retry n` arms reconnects with seeded
+    // exponential backoff, and a dropped watch resumes mid-stream.
+    let policy = daemon::RetryPolicy::no_retry().with_attempts(cli.retry.unwrap_or(1));
     let (addr, job) = if let Some(addr) = &cli.watch {
         (addr.clone(), cli.job.expect("validated by parse_cli"))
     } else {
         let addr = cli.submit.clone().expect("client mode");
         print_spec_settings(cli);
         let spec = build_spec(cli);
-        let ticket = daemon::submit(&addr, &spec, cli.shards.unwrap_or(0))?;
+        let ticket = daemon::submit_with(&addr, &spec, cli.shards.unwrap_or(0), &policy)?;
         banner(
             "campaign",
             &format!(
@@ -495,16 +537,21 @@ fn run_client(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         }
         (addr, ticket.id)
     };
-    println!("  streaming job {job} from {addr}:");
+    let from = cli.from.unwrap_or(0);
+    if from == 0 {
+        println!("  streaming job {job} from {addr}:");
+    } else {
+        println!("  streaming job {job} from {addr} (resuming at stream row {from}):");
+    }
     let mut rows: Vec<(usize, String)> = Vec::new();
-    let cells = daemon::watch(&addr, job, &mut |index, row| {
+    let cells = daemon::watch_rows_with(&addr, job, from, &policy, &mut |index, row| {
         println!("  row {index:>4}  {row}");
         rows.push((index, row.to_string()));
     })?;
-    let csv = daemon::rows_to_csv(cells, rows)?;
     println!();
     println!("  job {job} complete: {cells} cells");
     if let Some(path) = &cli.out {
+        let csv = daemon::rows_to_csv(cells, rows)?;
         persist::write_atomic(path, &csv)?;
         println!("  wrote campaign CSV ({cells} rows) to {path}");
     }

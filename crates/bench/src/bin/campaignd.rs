@@ -16,9 +16,18 @@
 //! the checkpoints, reruns only the missing shards, and finishes every
 //! interrupted job byte-identically to an uninterrupted run. Stop it
 //! gracefully with the protocol's `shutdown` command.
+//!
+//! `--chaos <seed>[:<profile>]` arms the deterministic fault plane
+//! (`pn_sim::chaos`): seeded injection of I/O faults (short writes,
+//! failed sync/rename, ENOSPC) and stream faults (resets, torn lines,
+//! stalls), with profiles `io`, `net` or `all`. Artifacts stay atomic
+//! and retrying clients still converge byte-identically — that is the
+//! property the chaos CI job pins.
 
+use pn_sim::chaos::FaultPlan;
 use pn_sim::daemon::{Daemon, DaemonConfig};
 use pn_sim::persist;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Cli {
@@ -26,11 +35,17 @@ struct Cli {
     addr: String,
     workers: usize,
     throttle_ms: Option<u64>,
+    chaos: Option<FaultPlan>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
-    let mut cli =
-        Cli { dir: String::new(), addr: "127.0.0.1:0".into(), workers: 0, throttle_ms: None };
+    let mut cli = Cli {
+        dir: String::new(),
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        throttle_ms: None,
+        chaos: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -48,6 +63,10 @@ fn parse_cli() -> Result<Cli, String> {
                         .map_err(|e| format!("--throttle-ms: {e}"))?,
                 );
             }
+            "--chaos" => {
+                cli.chaos =
+                    Some(FaultPlan::from_arg(&value("--chaos")?).map_err(|e| format!("--chaos: {e}"))?);
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -63,6 +82,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(ms) = cli.throttle_ms {
         config = config.with_throttle(Duration::from_millis(ms));
     }
+    // Keep a handle on the plan: it counts what it injected, which is
+    // the first thing to read when a chaos run behaves surprisingly.
+    let plan = cli.chaos.map(Arc::new);
+    if let Some(plan) = &plan {
+        println!(
+            "campaignd: chaos armed (seed {}, profile {})",
+            plan.seed(),
+            plan.profile()
+        );
+        config = config.with_io_policy(Arc::clone(plan) as _);
+    }
     let daemon = Daemon::start(config)?;
     let addr = daemon.addr();
     // Publish the bound address (atomic, like every artifact) so
@@ -71,6 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     persist::write_atomic(&addr_file, &format!("{addr}\n"))?;
     println!("campaignd listening on {addr} (checkpoints in {})", cli.dir);
     daemon.wait();
+    if let Some(plan) = &plan {
+        let (io, net) = plan.injected();
+        println!("campaignd: chaos injected {io} I/O faults, {net} stream faults");
+    }
     println!("campaignd: shutdown complete");
     Ok(())
 }

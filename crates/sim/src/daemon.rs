@@ -17,7 +17,7 @@
 //! | Client sends                           | Daemon replies |
 //! |----------------------------------------|----------------|
 //! | `submit shards <n>` + a spec document  | `job <id> cells <c> shards <s>` |
-//! | `watch <id>`                           | `header <csv-header>`, then `row <matrix-index> <csv-row>` per cell, then `done <id> cells <c>` (or `failed <id> <why>`) |
+//! | `watch <id> [from <row>]`              | `header <csv-header>`, then `row <matrix-index> <csv-row>` per cell, then `done <id> cells <c>` (or `failed <id> <why>`) |
 //! | `status <id>`                          | `status <id> <state> <done-cells> <total-cells>` |
 //! | `shutdown`                             | `bye` |
 //!
@@ -28,6 +28,35 @@
 //! document byte-identical to [`crate::persist::report_csv_string`] of
 //! the merged report, because both sides share
 //! [`pn_analysis::csv::format_campaign_row`].
+//!
+//! `watch <id> from <row>` resumes the stream at position `row` of
+//! the job's completion-ordered row stream — a watcher that lost its
+//! connection after receiving `k` row lines reconnects with `from k`
+//! and continues without duplicate rows (within one daemon life; the
+//! stream only ever appends). [`watch_rows_with`] wraps the whole
+//! reconnect dance — exponential backoff with seeded jitter, resume,
+//! per-matrix-index dedup, and a full refetch if a daemon restart
+//! reordered the stream underneath the resume point.
+//!
+//! # Robustness
+//!
+//! Every accepted connection gets read/write deadlines
+//! ([`DaemonConfig::with_deadlines`]) so a stalled client can wedge
+//! neither a handler thread nor a watch stream: a watcher that stops
+//! draining rows is disconnected (with a best-effort
+//! `error watcher stalled ...` line) once a row write blocks past the
+//! deadline, and rows are streamed in bounded chunks
+//! ([`DaemonConfig::with_watch_chunk`]). Client helpers connect with
+//! a timeout and honour a [`RetryPolicy`].
+//!
+//! The daemon's own fault behaviour is testable under the seeded
+//! chaos plane ([`crate::chaos`]): install a
+//! [`FaultPlan`](crate::chaos::FaultPlan) with
+//! [`DaemonConfig::with_chaos`] and every artifact write and watch
+//! stream line may be deterministically faulted. Injected checkpoint
+//! write failures are retried up to a per-shard budget
+//! ([`DaemonConfig::with_retry_budget`]); deterministic failures
+//! (engine errors, genuinely unwritable paths) are not.
 //!
 //! # Checkpoint layout and crash recovery
 //!
@@ -85,14 +114,17 @@
 //! ```
 
 use crate::campaign::{validate_saved_slice, CampaignCell, CampaignReport, CampaignShard, CampaignSpec};
+use crate::chaos::{self, IoPolicy, StreamAction};
 use crate::executor::Executor;
 use crate::persist;
 use crate::SimError;
 use pn_analysis::csv::{format_campaign_row, CAMPAIGN_CSV_HEADER};
 use pn_harvest::cache::TraceCache;
-use std::collections::VecDeque;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -102,6 +134,17 @@ use std::time::Duration;
 const JOB_META_HEADER: &str = "pn-campaignd-job v1";
 /// How long blocked waits sleep between shutdown-flag checks.
 const WAIT_TICK: Duration = Duration::from_millis(100);
+/// Default per-connection read/write deadline: long enough for any
+/// legitimate pause (a watch stream between rows is written, not
+/// read), short enough that a stalled client frees its handler thread
+/// promptly.
+const DEFAULT_DEADLINE: Duration = Duration::from_secs(10);
+/// Default per-shard budget of retried *injected* checkpoint-write
+/// faults before the job is failed.
+const DEFAULT_RETRY_BUDGET: u32 = 8;
+/// Default bound on rows cloned out of the job state per watch
+/// iteration.
+const DEFAULT_WATCH_CHUNK: usize = 256;
 
 /// Configuration for [`Daemon::start`].
 #[derive(Debug, Clone)]
@@ -119,13 +162,40 @@ pub struct DaemonConfig {
     /// throttle for tests and demos that want to interrupt a run
     /// mid-campaign deterministically.
     pub throttle: Option<Duration>,
+    /// The fault-injection seam: every artifact write and watch-stream
+    /// line consults this policy. Default [`chaos::Passthrough`]
+    /// injects nothing.
+    pub policy: Arc<dyn IoPolicy>,
+    /// Per-connection read deadline (a client that sends nothing is
+    /// disconnected after this long).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline (a watcher that stops draining
+    /// rows is disconnected once a write blocks this long).
+    pub write_timeout: Duration,
+    /// How many *injected* checkpoint-write faults each shard retries
+    /// before its job is failed. Deterministic failures are never
+    /// retried.
+    pub retry_budget: u32,
+    /// Bound on rows cloned out of the job state per watch iteration —
+    /// the slow-watcher backpressure buffer.
+    pub watch_chunk: usize,
 }
 
 impl DaemonConfig {
     /// A daemon on a free loopback port, default worker count, no
-    /// throttle, checkpointing into `dir`.
+    /// throttle, no chaos, default deadlines, checkpointing into `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { addr: "127.0.0.1:0".into(), dir: dir.into(), workers: 0, throttle: None }
+        Self {
+            addr: "127.0.0.1:0".into(),
+            dir: dir.into(),
+            workers: 0,
+            throttle: None,
+            policy: Arc::new(chaos::Passthrough),
+            read_timeout: DEFAULT_DEADLINE,
+            write_timeout: DEFAULT_DEADLINE,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            watch_chunk: DEFAULT_WATCH_CHUNK,
+        }
     }
 
     /// Sets the bind address (builder style).
@@ -147,6 +217,46 @@ impl DaemonConfig {
     #[must_use]
     pub fn with_throttle(mut self, pause: Duration) -> Self {
         self.throttle = Some(pause);
+        self
+    }
+
+    /// Installs a seeded chaos plan as the fault-injection policy
+    /// (builder style).
+    #[must_use]
+    pub fn with_chaos(self, plan: chaos::FaultPlan) -> Self {
+        self.with_io_policy(Arc::new(plan))
+    }
+
+    /// Installs an arbitrary [`IoPolicy`] (builder style) — e.g. a
+    /// shared [`chaos::FaultPlan`] whose injection counters the caller
+    /// wants to keep reading.
+    #[must_use]
+    pub fn with_io_policy(mut self, policy: Arc<dyn IoPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-connection read and write deadlines (builder
+    /// style).
+    #[must_use]
+    pub fn with_deadlines(mut self, read: Duration, write: Duration) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// Sets the per-shard injected-fault retry budget (builder style).
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the watch-stream chunk bound (builder style); clamped to
+    /// at least 1.
+    #[must_use]
+    pub fn with_watch_chunk(mut self, rows: usize) -> Self {
+        self.watch_chunk = rows.max(1);
         self
     }
 }
@@ -204,10 +314,30 @@ struct Shared {
     dir: PathBuf,
     addr: SocketAddr,
     throttle: Option<Duration>,
+    policy: Arc<dyn IoPolicy>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    retry_budget: u32,
+    watch_chunk: usize,
     jobs: Mutex<Vec<Arc<Job>>>,
     queue: Mutex<VecDeque<Task>>,
     queue_cond: Condvar,
     shutdown: AtomicBool,
+}
+
+/// Writes an artifact through the daemon's fault-injection seam,
+/// retrying *injected* faults up to the configured budget. A
+/// deterministic failure (unwritable path, full disk for real) is
+/// returned on first sight — retrying cannot fix it.
+fn write_artifact(shared: &Shared, path: &Path, contents: &str) -> Result<(), SimError> {
+    let mut retried = 0u32;
+    loop {
+        match persist::write_atomic_with(path, contents, shared.policy.as_ref()) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_injected() && retried < shared.retry_budget => retried += 1,
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// A running campaign daemon.
@@ -250,6 +380,11 @@ impl Daemon {
             dir: config.dir,
             addr,
             throttle: config.throttle,
+            policy: config.policy,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            retry_budget: config.retry_budget,
+            watch_chunk: config.watch_chunk.max(1),
             jobs: Mutex::new(Vec::new()),
             queue: Mutex::new(VecDeque::new()),
             queue_cond: Condvar::new(),
@@ -431,7 +566,7 @@ fn job_meta_string(shard_count: usize) -> String {
 /// shard order); a fully checkpointed job is merged immediately.
 fn register_job(shared: &Arc<Shared>, job: &Arc<Job>) {
     shared.jobs.lock().expect("jobs lock").push(Arc::clone(job));
-    maybe_finish(job);
+    maybe_finish(shared, job);
     let missing: Vec<usize> = {
         let state = job.state.lock().expect("job state lock");
         if state.merged.is_some() {
@@ -473,7 +608,7 @@ fn worker_loop(shared: &Shared) {
                 queue = guard;
             }
         };
-        let executed = run_task(&task);
+        let executed = run_task(&task, shared);
         if executed {
             if let Some(pause) = shared.throttle {
                 std::thread::sleep(pause);
@@ -487,7 +622,7 @@ fn worker_loop(shared: &Shared) {
 /// was the last shard. Returns whether the shard was actually
 /// simulated (vs. skipped because it was already done or its job had
 /// failed).
-fn run_task(task: &Task) -> bool {
+fn run_task(task: &Task, shared: &Shared) -> bool {
     let job = &task.job;
     {
         let state = job.state.lock().expect("job state lock");
@@ -506,7 +641,10 @@ fn run_task(task: &Task) -> bool {
     match outcome {
         Ok(Ok(report)) => {
             let path = job.dir.join(format!("shard-{}.pnc", task.shard));
-            if let Err(e) = persist::write_atomic(&path, &persist::report_to_string(&report)) {
+            // Injected (transient) write faults are retried within the
+            // shard's budget; a deterministic write failure — like the
+            // deterministic engine failure below — fails the job.
+            if let Err(e) = write_artifact(shared, &path, &persist::report_to_string(&report)) {
                 fail_job(job, format!("cannot checkpoint shard {}: {e}", task.shard));
                 return true;
             }
@@ -515,7 +653,7 @@ fn run_task(task: &Task) -> bool {
             state.shard_reports[task.shard] = Some(report);
             drop(state);
             job.cond.notify_all();
-            maybe_finish(job);
+            maybe_finish(shared, job);
             true
         }
         Ok(Err(e)) => {
@@ -538,7 +676,7 @@ fn push_shard_rows(state: &mut JobState, start: usize, report: &CampaignReport) 
 }
 
 /// Merges and persists the final report once every shard is done.
-fn maybe_finish(job: &Arc<Job>) {
+fn maybe_finish(shared: &Shared, job: &Arc<Job>) {
     let mut state = job.state.lock().expect("job state lock");
     if state.merged.is_some() || state.failed.is_some() {
         return;
@@ -551,8 +689,9 @@ fn maybe_finish(job: &Arc<Job>) {
         .and_then(|report| validate_saved_slice(&job.cells, &report).map(|()| report));
     match merged {
         Ok(report) => {
-            match persist::write_atomic(
-                job.dir.join("report.pnc"),
+            match write_artifact(
+                shared,
+                &job.dir.join("report.pnc"),
                 &persist::report_to_string(&report),
             ) {
                 Ok(()) => state.merged = Some(report),
@@ -603,39 +742,104 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// A parsed protocol command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `submit shards <n>` — a spec document follows.
+    Submit {
+        /// Requested shard count (`0` → one shard per cell).
+        shards: usize,
+    },
+    /// `watch <id> [from <row>]` — stream rows, optionally resuming
+    /// at an offset into the completion-ordered row stream.
+    Watch {
+        /// Job id to watch.
+        id: u64,
+        /// Stream offset to resume from (0 = the whole stream).
+        from: usize,
+    },
+    /// `status <id>`.
+    Status {
+        /// Job id to query.
+        id: u64,
+    },
+    /// `shutdown`.
+    Shutdown,
+}
+
+/// Parses one protocol command line. Pure and total: any input —
+/// noise, truncated commands, absurd numbers — yields either a
+/// [`Request`] or a human-readable rejection; it never panics.
+///
+/// # Errors
+///
+/// Returns the `error ...` reply body for malformed lines.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (command, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let rest = rest.trim();
+    match command {
+        "submit" => match rest.strip_prefix("shards").map(str::trim) {
+            Some(n) => match n.parse::<usize>() {
+                Ok(shards) => Ok(Request::Submit { shards }),
+                Err(_) => Err("submit wants: submit shards <n>".into()),
+            },
+            None => Err("submit wants: submit shards <n>".into()),
+        },
+        "watch" => {
+            let mut words = rest.split_whitespace();
+            let id = words.next().and_then(|w| w.parse::<u64>().ok());
+            match (id, words.next(), words.next(), words.next()) {
+                (Some(id), None, None, None) => Ok(Request::Watch { id, from: 0 }),
+                (Some(id), Some("from"), Some(row), None) => match row.parse::<usize>() {
+                    Ok(from) => Ok(Request::Watch { id, from }),
+                    Err(_) => Err("watch wants: watch <job-id> [from <row>]".into()),
+                },
+                _ => Err("watch wants: watch <job-id> [from <row>]".into()),
+            }
+        }
+        "status" => match rest.parse::<u64>() {
+            Ok(id) if rest.split_whitespace().count() == 1 => Ok(Request::Status { id }),
+            _ => Err("status wants: status <job-id>".into()),
+        },
+        "shutdown" if rest.is_empty() => Ok(Request::Shutdown),
+        "shutdown" => Err("shutdown takes no arguments".into()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    // Deadlines on both directions: a client that stalls mid-command
+    // (or a watcher that stops draining its socket) times out instead
+    // of pinning this handler thread forever.
+    stream.set_read_timeout(Some(shared.read_timeout))?;
+    stream.set_write_timeout(Some(shared.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(()); // the shutdown poke, or a client that gave up
     }
-    let request = line.trim().to_string();
-    let (command, rest) = request.split_once(' ').unwrap_or((request.as_str(), ""));
-    match command {
-        "submit" => handle_submit(rest, &mut reader, &mut out, shared),
-        "watch" => handle_watch(rest, &mut out, shared),
-        "status" => handle_status(rest, &mut out, shared),
-        "shutdown" => {
+    match parse_request(&line) {
+        Ok(Request::Submit { shards }) => handle_submit(shards, &mut reader, &mut out, shared),
+        Ok(Request::Watch { id, from }) => handle_watch(id, from, &mut out, shared),
+        Ok(Request::Status { id }) => handle_status(id, &mut out, shared),
+        Ok(Request::Shutdown) => {
             writeln!(out, "bye")?;
             out.flush()?;
             begin_shutdown(shared);
             Ok(())
         }
-        other => writeln!(out, "error unknown command {other:?}"),
+        Err(why) => writeln!(out, "error {why}"),
     }
 }
 
 fn handle_submit(
-    rest: &str,
+    shards: usize,
     reader: &mut BufReader<TcpStream>,
     out: &mut TcpStream,
     shared: &Arc<Shared>,
 ) -> std::io::Result<()> {
-    let Some(shards) = rest.strip_prefix("shards ").and_then(|n| n.trim().parse::<usize>().ok())
-    else {
-        return writeln!(out, "error submit wants: submit shards <n>");
-    };
     // The spec document follows, terminated by its own `end` line.
     let mut doc = String::new();
     loop {
@@ -682,24 +886,49 @@ fn submit_job(
         std::fs::create_dir_all(&dir).map_err(|e| {
             SimError::Daemon(format!("cannot create job dir {}: {e}", dir.display()))
         })?;
-        persist::write_atomic(dir.join("job.meta"), &job_meta_string(shard_count))?;
-        persist::write_atomic(dir.join("spec.pnc"), &persist::spec_to_string(spec))?;
+        write_artifact(shared, &dir.join("job.meta"), &job_meta_string(shard_count))?;
+        write_artifact(shared, &dir.join("spec.pnc"), &persist::spec_to_string(spec))?;
         Arc::new(Job::new(id, dir, spec, shard_count))
     };
     register_job(shared, &job);
     Ok(job)
 }
 
-fn handle_watch(rest: &str, out: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
-    let Ok(id) = rest.trim().parse::<u64>() else {
-        return writeln!(out, "error watch wants: watch <job-id>");
-    };
+/// Writes one protocol line through the chaos seam. [`StreamAction`]s
+/// map onto the failure modes a real network exhibits: `Reset` drops
+/// the connection cold, `Truncate` sends a torn prefix (no newline)
+/// and then drops, `Stall` delays the write.
+fn stream_line(out: &mut TcpStream, policy: &dyn IoPolicy, line: &str) -> std::io::Result<()> {
+    match policy.stream_fault(line.len() + 1) {
+        StreamAction::Pass => writeln!(out, "{line}"),
+        StreamAction::Stall(pause) => {
+            std::thread::sleep(pause);
+            writeln!(out, "{line}")
+        }
+        StreamAction::Truncate => {
+            let bytes = line.as_bytes();
+            out.write_all(&bytes[..(bytes.len() / 2).max(1)])?;
+            out.flush()?;
+            Err(chaos::injected_io_error("stream truncated"))
+        }
+        StreamAction::Reset => Err(chaos::injected_io_error("connection reset")),
+    }
+}
+
+fn handle_watch(id: u64, from: usize, out: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     let Some(job) = find_job(shared, id) else {
         return writeln!(out, "error unknown job {id}");
     };
-    writeln!(out, "header {CAMPAIGN_CSV_HEADER}")?;
+    if from > job.cells.len() {
+        return writeln!(out, "error watch offset {from} beyond {} cells", job.cells.len());
+    }
+    let policy = Arc::clone(&shared.policy);
+    stream_line(out, policy.as_ref(), &format!("header {CAMPAIGN_CSV_HEADER}"))?;
     out.flush()?;
-    let mut cursor = 0usize;
+    // `from` is an offset into the completion-ordered row stream —
+    // valid within one daemon life. A resuming client that spans a
+    // restart detects the coverage gap itself and refetches from 0.
+    let mut cursor = from;
     loop {
         enum Step {
             Rows(Vec<(usize, String)>),
@@ -711,7 +940,11 @@ fn handle_watch(rest: &str, out: &mut TcpStream, shared: &Arc<Shared>) -> std::i
             let mut state = job.state.lock().expect("job state lock");
             loop {
                 if cursor < state.rows.len() {
-                    break Step::Rows(state.rows[cursor..].to_vec());
+                    // Bounded chunks: a slow watcher holds at most
+                    // `watch_chunk` rows of copied backlog at a time
+                    // instead of cloning the whole tail in one go.
+                    let upto = state.rows.len().min(cursor + shared.watch_chunk);
+                    break Step::Rows(state.rows[cursor..upto].to_vec());
                 }
                 if let Some(why) = &state.failed {
                     break Step::Failed(why.clone());
@@ -731,16 +964,28 @@ fn handle_watch(rest: &str, out: &mut TcpStream, shared: &Arc<Shared>) -> std::i
             Step::Rows(rows) => {
                 cursor += rows.len();
                 for (index, row) in rows {
-                    writeln!(out, "row {index} {row}")?;
+                    if let Err(e) = stream_line(out, policy.as_ref(), &format!("row {index} {row}")) {
+                        // A watcher that stopped draining its socket
+                        // hits the write deadline: disconnect it with
+                        // a typed error instead of blocking forever.
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) {
+                            let _ = writeln!(out, "error watcher stalled past the write deadline");
+                            return Ok(());
+                        }
+                        return Err(e);
+                    }
                 }
                 out.flush()?;
             }
             Step::Done(cells) => {
-                writeln!(out, "done {id} cells {cells}")?;
+                stream_line(out, policy.as_ref(), &format!("done {id} cells {cells}"))?;
                 return out.flush();
             }
             Step::Failed(why) => {
-                writeln!(out, "failed {id} {why}")?;
+                stream_line(out, policy.as_ref(), &format!("failed {id} {why}"))?;
                 return out.flush();
             }
             // Closing without a terminal line tells the client the
@@ -750,10 +995,7 @@ fn handle_watch(rest: &str, out: &mut TcpStream, shared: &Arc<Shared>) -> std::i
     }
 }
 
-fn handle_status(rest: &str, out: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
-    let Ok(id) = rest.trim().parse::<u64>() else {
-        return writeln!(out, "error status wants: status <job-id>");
-    };
+fn handle_status(id: u64, out: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     let Some(job) = find_job(shared, id) else {
         return writeln!(out, "error unknown job {id}");
     };
@@ -802,30 +1044,176 @@ pub struct JobStatus {
     pub total_cells: usize,
 }
 
-fn connect(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), SimError> {
+/// How a client call retries: attempt budget, per-phase deadlines,
+/// and a seeded exponential backoff with jitter. `Default` gives three
+/// attempts, a 5 s connect deadline, 30 s read / 10 s write deadlines,
+/// and 50 ms → 2 s backoff; [`RetryPolicy::no_retry`] keeps the
+/// deadlines but makes exactly one attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connection attempts (clamped to at least 1).
+    pub attempts: u32,
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-read deadline on an established connection.
+    pub read_timeout: Duration,
+    /// Per-write deadline on an established connection.
+    pub write_timeout: Duration,
+    /// First backoff pause (doubles per retry, jittered ×[0.5, 1.5)).
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream — same seed, same pauses.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, default deadlines: the behaviour of the plain
+    /// client helpers.
+    pub fn no_retry() -> Self {
+        Self { attempts: 1, ..Self::default() }
+    }
+
+    /// Sets the attempt budget (clamped to at least 1).
+    #[must_use]
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the backoff window.
+    #[must_use]
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max.max(base);
+        self
+    }
+
+    /// Sets the jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the connect / read / write deadlines.
+    #[must_use]
+    pub fn with_timeouts(mut self, connect: Duration, read: Duration, write: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+}
+
+/// Seeded exponential backoff: pause `base × 2^n`, jittered by a
+/// uniform factor in `[0.5, 1.5)`, capped at `max`. The jitter stream
+/// is deterministic per seed so tests can pin wall-clock behaviour.
+struct Backoff {
+    rng: StdRng,
+    delay: Duration,
+    max: Duration,
+}
+
+impl Backoff {
+    fn new(policy: &RetryPolicy) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(policy.seed ^ 0x9E37_79B9_7F4A_7C15),
+            delay: policy.base_backoff,
+            max: policy.max_backoff,
+        }
+    }
+
+    fn pause(&mut self) {
+        let jittered = self.delay.mul_f64(0.5 + self.rng.gen::<f64>());
+        std::thread::sleep(jittered.min(self.max));
+        self.delay = self.delay.saturating_mul(2).min(self.max);
+    }
+}
+
+/// How a client operation failed — drives the retry decision.
+enum ClientFailure {
+    /// The transport failed (connect refused, dropped connection, torn
+    /// line, deadline): transient, a retry may heal it.
+    Net(String),
+    /// The daemon answered with a deterministic rejection (`error`,
+    /// `failed`, malformed protocol): retrying cannot change it.
+    Typed(SimError),
+}
+
+impl ClientFailure {
+    fn into_sim_error(self) -> SimError {
+        match self {
+            ClientFailure::Net(why) => SimError::Daemon(why),
+            ClientFailure::Typed(e) => e,
+        }
+    }
+}
+
+/// Connects with the policy's deadlines: `connect_timeout` for the
+/// handshake, then per-read/per-write deadlines on the stream.
+fn connect_once(
+    addr: &str,
+    policy: &RetryPolicy,
+) -> Result<(BufReader<TcpStream>, TcpStream), SimError> {
     let io_err = |e: std::io::Error| {
         SimError::Daemon(format!("cannot connect to campaign daemon at {addr}: {e}"))
     };
-    let stream = TcpStream::connect(addr).map_err(io_err)?;
+    let sock: SocketAddr = addr.to_socket_addrs().map_err(io_err)?.next().ok_or_else(|| {
+        SimError::Daemon(format!("cannot connect to campaign daemon at {addr}: no address"))
+    })?;
+    let stream = TcpStream::connect_timeout(&sock, policy.connect_timeout).map_err(io_err)?;
+    stream.set_read_timeout(Some(policy.read_timeout)).map_err(io_err)?;
+    stream.set_write_timeout(Some(policy.write_timeout)).map_err(io_err)?;
     let reader = BufReader::new(stream.try_clone().map_err(io_err)?);
     Ok((reader, stream))
+}
+
+fn connect(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), SimError> {
+    connect_once(addr, &RetryPolicy::default())
+}
+
+/// Reads one protocol line, classifying the failure: transport faults
+/// (io error, EOF, a line torn short of its newline) are `Net`; daemon
+/// `error <why>` replies are `Typed`. A torn line is never surfaced as
+/// data — a truncated CSV float would otherwise parse as a valid,
+/// wrong value.
+fn read_stream_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientFailure> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| ClientFailure::Net(format!("daemon connection failed: {e}")))?;
+    if n == 0 {
+        return Err(ClientFailure::Net("daemon closed the connection mid-stream".into()));
+    }
+    if !line.ends_with('\n') {
+        return Err(ClientFailure::Net(format!("stream truncated mid-line: {line:?}")));
+    }
+    let line = line.trim_end().to_string();
+    match line.strip_prefix("error ") {
+        Some(why) => Err(ClientFailure::Typed(SimError::Daemon(why.to_string()))),
+        None => Ok(line),
+    }
 }
 
 /// Reads one protocol line; `error <why>` lines become `Err`, EOF is
 /// reported as a dropped connection.
 fn read_reply(reader: &mut BufReader<TcpStream>) -> Result<String, SimError> {
-    let mut line = String::new();
-    let n = reader
-        .read_line(&mut line)
-        .map_err(|e| SimError::Daemon(format!("daemon connection failed: {e}")))?;
-    if n == 0 {
-        return Err(SimError::Daemon("daemon closed the connection mid-stream".into()));
-    }
-    let line = line.trim_end().to_string();
-    match line.strip_prefix("error ") {
-        Some(why) => Err(SimError::Daemon(why.to_string())),
-        None => Ok(line),
-    }
+    read_stream_line(reader).map_err(ClientFailure::into_sim_error)
 }
 
 /// Submits `spec` to the daemon at `addr`, split into `shards` shards
@@ -836,7 +1224,43 @@ fn read_reply(reader: &mut BufReader<TcpStream>) -> Result<String, SimError> {
 /// Returns [`SimError::Daemon`] on connection failures or daemon-side
 /// rejections (malformed spec, empty matrix).
 pub fn submit(addr: &str, spec: &CampaignSpec, shards: usize) -> Result<JobTicket, SimError> {
-    let (mut reader, mut out) = connect(addr)?;
+    submit_with(addr, spec, shards, &RetryPolicy::no_retry())
+}
+
+/// [`submit`] with retry: connection attempts back off and retry per
+/// `policy`, but once a connection is established the submission runs
+/// exactly once — retrying after a lost reply could double-submit the
+/// job, so post-connect failures surface immediately.
+///
+/// # Errors
+///
+/// As [`submit`], after exhausting the policy's connect attempts.
+pub fn submit_with(
+    addr: &str,
+    spec: &CampaignSpec,
+    shards: usize,
+    policy: &RetryPolicy,
+) -> Result<JobTicket, SimError> {
+    let mut backoff = Backoff::new(policy);
+    let mut last = None;
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            backoff.pause();
+        }
+        match connect_once(addr, policy) {
+            Ok((reader, out)) => return submit_on(reader, out, spec, shards),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or(SimError::InvalidConfig("retry policy allows zero attempts")))
+}
+
+fn submit_on(
+    mut reader: BufReader<TcpStream>,
+    mut out: TcpStream,
+    spec: &CampaignSpec,
+    shards: usize,
+) -> Result<JobTicket, SimError> {
     let send_err = |e: std::io::Error| SimError::Daemon(format!("cannot send submit: {e}"));
     writeln!(out, "submit shards {shards}").map_err(send_err)?;
     out.write_all(persist::spec_to_string(spec).as_bytes()).map_err(send_err)?;
@@ -873,37 +1297,182 @@ pub fn watch(
     id: u64,
     on_row: &mut dyn FnMut(usize, &str),
 ) -> Result<usize, SimError> {
-    let (mut reader, mut out) = connect(addr)?;
-    writeln!(out, "watch {id}")
+    watch_from(addr, id, 0, on_row)
+}
+
+/// [`watch`], resuming at stream offset `from`: rows already received
+/// on an earlier (dropped) connection are not re-streamed. The offset
+/// counts completion-ordered stream rows and is only meaningful within
+/// one daemon life — after a daemon restart the stream may complete in
+/// a different order, which a resuming client detects as a coverage
+/// gap and heals with a full refetch (see [`watch_rows_with`]).
+///
+/// # Errors
+///
+/// As [`watch`], plus [`SimError::Daemon`] when `from` lies beyond the
+/// job's cell count.
+pub fn watch_from(
+    addr: &str,
+    id: u64,
+    from: usize,
+    on_row: &mut dyn FnMut(usize, &str),
+) -> Result<usize, SimError> {
+    let mut offset = from;
+    let mut seen = BTreeMap::new();
+    watch_conn(addr, id, &RetryPolicy::no_retry(), &mut offset, &mut seen, on_row)
+        .map_err(ClientFailure::into_sim_error)
+}
+
+/// One watch connection: sends `watch <id> [from <offset>]`, streams
+/// rows into `seen` (deduplicated by matrix index — the engine is
+/// bitwise deterministic, so identical duplicates are harmless while
+/// conflicting bytes for one index are a typed protocol error), and
+/// advances `offset` past every stream row received so a retry resumes
+/// where this connection died.
+fn watch_conn(
+    addr: &str,
+    id: u64,
+    policy: &RetryPolicy,
+    offset: &mut usize,
+    seen: &mut BTreeMap<usize, String>,
+    on_row: &mut dyn FnMut(usize, &str),
+) -> Result<usize, ClientFailure> {
+    let (mut reader, mut out) = connect_once(addr, policy).map_err(|e| match e {
+        SimError::Daemon(why) => ClientFailure::Net(why),
+        other => ClientFailure::Typed(other),
+    })?;
+    let command = if *offset == 0 {
+        format!("watch {id}")
+    } else {
+        format!("watch {id} from {offset}")
+    };
+    writeln!(out, "{command}")
         .and_then(|()| out.flush())
-        .map_err(|e| SimError::Daemon(format!("cannot send watch: {e}")))?;
-    let header = read_reply(&mut reader)?;
+        .map_err(|e| ClientFailure::Net(format!("cannot send watch: {e}")))?;
+    let header = read_stream_line(&mut reader)?;
     if header != format!("header {CAMPAIGN_CSV_HEADER}") {
-        return Err(SimError::Daemon(format!("malformed watch header: {header:?}")));
+        return Err(ClientFailure::Typed(SimError::Daemon(format!(
+            "malformed watch header: {header:?}"
+        ))));
     }
     loop {
-        let line = read_reply(&mut reader)?;
+        let line = read_stream_line(&mut reader)?;
         if let Some(rest) = line.strip_prefix("row ") {
             let Some((index, row)) = rest.split_once(' ') else {
-                return Err(SimError::Daemon(format!("malformed row line: {line:?}")));
+                return Err(ClientFailure::Typed(SimError::Daemon(format!(
+                    "malformed row line: {line:?}"
+                ))));
             };
-            let index = index
-                .parse::<usize>()
-                .map_err(|_| SimError::Daemon(format!("malformed row index: {line:?}")))?;
-            on_row(index, row);
+            let index = index.parse::<usize>().map_err(|_| {
+                ClientFailure::Typed(SimError::Daemon(format!("malformed row index: {line:?}")))
+            })?;
+            *offset += 1;
+            match seen.get(&index) {
+                None => {
+                    seen.insert(index, row.to_string());
+                    on_row(index, row);
+                }
+                Some(prior) if prior == row => {} // harmless duplicate
+                Some(prior) => {
+                    return Err(ClientFailure::Typed(SimError::Daemon(format!(
+                        "conflicting rows for cell {index}: {prior:?} vs {row:?}"
+                    ))));
+                }
+            }
         } else if let Some(rest) = line.strip_prefix("done ") {
-            let cells = rest
-                .split_whitespace()
-                .nth(2)
-                .and_then(|n| n.parse::<usize>().ok())
-                .ok_or_else(|| SimError::Daemon(format!("malformed done line: {line:?}")))?;
-            return Ok(cells);
+            let cells = rest.split_whitespace().nth(2).and_then(|n| n.parse::<usize>().ok());
+            return cells.ok_or_else(|| {
+                ClientFailure::Typed(SimError::Daemon(format!("malformed done line: {line:?}")))
+            });
         } else if let Some(rest) = line.strip_prefix("failed ") {
-            return Err(SimError::Daemon(format!("job {id} failed: {rest}")));
+            return Err(ClientFailure::Typed(SimError::Daemon(format!(
+                "job {id} failed: {rest}"
+            ))));
         } else {
-            return Err(SimError::Daemon(format!("unexpected watch line: {line:?}")));
+            return Err(ClientFailure::Typed(SimError::Daemon(format!(
+                "unexpected watch line: {line:?}"
+            ))));
         }
     }
+}
+
+/// [`watch`] with reconnect: transport failures (dropped connections,
+/// torn lines, deadlines, refused connects) back off and resume with
+/// `watch <id> from <offset>`; deterministic failures (job failed,
+/// unknown id, protocol violations) surface immediately. Each cell is
+/// handed to `on_row` exactly once even when the stream re-plays rows.
+///
+/// If the stream completes with a coverage gap — the signature of a
+/// daemon restart re-ordering completion behind the resume offset —
+/// the client refetches the whole stream from 0; the engine's bitwise
+/// determinism makes the re-fetched rows identical, so deduplication
+/// is safe.
+///
+/// # Errors
+///
+/// Returns [`SimError::Daemon`] when the job fails, the id is unknown,
+/// or the transport keeps failing past the policy's attempt budget.
+pub fn watch_rows_with(
+    addr: &str,
+    id: u64,
+    from: usize,
+    policy: &RetryPolicy,
+    on_row: &mut dyn FnMut(usize, &str),
+) -> Result<usize, SimError> {
+    let mut backoff = Backoff::new(policy);
+    let mut offset = from;
+    let mut seen = BTreeMap::new();
+    let mut last_net = String::from("no attempts made");
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            backoff.pause();
+        }
+        match watch_conn(addr, id, policy, &mut offset, &mut seen, on_row) {
+            Ok(cells) => {
+                let covered = seen.len() == cells
+                    && seen.keys().copied().eq(0..cells)
+                    && from == 0;
+                if covered || from > 0 {
+                    // A tail watch (`from > 0`) cannot judge coverage:
+                    // the caller holds the earlier rows.
+                    return Ok(cells);
+                }
+                if offset == 0 {
+                    // A full stream from 0 that still leaves a gap is
+                    // a deterministic protocol violation, not a
+                    // transport fault.
+                    return Err(SimError::Daemon(format!(
+                        "streamed rows do not cover the matrix: got {} rows for {cells} cells",
+                        seen.len(),
+                    )));
+                }
+                // Coverage gap after a resumed stream: the daemon
+                // restarted and completed cells in a different order.
+                // Refetch everything; dedup keeps emission exactly-once.
+                offset = 0;
+                last_net = format!("resumed stream left a coverage gap for job {id}");
+            }
+            Err(ClientFailure::Typed(e)) => return Err(e),
+            Err(ClientFailure::Net(why)) => last_net = why,
+        }
+    }
+    Err(SimError::Daemon(format!(
+        "watch {id} failed after {} attempts: {last_net}",
+        policy.attempts.max(1),
+    )))
+}
+
+/// [`watch_rows_with`] from offset 0, assembled into the canonical CSV
+/// document — byte-identical to the fault-free [`watch_csv`].
+///
+/// # Errors
+///
+/// As [`watch_rows_with`], plus a coverage check via [`rows_to_csv`].
+pub fn watch_csv_with(addr: &str, id: u64, policy: &RetryPolicy) -> Result<String, SimError> {
+    let mut rows: Vec<(usize, String)> = Vec::new();
+    let cells =
+        watch_rows_with(addr, id, 0, policy, &mut |index, row| rows.push((index, row.to_string())))?;
+    rows_to_csv(cells, rows)
 }
 
 /// [`watch`], assembled into a complete CSV document — byte-identical
@@ -954,7 +1523,36 @@ pub fn rows_to_csv(cells: usize, mut rows: Vec<(usize, String)>) -> Result<Strin
 /// Returns [`SimError::Daemon`] on connection failures or an unknown
 /// job id.
 pub fn status(addr: &str, id: u64) -> Result<JobStatus, SimError> {
-    let (mut reader, mut out) = connect(addr)?;
+    status_with(addr, id, &RetryPolicy::no_retry())
+}
+
+/// [`status`] with retry: the query is idempotent, so connect failures
+/// back off and retry per `policy`; daemon-side rejections (unknown
+/// job) surface immediately.
+///
+/// # Errors
+///
+/// As [`status`], after exhausting the policy's connect attempts.
+pub fn status_with(addr: &str, id: u64, policy: &RetryPolicy) -> Result<JobStatus, SimError> {
+    let mut backoff = Backoff::new(policy);
+    let mut last = None;
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            backoff.pause();
+        }
+        match connect_once(addr, policy) {
+            Ok((reader, out)) => return status_on(reader, out, id),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or(SimError::InvalidConfig("retry policy allows zero attempts")))
+}
+
+fn status_on(
+    mut reader: BufReader<TcpStream>,
+    mut out: TcpStream,
+    id: u64,
+) -> Result<JobStatus, SimError> {
     writeln!(out, "status {id}")
         .and_then(|()| out.flush())
         .map_err(|e| SimError::Daemon(format!("cannot send status: {e}")))?;
@@ -991,5 +1589,69 @@ pub fn shutdown(addr: &str) -> Result<(), SimError> {
         Ok(())
     } else {
         Err(SimError::Daemon(format!("unexpected shutdown reply: {reply:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_request_accepts_the_protocol() {
+        assert_eq!(parse_request("submit shards 4\n"), Ok(Request::Submit { shards: 4 }));
+        assert_eq!(parse_request("watch 7"), Ok(Request::Watch { id: 7, from: 0 }));
+        assert_eq!(parse_request("watch 7 from 12"), Ok(Request::Watch { id: 7, from: 12 }));
+        assert_eq!(parse_request("status 3"), Ok(Request::Status { id: 3 }));
+        assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
+        assert_eq!(parse_request("  watch 7  "), Ok(Request::Watch { id: 7, from: 0 }));
+    }
+
+    #[test]
+    fn parse_request_rejects_noise() {
+        for bad in [
+            "",
+            "nonsense",
+            "submit",
+            "submit shards",
+            "submit shards four",
+            "submit shards -1",
+            "watch",
+            "watch x",
+            "watch 7 from",
+            "watch 7 from x",
+            "watch 7 from 1 2",
+            "watch 7 upto 9",
+            "status",
+            "status 1 2",
+            "status abc",
+            "shutdown now",
+            "row 0 1.0",
+            "header x",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn retry_policy_clamps() {
+        assert_eq!(RetryPolicy::default().with_attempts(0).attempts, 1);
+        let p = RetryPolicy::no_retry();
+        assert_eq!(p.attempts, 1);
+        let p = p.with_backoff(Duration::from_millis(10), Duration::from_millis(1));
+        assert_eq!(p.max_backoff, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default().with_seed(42);
+        let mut a = Backoff::new(&policy);
+        let mut b = Backoff::new(&policy);
+        for _ in 0..4 {
+            let ja = a.delay.mul_f64(0.5 + a.rng.gen::<f64>());
+            let jb = b.delay.mul_f64(0.5 + b.rng.gen::<f64>());
+            assert_eq!(ja, jb);
+            a.delay = a.delay.saturating_mul(2).min(a.max);
+            b.delay = b.delay.saturating_mul(2).min(b.max);
+        }
     }
 }

@@ -32,6 +32,23 @@ pub enum SimError {
     Daemon(String),
 }
 
+impl SimError {
+    /// Whether this error was injected by the chaos fault plane
+    /// ([`crate::chaos::FaultPlan`]) rather than raised by a real
+    /// failure. Injected faults are transient by construction, so
+    /// retry budgets (the daemon's per-shard checkpoint retry, the
+    /// client's reconnect loop) retry them while failing fast on
+    /// deterministic errors.
+    pub fn is_injected(&self) -> bool {
+        match self {
+            SimError::Persist(why) | SimError::Campaign(why) | SimError::Daemon(why) => {
+                why.contains(crate::chaos::INJECTED_MARKER)
+            }
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -112,6 +129,17 @@ mod tests {
         assert!(e.to_string().contains("circuit"));
         assert!(e.source().is_some());
         assert!(SimError::InvalidConfig("y").source().is_none());
+    }
+
+    #[test]
+    fn injected_marker_is_recognised() {
+        let injected = SimError::Persist(format!(
+            "cannot write x: {}: sync_all failed",
+            crate::chaos::INJECTED_MARKER
+        ));
+        assert!(injected.is_injected());
+        assert!(!SimError::Persist("cannot write x: permission denied".into()).is_injected());
+        assert!(!SimError::InvalidConfig("y").is_injected());
     }
 
     #[test]

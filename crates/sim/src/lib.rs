@@ -22,6 +22,9 @@
 //! * [`lanes`] — the batched structure-of-arrays lane engine: step a
 //!   whole group of simulations per sweep, bitwise identical to
 //!   running each alone,
+//! * [`chaos`] — the deterministic fault plane: a seeded `FaultPlan`
+//!   injecting I/O and network faults behind the `IoPolicy` seam, so
+//!   the persistence and daemon layers are testable under chaos,
 //! * [`scenario`] — canned scenarios for each paper experiment,
 //! * [`executor`] — the shared work-stealing batch executor,
 //! * [`sweep`] — the §III parameter sweep,
@@ -58,6 +61,7 @@
 
 pub mod adaptive;
 pub mod campaign;
+pub mod chaos;
 pub mod daemon;
 pub mod engine;
 pub mod executor;

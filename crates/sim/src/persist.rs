@@ -22,7 +22,10 @@
 //!   and merged reports) goes through it, so a killed writer can leave
 //!   a stale temp file but never a torn artifact. The decoders' exact
 //!   token budgets, which reject a torn trailing line, are thereby a
-//!   second line of defence rather than the only one.
+//!   second line of defence rather than the only one. The writer is
+//!   also the fault plane's injection point: [`write_atomic_with`]
+//!   consults a [`chaos::IoPolicy`] so seeded chaos runs can exercise
+//!   every failure mode deterministically.
 //!
 //! The in-memory types additionally carry (shim) `serde` derives, so
 //! swapping this hand-rolled format for a serde wire format later is a
@@ -47,6 +50,7 @@
 use crate::campaign::{
     CampaignCell, CampaignReport, CampaignSpec, CellOutcome, GovernorSpec, GroupSummary,
 };
+use crate::chaos;
 use crate::engine::{EngineKind, SimOverrides};
 use crate::supply::SupplyModel;
 use crate::SimError;
@@ -140,6 +144,31 @@ const SPEC_OPTION_TOKENS: [usize; 5] = [5, 5, 4, 3, 3];
 /// std::fs::remove_file(&path).ok();
 /// ```
 pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> Result<(), SimError> {
+    write_atomic_with(path, contents, &chaos::Passthrough)
+}
+
+/// [`write_atomic`] behind the chaos seam: `policy` is consulted once
+/// per call and may inject one of the write path's real failure modes
+/// ([`IoFault`]) instead of completing the faulted step. With the
+/// default [`chaos::Passthrough`] policy this is exactly
+/// [`write_atomic`].
+///
+/// Whatever the policy injects, the invariant the decoders rely on is
+/// preserved: the *final* artifact at `path` is only ever replaced by
+/// a complete rename — an injected fault can tear the temp file (the
+/// same debris a crashed writer leaves) but never the artifact itself.
+///
+/// # Errors
+///
+/// As [`write_atomic`]; injected faults surface as
+/// [`SimError::Persist`] whose message carries
+/// [`chaos::INJECTED_MARKER`] (see
+/// [`SimError::is_injected`](crate::SimError::is_injected)).
+pub fn write_atomic_with(
+    path: impl AsRef<Path>,
+    contents: &str,
+    policy: &dyn chaos::IoPolicy,
+) -> Result<(), SimError> {
     let path = path.as_ref();
     let Some(file_name) = path.file_name() else {
         return Err(SimError::Persist(format!("cannot write {}: not a file path", path.display())));
@@ -149,14 +178,34 @@ pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> Result<(), SimErr
         _ => Path::new("."),
     };
     let tmp = dir.join(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
+    let fault = policy.artifact_fault(path);
     let result = (|| {
+        if fault == Some(chaos::IoFault::NoSpace) {
+            return Err(chaos::injected_io_error("no space left on device"));
+        }
         let mut file = std::fs::File::create(&tmp)?;
+        if fault == Some(chaos::IoFault::ShortWrite) {
+            let bytes = contents.as_bytes();
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            return Err(chaos::injected_io_error("short write tore the temp file"));
+        }
         file.write_all(contents.as_bytes())?;
+        if fault == Some(chaos::IoFault::FailSync) {
+            return Err(chaos::injected_io_error("sync_all failed"));
+        }
         file.sync_all()?;
+        if fault == Some(chaos::IoFault::FailRename) {
+            return Err(chaos::injected_io_error("rename failed"));
+        }
         std::fs::rename(&tmp, path)
     })();
     if let Err(e) = result {
-        let _ = std::fs::remove_file(&tmp);
+        // An injected short write leaves its torn temp file in place —
+        // the debris a real crashed writer leaves, which recovery must
+        // tolerate. Every other failure removes the temp as before.
+        if fault != Some(chaos::IoFault::ShortWrite) {
+            let _ = std::fs::remove_file(&tmp);
+        }
         return Err(SimError::Persist(format!("cannot write {}: {e}", path.display())));
     }
     Ok(())

@@ -169,3 +169,197 @@ fn a_failing_job_is_contained_and_the_daemon_keeps_serving() {
     daemon.stop();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// Robustness: deadlines, protocol noise, resumable watch
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+#[test]
+fn a_stalled_client_is_disconnected_by_the_read_deadline() {
+    let dir = checkpoint_dir("deadline");
+    let daemon = Daemon::start(
+        DaemonConfig::new(&dir)
+            .with_workers(1)
+            .with_deadlines(Duration::from_millis(200), Duration::from_millis(200)),
+    )
+    .expect("start");
+    let addr = daemon.addr().to_string();
+
+    // A client that connects and never sends a command: the handler's
+    // read deadline trips and the daemon drops the connection instead
+    // of pinning that handler thread forever. (Regression: handlers
+    // used to read with no deadline at all.)
+    let mut stalled = TcpStream::connect(&addr).expect("connect");
+    stalled.set_read_timeout(Some(Duration::from_secs(10))).expect("client timeout");
+    let mut sink = Vec::new();
+    match stalled.read_to_end(&mut sink) {
+        Ok(_) => {} // clean EOF from the daemon's disconnect
+        Err(e) => {
+            assert!(
+                !matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+                "daemon never dropped the stalled connection: {e}"
+            );
+        }
+    }
+
+    // The daemon still schedules and serves after shedding the staller.
+    let spec = spec();
+    let ticket = daemon::submit(&addr, &spec, 2).expect("submit");
+    assert_eq!(daemon::watch_csv(&addr, ticket.id).expect("watch"), oneshot_csv(&spec));
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sends one raw line (or byte blob) and returns the daemon's reply
+/// line, or `None` on a clean disconnect.
+fn poke(addr: &str, payload: &[u8], half_close: bool) -> Option<String> {
+    let mut out = TcpStream::connect(addr).expect("connect");
+    out.set_read_timeout(Some(Duration::from_secs(10))).expect("client timeout");
+    out.write_all(payload).expect("send");
+    out.flush().expect("flush");
+    if half_close {
+        out.shutdown(std::net::Shutdown::Write).expect("half-close");
+    }
+    let mut reader = BufReader::new(out);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line),
+        Err(_) => None, // reset mid-reply is a clean disconnect too
+    }
+}
+
+#[test]
+fn protocol_noise_gets_an_error_reply_or_a_clean_disconnect() {
+    let dir = checkpoint_dir("noise");
+    let daemon = Daemon::start(DaemonConfig::new(&dir).with_workers(1)).expect("start");
+    let addr = daemon.addr().to_string();
+
+    let corpus: &[&[u8]] = &[
+        b"bogus\n",
+        b"watch\n",
+        b"watch x\n",
+        b"watch 1 from\n",
+        b"watch 1 from x\n",
+        b"watch 1 from 1 2\n",
+        b"submit\n",
+        b"submit shards many\n",
+        b"status\n",
+        b"status 1 extra\n",
+        b"shutdown now please\n",
+        b"row 0 1.0,2.0\n",
+        b"header cell\n",
+        b"\n",
+        b"\x00\xff\xfe garbage \x01\n",
+    ];
+    for payload in corpus {
+        let reply = poke(&addr, payload, false);
+        if let Some(line) = reply {
+            assert!(
+                line.starts_with("error "),
+                "noise {payload:?} got a non-error reply: {line:?}"
+            );
+        }
+    }
+
+    // A truncated watch handshake — the command torn before its
+    // newline, then the stream half-closed — must produce an error
+    // reply or a clean disconnect, never a hang or a panic.
+    for torn in [&b"watch"[..], b"watch 1 fr", b"wat", b"submit shards "] {
+        let reply = poke(&addr, torn, true);
+        if let Some(line) = reply {
+            assert!(line.starts_with("error "), "torn {torn:?} got: {line:?}");
+        }
+    }
+
+    // After the whole corpus the daemon still works end to end.
+    let spec = spec();
+    let ticket = daemon::submit(&addr, &spec, 0).expect("submit");
+    assert_eq!(daemon::watch_csv(&addr, ticket.id).expect("watch"), oneshot_csv(&spec));
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    /// The pure protocol parser never panics and classifies every
+    /// input: random byte soup either parses as a legal request or is
+    /// rejected with a usage message.
+    #[test]
+    fn parse_request_is_total_over_noise(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = daemon::parse_request(&line);
+    }
+
+    /// Legal watch lines round-trip through the parser for any id and
+    /// offset, including the extremes.
+    #[test]
+    fn parse_request_accepts_every_watch_offset(id in 0u64..u64::MAX, from in 0usize..usize::MAX) {
+        prop_assert_eq!(
+            daemon::parse_request(&format!("watch {id} from {from}")),
+            Ok(daemon::Request::Watch { id, from })
+        );
+    }
+}
+
+#[test]
+fn watch_from_resumes_the_stream_byte_identically() {
+    let dir = checkpoint_dir("resume");
+    let daemon = Daemon::start(DaemonConfig::new(&dir).with_workers(2)).expect("start");
+    let addr = daemon.addr().to_string();
+    let spec = spec();
+    let ticket = daemon::submit(&addr, &spec, 0).expect("submit");
+
+    // First connection: take the header and exactly three rows, then
+    // drop mid-stream (the client crashed / the network reset).
+    let taken = 3usize;
+    let mut rows: Vec<(usize, String)> = Vec::new();
+    {
+        let out = TcpStream::connect(&addr).expect("connect");
+        out.set_read_timeout(Some(Duration::from_secs(30))).expect("client timeout");
+        let mut reader = BufReader::new(out.try_clone().expect("clone"));
+        let mut out = out;
+        writeln!(out, "watch {}", ticket.id).expect("send watch");
+        out.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        assert!(line.starts_with("header "), "{line:?}");
+        for _ in 0..taken {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("row");
+            let rest = line.trim_end().strip_prefix("row ").expect("row line");
+            let (index, row) = rest.split_once(' ').expect("row fields");
+            rows.push((index.parse().expect("index"), row.to_string()));
+        }
+        // dropping the connection here abandons the stream at offset 3
+    }
+
+    // Second connection resumes at the stream offset: no row is
+    // re-streamed, and the combined document is byte-identical to an
+    // uninterrupted watch.
+    let cells = daemon::watch_from(&addr, ticket.id, taken, &mut |index, row| {
+        rows.push((index, row.to_string()));
+    })
+    .expect("resumed watch");
+    assert_eq!(cells, spec.cell_count());
+    let combined = daemon::rows_to_csv(cells, rows).expect("combined csv");
+    assert_eq!(combined, oneshot_csv(&spec), "resumed stream diverged from the one-shot CSV");
+
+    // Resuming exactly at the end yields the terminal line and nothing
+    // else; resuming beyond the matrix is a typed protocol error.
+    let cells = daemon::watch_from(&addr, ticket.id, spec.cell_count(), &mut |index, row| {
+        panic!("no rows expected past the end, got {index}: {row}");
+    })
+    .expect("watch from the end");
+    assert_eq!(cells, spec.cell_count());
+    let err = daemon::watch_from(&addr, ticket.id, spec.cell_count() + 1, &mut |_, _| {})
+        .expect_err("offset beyond the matrix");
+    assert!(err.to_string().contains("beyond"), "{err}");
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
